@@ -1,0 +1,67 @@
+// Command snapbench regenerates the paper's evaluation artifacts: every
+// experiment of DESIGN.md §6 (E1..E10), printed as the tables recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	snapbench                  # all experiments, reference scale
+//	snapbench -e E3,E9         # a subset
+//	snapbench -quick           # smoke-test scale
+//	snapbench -trials 500      # crank the statistics
+//	snapbench -markdown        # emit EXPERIMENTS.md-style markdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/snapstab/snapstab/internal/experiment"
+)
+
+func main() {
+	var (
+		ids      = flag.String("e", "", "comma-separated experiment IDs (default: all)")
+		trials   = flag.Int("trials", 0, "trials per table row (0 = default)")
+		seed     = flag.Uint64("seed", 1, "base seed")
+		quick    = flag.Bool("quick", false, "smoke-test scale")
+		markdown = flag.Bool("markdown", false, "emit markdown tables")
+	)
+	flag.Parse()
+
+	cfg := experiment.Config{Trials: *trials, Seed: *seed, Quick: *quick}
+	var selected []experiment.Experiment
+	if *ids == "" {
+		selected = experiment.All()
+	} else {
+		for _, id := range strings.Split(*ids, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiment.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "snapbench: unknown experiment %q\n", id)
+				os.Exit(1)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tables := e.Run(cfg)
+		if !*markdown {
+			fmt.Printf("=== %s: %s (reproduces: %s) — %.1fs ===\n\n",
+				e.ID, e.Title, e.Paper, time.Since(start).Seconds())
+		} else {
+			fmt.Printf("### %s: %s\n\nReproduces: %s.\n\n", e.ID, e.Title, e.Paper)
+		}
+		for _, t := range tables {
+			if *markdown {
+				t.Markdown(os.Stdout)
+			} else {
+				t.Render(os.Stdout)
+			}
+		}
+	}
+}

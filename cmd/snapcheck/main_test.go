@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunSafetyAblatedFindsViolation(t *testing.T) {
+	t.Parallel()
+	if runSafety(2, true) {
+		t.Fatal("ablated domain reported safe")
+	}
+}
+
+func TestRunTerminationAblatedHolds(t *testing.T) {
+	t.Parallel()
+	if !runTermination(2) {
+		t.Fatal("ablated domain reported non-terminating")
+	}
+}
+
+func TestRunSafetyFullDomain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive exploration skipped in -short mode")
+	}
+	t.Parallel()
+	if !runSafety(4, false) {
+		t.Fatal("the paper's protocol reported unsafe")
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAllProtocols(t *testing.T) {
+	t.Parallel()
+	for _, proto := range []string{"pif", "idl", "me"} {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			t.Parallel()
+			if err := run(proto, 3, 0.1, 7, true, 1, 2); err != nil {
+				t.Fatalf("run(%s) = %v", proto, err)
+			}
+		})
+	}
+}
+
+func TestRunCleanStart(t *testing.T) {
+	t.Parallel()
+	if err := run("pif", 2, 0, 1, false, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCapacityTwo(t *testing.T) {
+	t.Parallel()
+	if err := run("pif", 3, 0, 3, true, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	t.Parallel()
+	if err := run("nope", 3, 0, 1, false, 1, 1); err == nil || !strings.Contains(err.Error(), "unknown protocol") {
+		t.Fatalf("bad protocol: err = %v", err)
+	}
+	if err := run("pif", 1, 0, 1, false, 1, 1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+}

@@ -1,0 +1,63 @@
+// Mutual exclusion: a shared ledger protected by Protocol ME.
+//
+// Five processes contend for a critical section guarding a (simulated)
+// shared ledger. The initial configuration is corrupted — including,
+// possibly, processes that believe they are already inside the critical
+// section (the paper's footnote 1). Every request is nevertheless served,
+// exclusively, and the ledger stays consistent.
+//
+//	go run ./examples/mutex
+package main
+
+import (
+	"fmt"
+	"log"
+
+	snapstab "github.com/snapstab/snapstab"
+)
+
+func main() {
+	// Identifiers need not be contiguous — the smallest one is the leader.
+	ids := []int64{31, 8, 59, 26, 53}
+	cluster := snapstab.NewMutexCluster(ids,
+		snapstab.WithSeed(99),
+		snapstab.WithCSLength(3),
+	)
+	cluster.CorruptEverything(123)
+	fmt.Println("5 processes, corrupted start (zombie occupants possible), leader = id 8")
+
+	// A toy bank ledger: each critical section moves money atomically.
+	balance := map[string]int{"alice": 100, "bob": 0}
+	transfer := func(amount int) func() {
+		return func() {
+			balance["alice"] -= amount
+			balance["bob"] += amount
+		}
+	}
+
+	// Every process requests once, concurrently.
+	procs := []int{0, 1, 2, 3, 4}
+	bodies := []func(){
+		transfer(10), transfer(20), transfer(5), transfer(15), transfer(50),
+	}
+	if err := cluster.AcquireAll(procs, bodies); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("after 5 exclusive transfers: alice=%d bob=%d (conserved: %v)\n",
+		balance["alice"], balance["bob"], balance["alice"]+balance["bob"] == 100)
+	if v := cluster.Violations(); len(v) > 0 {
+		log.Fatalf("mutual exclusion violated: %v", v)
+	}
+	fmt.Printf("served entries: %d, mutual exclusion violations: 0\n", cluster.Entries())
+
+	// Sequential re-acquisition keeps working forever (each request is a
+	// fresh computation with the full guarantee).
+	for round := 0; round < 3; round++ {
+		p := round % len(ids)
+		if err := cluster.Acquire(p, transfer(1)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("after 3 more transfers: alice=%d bob=%d\n", balance["alice"], balance["bob"])
+}

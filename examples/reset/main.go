@@ -1,0 +1,56 @@
+// Global reset: wiping a distributed cache consistently.
+//
+// The paper lists Reset as the first application of PIF. Here four
+// processes each hold a local cache; a single reset request — issued into
+// a fully corrupted system — drives every process through its
+// reinitialization handler under a common epoch, and returns only once
+// every process acknowledged.
+//
+//	go run ./examples/reset
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	snapstab "github.com/snapstab/snapstab"
+)
+
+func main() {
+	const n = 4
+
+	// Each process's "cache": some state that must be wiped consistently.
+	caches := make([]map[string]int, n)
+	for i := range caches {
+		caches[i] = map[string]int{"stale-entry": i * 100}
+	}
+	epochs := make([]int64, n)
+
+	cluster := snapstab.NewResetCluster(n, func(p int, epoch int64) {
+		caches[p] = map[string]int{} // wipe
+		epochs[p] = epoch
+	}, snapstab.WithSeed(17), snapstab.WithLossRate(0.15))
+
+	cluster.CorruptEverything(66)
+	fmt.Println("4 processes with dirty caches; protocol state and channels corrupted")
+
+	epoch, err := cluster.Reset(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("process 2 requested a reset; decision reached under epoch %d\n", epoch)
+
+	for p, cache := range caches {
+		keys := make([]string, 0, len(cache))
+		for k := range cache {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Printf("  process %d: cache=%v epoch=%d\n", p, keys, epochs[p])
+		if len(cache) != 0 {
+			log.Fatalf("process %d still holds stale entries", p)
+		}
+	}
+	fmt.Println("every cache wiped under the same epoch — certified by the feedback phase")
+}

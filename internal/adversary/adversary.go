@@ -1,0 +1,215 @@
+// Package adversary executes the proof of Theorem 1: no safety-distributed
+// specification has a snap-stabilizing solution when channel capacity is
+// finite but unbounded (unknown to the processes).
+//
+// The proof is constructive, and this package makes each of its steps a
+// function:
+//
+//  1. Record (the execution e_p of Definition 5): run a legal execution in
+//     which the victim process p completes a computation, and record
+//     MesSeq — the exact sequence of messages p consumed from its peer.
+//     Also record Φ_p(e1_p), the state-projection of p along the factor.
+//  2. Construct γ0 (the initial configuration of the proof): a fresh
+//     system whose channel q→p is preloaded with MesSeq. This step is
+//     exactly where bounded capacity saves the day: a capacity-c channel
+//     rejects a preload longer than c, so the configuration does not
+//     exist ("no configuration satisfies Point (2)"). An unbounded
+//     channel accepts it.
+//  3. Replay: drive only p (its peer never acts). Because p is
+//     deterministic and consumes the same message sequence, its state
+//     projection reproduces Φ_p(BAD): p runs its computation to the
+//     decision while no other process participates — the bad thing for
+//     every safety-distributed specification built on the feedback
+//     (mutual exclusion privileges, ID learning, ...).
+//
+// The same machinery quantifies the "known capacity" requirement: a PIF
+// built for capacity bound c (flag domain {0..2c+2}) is defeated exactly
+// when the attacker can place 2c+2 messages in a channel — experiment E2
+// sweeps that threshold.
+package adversary
+
+import (
+	"fmt"
+
+	"github.com/snapstab/snapstab/internal/core"
+	"github.com/snapstab/snapstab/internal/pif"
+	"github.com/snapstab/snapstab/internal/sim"
+	"github.com/snapstab/snapstab/internal/spec"
+)
+
+// Recording is the outcome of the record phase.
+type Recording struct {
+	// MesSeq is the ordered sequence of messages the victim consumed from
+	// its peer during the computation (the proof's MesSeq^q_p).
+	MesSeq []core.Message
+	// Projection is Φ_p(e1_p): the victim's state sequence along the
+	// factor, consecutive duplicates collapsed.
+	Projection spec.SequenceProjection
+	// Token is the broadcast payload used; the replay reuses it.
+	Token core.Payload
+}
+
+// victim builds the 2-process PIF system used by both phases: process 0
+// is the victim initiator, process 1 the peer. Returns the network and
+// machines.
+func victim(capacityBound int, channelCapacity int, unbounded bool) (*sim.Network, []*pif.PIF) {
+	machines := make([]*pif.PIF, 2)
+	stacks := make([]core.Stack, 2)
+	for i := 0; i < 2; i++ {
+		id := core.ProcID(i)
+		machines[i] = pif.New("pif", id, 2, pif.Callbacks{
+			OnBroadcast: func(_ core.Env, _ core.ProcID, b core.Payload) core.Payload {
+				return core.Payload{Tag: "ack", Num: b.Num}
+			},
+		}, pif.WithCapacityBound(capacityBound))
+		stacks[i] = core.Stack{machines[i]}
+	}
+	opts := []sim.Option{sim.WithSeed(1)}
+	if unbounded {
+		opts = append(opts, sim.WithUnbounded())
+	} else {
+		opts = append(opts, sim.WithCapacity(channelCapacity))
+	}
+	return sim.New(stacks, opts...), machines
+}
+
+// projectVictim samples the victim's single-process abstract state.
+func projectVictim(m *pif.PIF) spec.AbstractConfig {
+	return spec.AbstractConfig{string(m.AppendState(nil))}
+}
+
+// Record runs the legal execution and captures MesSeq and Φ_p. The
+// schedule is the canonical handshake drive: activate p, deliver q→p,
+// activate q, deliver p→q, repeatedly, until p decides.
+func Record(capacityBound int) (*Recording, error) {
+	net, machines := victim(capacityBound, capacityBound, false)
+	p := machines[0]
+	rec := &Recording{Token: core.Payload{Tag: "m", Num: 42}}
+
+	var consumed []core.Message
+	kQP := sim.LinkKey{From: 1, To: 0, Instance: "pif"}
+	kPQ := sim.LinkKey{From: 0, To: 1, Instance: "pif"}
+
+	if !p.Invoke(net.Env(0), rec.Token) {
+		return nil, fmt.Errorf("adversary: victim rejected the request")
+	}
+	sample := func() {
+		rec.Projection = append(rec.Projection, projectVictim(p))
+	}
+	sample()
+	for step := 0; step < 10000 && !p.Done(); step++ {
+		net.Activate(0)
+		sample()
+		if m, ok := net.Link(kQP).Peek(); ok {
+			consumed = append(consumed, m)
+			net.Deliver(kQP)
+			sample()
+		}
+		net.Activate(1)
+		net.Deliver(kPQ)
+	}
+	if !p.Done() {
+		return nil, fmt.Errorf("adversary: record phase did not complete")
+	}
+	rec.MesSeq = consumed
+	return rec, nil
+}
+
+// Outcome reports what happened when the construction was attempted
+// against a given channel regime.
+type Outcome struct {
+	// PreloadAccepted reports whether γ0 could be constructed (the
+	// channel admitted MesSeq). Bounded channels shorter than MesSeq
+	// refuse — the proof's step (2) fails and the attack is impossible.
+	PreloadAccepted bool
+	// Decided reports whether the victim completed its computation during
+	// the replay.
+	Decided bool
+	// PeerParticipated reports whether the peer received the broadcast
+	// during the replay (it never acts, so this must be false).
+	PeerParticipated bool
+	// ProjectionReproduced reports whether the victim's replayed state
+	// sequence contains Φ_p(BAD) from the recording — the proof's
+	// Φ(PRED) = BAD step.
+	ProjectionReproduced bool
+	// PreloadLen is len(MesSeq).
+	PreloadLen int
+}
+
+// Violation reports whether the outcome realizes the bad thing: the victim
+// decided a computation in which its peer never participated.
+func (o Outcome) Violation() bool {
+	return o.PreloadAccepted && o.Decided && !o.PeerParticipated
+}
+
+// Replay attempts the construction against a victim whose PIF assumes
+// capacityBound, over channels of the given capacity (unbounded when
+// unbounded is true). Only the victim acts; its peer is never activated
+// and no message is ever delivered to it.
+func Replay(rec *Recording, capacityBound int, channelCapacity int, unbounded bool) Outcome {
+	net, machines := victim(capacityBound, channelCapacity, unbounded)
+	p, q := machines[0], machines[1]
+	kQP := sim.LinkKey{From: 1, To: 0, Instance: "pif"}
+
+	out := Outcome{PreloadLen: len(rec.MesSeq)}
+	if err := net.Link(kQP).Preload(rec.MesSeq); err != nil {
+		return out // γ0 does not exist in this regime
+	}
+	out.PreloadAccepted = true
+
+	var replayed spec.SequenceProjection
+	sample := func() {
+		replayed = append(replayed, projectVictim(p))
+	}
+	if !p.Invoke(net.Env(0), rec.Token) {
+		return out
+	}
+	sample()
+	qBefore := string(q.AppendState(nil))
+	for step := 0; step < 10000 && !p.Done(); step++ {
+		net.Activate(0)
+		sample()
+		if net.Deliver(kQP) {
+			sample()
+		}
+		// The peer is never activated; messages p sends to it are left in
+		// (or lost from) the channel, exactly as if the peer were merely
+		// slow — an admissible asynchronous execution.
+	}
+	out.Decided = p.Done()
+	// The peer was never activated and never delivered to, so any state
+	// change would indicate participation; there is none by construction,
+	// and we verify it rather than assume it.
+	out.PeerParticipated = string(q.AppendState(nil)) != qBefore
+	out.ProjectionReproduced = replayed.ContainsFactor(rec.Projection)
+	return out
+}
+
+// MinimalFoolingSequence synthesizes the shortest message sequence that
+// drives a victim with flag domain {0..top} from a fresh start to a
+// decision: top messages whose echoes ascend 0..top-1, each claiming the
+// sender is at flag top-1 with the feedback payload forged. Its length is
+// the attack threshold of experiment E2: a channel of capacity < top
+// cannot hold it.
+func MinimalFoolingSequence(inst string, top uint8, forgedF core.Payload) []core.Message {
+	out := make([]core.Message, 0, int(top))
+	for echo := uint8(0); echo < top; echo++ {
+		out = append(out, core.Message{
+			Instance: inst,
+			Kind:     pif.Kind,
+			B:        core.Payload{Tag: "forged-brd"},
+			F:        forgedF,
+			State:    top - 1,
+			Echo:     echo,
+		})
+	}
+	return out
+}
+
+// AttackWithPreload preloads an arbitrary message sequence against a fresh
+// victim (capacityBound flags) on channels of the given capacity and
+// reports the outcome. Used by the E2 capacity sweep.
+func AttackWithPreload(preload []core.Message, capacityBound, channelCapacity int, unbounded bool) Outcome {
+	rec := &Recording{MesSeq: preload, Token: core.Payload{Tag: "m", Num: 42}}
+	return Replay(rec, capacityBound, channelCapacity, unbounded)
+}

@@ -1,0 +1,143 @@
+package adversary
+
+import (
+	"testing"
+
+	"github.com/snapstab/snapstab/internal/core"
+)
+
+func TestRecordCapturesHandshake(t *testing.T) {
+	t.Parallel()
+	rec, err := Record(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A capacity-1 victim needs 4 echo-matched messages (flags 0..3); the
+	// recording may contain additional non-incrementing duplicates.
+	if len(rec.MesSeq) < 4 {
+		t.Fatalf("recorded %d messages, want >= 4", len(rec.MesSeq))
+	}
+	if len(rec.Projection) < 5 {
+		t.Fatalf("projection has %d samples, want at least the 5 flag states", len(rec.Projection))
+	}
+}
+
+// TestTheorem1UnboundedChannelsAttackSucceeds is the executable statement
+// of Theorem 1 for the PIF family: over unbounded channels, the
+// record/preload/replay construction yields an execution in which the
+// victim decides a computation its peer never participated in, and the
+// victim's state sequence reproduces the recorded bad factor.
+func TestTheorem1UnboundedChannelsAttackSucceeds(t *testing.T) {
+	t.Parallel()
+	rec, err := Record(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Replay(rec, 1, 0, true)
+	if !out.PreloadAccepted {
+		t.Fatal("unbounded channel refused the preload")
+	}
+	if !out.Decided {
+		t.Fatal("victim did not decide during the replay")
+	}
+	if out.PeerParticipated {
+		t.Fatal("peer participated; the replay is not the proof's construction")
+	}
+	if !out.ProjectionReproduced {
+		t.Fatal("victim's state sequence does not reproduce Φ_p(BAD)")
+	}
+	if !out.Violation() {
+		t.Fatal("outcome not classified as a violation")
+	}
+}
+
+// TestBoundedChannelsRefuseTheConstruction is the positive side: with the
+// capacity bound the protocol was built for, γ0 cannot be constructed.
+func TestBoundedChannelsRefuseTheConstruction(t *testing.T) {
+	t.Parallel()
+	rec, err := Record(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Replay(rec, 1, 1, false)
+	if out.PreloadAccepted {
+		t.Fatalf("capacity-1 channel accepted a %d-message preload", out.PreloadLen)
+	}
+	if out.Violation() {
+		t.Fatal("violation reported although the configuration does not exist")
+	}
+}
+
+// TestCapacityThreshold sweeps the attack against protocols built for
+// capacity bound c over channels of actual capacity g: the minimal attack
+// needs g >= 2c+2 slots, so protocols whose real channels respect their
+// assumed bound are exactly the safe ones.
+func TestCapacityThreshold(t *testing.T) {
+	t.Parallel()
+	for c := 1; c <= 3; c++ {
+		top := 2*c + 2
+		seq := MinimalFoolingSequence("pif", uint8(top), core.Payload{Tag: "forged"})
+		if len(seq) != top {
+			t.Fatalf("c=%d: minimal sequence has %d messages, want %d", c, len(seq), top)
+		}
+		for g := 1; g <= top+1; g++ {
+			out := AttackWithPreload(seq, c, g, false)
+			wantAccepted := g >= top
+			if out.PreloadAccepted != wantAccepted {
+				t.Fatalf("c=%d g=%d: PreloadAccepted=%v, want %v", c, g, out.PreloadAccepted, wantAccepted)
+			}
+			if out.Violation() != wantAccepted {
+				t.Fatalf("c=%d g=%d: Violation=%v, want %v", c, g, out.Violation(), wantAccepted)
+			}
+		}
+		// And always over unbounded channels.
+		if out := AttackWithPreload(seq, c, 0, true); !out.Violation() {
+			t.Fatalf("c=%d: attack failed over unbounded channels", c)
+		}
+	}
+}
+
+// TestMinimalSequenceIsMinimal verifies that one message fewer no longer
+// drives the victim to a decision: the flag-domain size is exactly the
+// defense margin.
+func TestMinimalSequenceIsMinimal(t *testing.T) {
+	t.Parallel()
+	seq := MinimalFoolingSequence("pif", 4, core.Payload{Tag: "forged"})
+	out := AttackWithPreload(seq[:3], 1, 0, true)
+	if out.Decided {
+		t.Fatal("victim decided with only 3 preloaded messages; the handshake is too weak")
+	}
+	if out.Violation() {
+		t.Fatal("violation with a sub-threshold preload")
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	t.Parallel()
+	rec, err := Record(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Replay(rec, 1, 0, true)
+	b := Replay(rec, 1, 0, true)
+	if a != b {
+		t.Fatalf("replays diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestRecordDifferentCapacities(t *testing.T) {
+	t.Parallel()
+	for c := 1; c <= 3; c++ {
+		rec, err := Record(c)
+		if err != nil {
+			t.Fatalf("c=%d: %v", c, err)
+		}
+		if len(rec.MesSeq) < 2*c+2 {
+			t.Fatalf("c=%d: recorded %d messages, want >= %d", c, len(rec.MesSeq), 2*c+2)
+		}
+		out := Replay(rec, c, 0, true)
+		if !out.Violation() || !out.ProjectionReproduced {
+			t.Fatalf("c=%d: replay outcome %+v", c, out)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package baseline
+
+import (
+	"fmt"
+
+	"github.com/snapstab/snapstab/internal/core"
+	"github.com/snapstab/snapstab/internal/pif"
+)
+
+// Message kinds of the sequence-number protocol.
+const (
+	// KindSeqBrd carries the broadcast value, numbered.
+	KindSeqBrd = "SEQ-B"
+	// KindSeqFck carries the feedback value, echoing the number.
+	KindSeqFck = "SEQ-F"
+)
+
+// SeqPIF is a deterministic self-stabilizing PIF over unbounded channels:
+// every computation is numbered by an ever-increasing counter; broadcasts
+// are retransmitted until a matching acknowledgment arrives from every
+// neighbour. Being unbounded, the counter travels in the payload Num
+// fields rather than in the bounded State/Echo flag positions.
+//
+// The protocol stabilizes: the initial configuration holds finitely many
+// garbage acknowledgments, so after the counter exceeds the largest number
+// among them, every computation is genuine. It is not snap-stabilizing:
+// a garbage acknowledgment numbered c fools computation number c — the
+// initiator decides without its broadcast having been received. This is
+// the exact gap Theorem 1 proves unavoidable for deterministic protocols
+// on channels of unknown capacity, and experiment E8 measures it.
+type SeqPIF struct {
+	inst string
+	self core.ProcID
+	n    int
+	cb   pif.Callbacks
+
+	// Request drives computations.
+	Request core.ReqState
+	// BMes is the value to broadcast.
+	BMes core.Payload
+	// Counter numbers computations; incremented at each start.
+	Counter int64
+	// Acked[q] records whether a matching acknowledgment from q arrived.
+	Acked []bool
+	// LastSeen[q] is the last broadcast number accepted from q, so each
+	// numbered broadcast generates one receive-brd event.
+	LastSeen []int64
+	// LastFck[q] is the feedback computed for q's last accepted
+	// broadcast, replayed on retransmissions.
+	LastFck []core.Payload
+}
+
+var (
+	_ core.Machine     = (*SeqPIF)(nil)
+	_ core.Snapshotter = (*SeqPIF)(nil)
+	_ core.Corruptible = (*SeqPIF)(nil)
+)
+
+// NewSeqPIF returns a sequence-number machine for process self.
+func NewSeqPIF(inst string, self core.ProcID, n int, cb pif.Callbacks) *SeqPIF {
+	if n < 2 {
+		panic(fmt.Sprintf("baseline: need n >= 2, got %d", n))
+	}
+	return &SeqPIF{
+		inst:     inst,
+		self:     self,
+		n:        n,
+		cb:       cb,
+		Request:  core.Done,
+		Acked:    make([]bool, n),
+		LastSeen: make([]int64, n),
+		LastFck:  make([]core.Payload, n),
+	}
+}
+
+// Instance returns the protocol instance ID.
+func (m *SeqPIF) Instance() string { return m.inst }
+
+// SetCallbacks replaces the application callbacks (observation hooks).
+func (m *SeqPIF) SetCallbacks(cb pif.Callbacks) { m.cb = cb }
+
+// Invoke submits an external request to broadcast b; rejected while busy.
+func (m *SeqPIF) Invoke(env core.Env, b core.Payload) bool {
+	if m.Request != core.Done {
+		return false
+	}
+	m.BMes = b
+	m.Request = core.Wait
+	env.Emit(core.Event{Kind: core.EvRequest, Peer: -1, Instance: m.inst, Note: b.String()})
+	return true
+}
+
+// Done reports whether no computation is requested or in progress.
+func (m *SeqPIF) Done() bool { return m.Request == core.Done }
+
+// Step starts a requested computation under a fresh number and
+// retransmits until every acknowledgment arrived.
+func (m *SeqPIF) Step(env core.Env) bool {
+	fired := false
+	if m.Request == core.Wait {
+		m.Request = core.In
+		m.Counter++
+		for q := 0; q < m.n; q++ {
+			if q != int(m.self) {
+				m.Acked[q] = false
+			}
+		}
+		env.Emit(core.Event{Kind: core.EvStart, Peer: -1, Instance: m.inst, Note: m.BMes.String()})
+		fired = true
+	}
+	if m.Request == core.In {
+		if m.allAcked() {
+			m.Request = core.Done
+			env.Emit(core.Event{Kind: core.EvDecide, Peer: -1, Instance: m.inst, Note: m.BMes.String()})
+		} else {
+			for q := 0; q < m.n; q++ {
+				if q == int(m.self) || m.Acked[q] {
+					continue
+				}
+				env.Send(core.ProcID(q), core.Message{
+					Instance: m.inst, Kind: KindSeqBrd,
+					B: m.BMes, F: core.Payload{Num: m.Counter},
+				})
+			}
+		}
+		fired = true
+	}
+	return fired
+}
+
+func (m *SeqPIF) allAcked() bool {
+	for q := 0; q < m.n; q++ {
+		if q != int(m.self) && !m.Acked[q] {
+			return false
+		}
+	}
+	return true
+}
+
+// Deliver answers numbered broadcasts and accepts acknowledgments whose
+// number matches the current computation. A garbage acknowledgment with
+// the right number is indistinguishable from a genuine one — the
+// self-stabilizing flaw.
+func (m *SeqPIF) Deliver(env core.Env, from core.ProcID, msg core.Message) {
+	if from == m.self || from < 0 || int(from) >= m.n {
+		return
+	}
+	switch msg.Kind {
+	case KindSeqBrd:
+		num := msg.F.Num
+		if m.LastSeen[from] != num {
+			// New broadcast: hand it to the application exactly once.
+			m.LastSeen[from] = num
+			env.Emit(core.Event{Kind: core.EvRecvBrd, Peer: from, Instance: m.inst, Msg: msg, Note: msg.B.String()})
+			if m.cb.OnBroadcast != nil {
+				m.LastFck[from] = m.cb.OnBroadcast(env, from, msg.B)
+			}
+		}
+		// Acknowledge every copy (retransmissions included) so the
+		// initiator progresses despite a lost first reply.
+		env.Send(from, core.Message{Instance: m.inst, Kind: KindSeqFck, F: m.LastFck[from], B: core.Payload{Num: num}})
+	case KindSeqFck:
+		if m.Request == core.In && !m.Acked[from] && msg.B.Num == m.Counter {
+			m.Acked[from] = true
+			env.Emit(core.Event{Kind: core.EvRecvFck, Peer: from, Instance: m.inst, Msg: msg, Note: msg.F.String()})
+			if m.cb.OnFeedback != nil {
+				m.cb.OnFeedback(env, from, msg.F)
+			}
+		}
+	}
+}
+
+// AppendState appends a canonical encoding of the machine state.
+func (m *SeqPIF) AppendState(dst []byte) []byte {
+	dst = append(dst, 'S', byte(m.Request))
+	dst = core.AppendPayload(dst, m.BMes)
+	for shift := 0; shift < 64; shift += 8 {
+		dst = append(dst, byte(m.Counter>>shift))
+	}
+	for q := 0; q < m.n; q++ {
+		if q == int(m.self) {
+			continue
+		}
+		b := byte(0)
+		if m.Acked[q] {
+			b = 1
+		}
+		dst = append(dst, b)
+		for shift := 0; shift < 64; shift += 8 {
+			dst = append(dst, byte(m.LastSeen[q]>>shift))
+		}
+		dst = core.AppendPayload(dst, m.LastFck[q])
+	}
+	return dst
+}
+
+// Corrupt overwrites the variables with random domain values. The counter
+// is drawn small so corrupted runs exercise the pre-convergence window.
+func (m *SeqPIF) Corrupt(r core.Rand) {
+	m.Request = core.ReqState(r.Intn(core.NumReqStates))
+	m.BMes = pif.GarbagePayload(r)
+	m.Counter = int64(r.Intn(8))
+	for q := 0; q < m.n; q++ {
+		if q == int(m.self) {
+			continue
+		}
+		m.Acked[q] = r.Bool()
+		m.LastSeen[q] = int64(r.Intn(8))
+		m.LastFck[q] = pif.GarbagePayload(r)
+	}
+}
+
+// AscendingGarbageAcks synthesizes the adversarial channel preload for
+// experiment E8: acknowledgments numbered first..first+count-1 in order.
+// Computation number c then consumes the matching garbage acknowledgment
+// and decides without the broadcast having been received — one violated
+// request per preloaded number.
+func AscendingGarbageAcks(inst string, first int64, count int) []core.Message {
+	out := make([]core.Message, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, core.Message{
+			Instance: inst,
+			Kind:     KindSeqFck,
+			B:        core.Payload{Num: first + int64(i)},
+			F:        core.Payload{Tag: "forged"},
+		})
+	}
+	return out
+}

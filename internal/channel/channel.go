@@ -1,0 +1,226 @@
+// Package channel implements the communication channels of the paper's
+// model: FIFO, unreliable (fair-lossy) links between pairs of processes.
+//
+// Two capacity regimes matter:
+//
+//   - Bounded: the channel holds at most c messages; a message sent into a
+//     full channel is lost (paper, §4: "if a process sends a message in a
+//     channel that is full, then the message is lost"). This is the regime
+//     in which snap-stabilization is possible (Theorems 2-4).
+//   - Unbounded: the channel can hold arbitrarily many messages. This is
+//     the regime of the impossibility result (Theorem 1): an arbitrary
+//     initial configuration may contain an arbitrarily long sequence of
+//     adversarial messages.
+//
+// Channels are plain data structures; loss beyond the full-channel drop is
+// decided by the scheduler/adversary (which calls Drop), keeping all
+// nondeterminism in one place so executions replay from a seed.
+package channel
+
+import "fmt"
+
+// Queue is the common interface of bounded and unbounded FIFO channels.
+type Queue[T any] interface {
+	// Send enqueues m. It reports false when the message was lost because
+	// the channel was full (only possible for bounded channels).
+	Send(m T) bool
+	// Recv dequeues the head message. ok is false when the channel is
+	// empty.
+	Recv() (m T, ok bool)
+	// Peek returns the head message without dequeuing it.
+	Peek() (m T, ok bool)
+	// Drop removes the head message (models link-level loss). It reports
+	// false when the channel was empty.
+	Drop() bool
+	// Len returns the number of messages currently in transit.
+	Len() int
+	// Cap returns the channel capacity; Unlimited for unbounded channels.
+	Cap() int
+	// Contents returns the in-transit messages, head first. The returned
+	// slice is a copy.
+	Contents() []T
+	// Preload replaces the channel contents with msgs (head first). It is
+	// used to construct arbitrary initial configurations. It returns an
+	// error if msgs exceeds the channel capacity: such a configuration
+	// does not exist in the bounded model (this is exactly the step of
+	// the Theorem 1 proof that fails under bounded capacity).
+	Preload(msgs []T) error
+}
+
+// Unlimited is the Cap value reported by unbounded channels.
+const Unlimited = -1
+
+// Bounded is a FIFO channel with capacity c >= 1 that silently loses
+// messages sent while full.
+type Bounded[T any] struct {
+	buf  []T
+	head int
+	n    int
+	lost int
+}
+
+var _ Queue[int] = (*Bounded[int])(nil)
+
+// NewBounded returns an empty bounded channel of capacity c. It panics if
+// c < 1: the paper's positive results assume at least single-message
+// capacity.
+func NewBounded[T any](c int) *Bounded[T] {
+	if c < 1 {
+		panic(fmt.Sprintf("channel: invalid capacity %d", c))
+	}
+	return &Bounded[T]{buf: make([]T, c)}
+}
+
+// Send enqueues m, reporting false (message lost) when the channel is full.
+func (b *Bounded[T]) Send(m T) bool {
+	if b.n == len(b.buf) {
+		b.lost++
+		return false
+	}
+	b.buf[(b.head+b.n)%len(b.buf)] = m
+	b.n++
+	return true
+}
+
+// Recv dequeues the head message.
+func (b *Bounded[T]) Recv() (T, bool) {
+	var zero T
+	if b.n == 0 {
+		return zero, false
+	}
+	m := b.buf[b.head]
+	b.buf[b.head] = zero
+	b.head = (b.head + 1) % len(b.buf)
+	b.n--
+	return m, true
+}
+
+// Peek returns the head message without dequeuing it.
+func (b *Bounded[T]) Peek() (T, bool) {
+	var zero T
+	if b.n == 0 {
+		return zero, false
+	}
+	return b.buf[b.head], true
+}
+
+// Drop removes the head message, modeling link-level loss.
+func (b *Bounded[T]) Drop() bool {
+	if _, ok := b.Recv(); !ok {
+		return false
+	}
+	b.lost++
+	return true
+}
+
+// Len returns the number of in-transit messages.
+func (b *Bounded[T]) Len() int { return b.n }
+
+// Cap returns the channel capacity.
+func (b *Bounded[T]) Cap() int { return len(b.buf) }
+
+// Lost returns the total number of messages lost so far, from both
+// full-channel sends and explicit drops.
+func (b *Bounded[T]) Lost() int { return b.lost }
+
+// Contents returns a copy of the in-transit messages, head first.
+func (b *Bounded[T]) Contents() []T {
+	out := make([]T, 0, b.n)
+	for i := 0; i < b.n; i++ {
+		out = append(out, b.buf[(b.head+i)%len(b.buf)])
+	}
+	return out
+}
+
+// Preload replaces the contents with msgs, head first. It returns an error
+// when len(msgs) exceeds the capacity: no such configuration exists in the
+// bounded model.
+func (b *Bounded[T]) Preload(msgs []T) error {
+	if len(msgs) > len(b.buf) {
+		return fmt.Errorf("channel: cannot preload %d messages into capacity-%d channel", len(msgs), len(b.buf))
+	}
+	var zero T
+	for i := range b.buf {
+		b.buf[i] = zero
+	}
+	b.head = 0
+	b.n = copy(b.buf, msgs)
+	return nil
+}
+
+// Unbounded is a FIFO channel with no capacity limit, the setting of the
+// Theorem 1 impossibility result.
+type Unbounded[T any] struct {
+	buf  []T
+	lost int
+}
+
+var _ Queue[int] = (*Unbounded[int])(nil)
+
+// NewUnbounded returns an empty unbounded channel.
+func NewUnbounded[T any]() *Unbounded[T] {
+	return &Unbounded[T]{}
+}
+
+// Send enqueues m; an unbounded channel never loses on send.
+func (u *Unbounded[T]) Send(m T) bool {
+	u.buf = append(u.buf, m)
+	return true
+}
+
+// Recv dequeues the head message.
+func (u *Unbounded[T]) Recv() (T, bool) {
+	var zero T
+	if len(u.buf) == 0 {
+		return zero, false
+	}
+	m := u.buf[0]
+	// Shift rather than re-slice so the backing array does not pin every
+	// message ever sent.
+	copy(u.buf, u.buf[1:])
+	u.buf[len(u.buf)-1] = zero
+	u.buf = u.buf[:len(u.buf)-1]
+	return m, true
+}
+
+// Peek returns the head message without dequeuing it.
+func (u *Unbounded[T]) Peek() (T, bool) {
+	var zero T
+	if len(u.buf) == 0 {
+		return zero, false
+	}
+	return u.buf[0], true
+}
+
+// Drop removes the head message, modeling link-level loss.
+func (u *Unbounded[T]) Drop() bool {
+	if _, ok := u.Recv(); !ok {
+		return false
+	}
+	u.lost++
+	return true
+}
+
+// Len returns the number of in-transit messages.
+func (u *Unbounded[T]) Len() int { return len(u.buf) }
+
+// Cap returns Unlimited.
+func (u *Unbounded[T]) Cap() int { return Unlimited }
+
+// Lost returns the number of messages dropped so far.
+func (u *Unbounded[T]) Lost() int { return u.lost }
+
+// Contents returns a copy of the in-transit messages, head first.
+func (u *Unbounded[T]) Contents() []T {
+	out := make([]T, len(u.buf))
+	copy(out, u.buf)
+	return out
+}
+
+// Preload replaces the contents with msgs, head first. An unbounded
+// channel accepts any preload; this is the capability Theorem 1's
+// adversary exploits.
+func (u *Unbounded[T]) Preload(msgs []T) error {
+	u.buf = append(u.buf[:0:0], msgs...)
+	return nil
+}

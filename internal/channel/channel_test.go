@@ -1,0 +1,312 @@
+package channel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/snapstab/snapstab/internal/rng"
+)
+
+func TestBoundedFIFOOrder(t *testing.T) {
+	t.Parallel()
+	ch := NewBounded[int](3)
+	for i := 1; i <= 3; i++ {
+		if !ch.Send(i) {
+			t.Fatalf("Send(%d) lost in non-full channel", i)
+		}
+	}
+	for i := 1; i <= 3; i++ {
+		got, ok := ch.Recv()
+		if !ok || got != i {
+			t.Fatalf("Recv() = %d,%v, want %d,true", got, ok, i)
+		}
+	}
+	if _, ok := ch.Recv(); ok {
+		t.Fatal("Recv() on empty channel succeeded")
+	}
+}
+
+func TestBoundedLosesWhenFull(t *testing.T) {
+	t.Parallel()
+	ch := NewBounded[string](1)
+	if !ch.Send("a") {
+		t.Fatal("first send lost")
+	}
+	if ch.Send("b") {
+		t.Fatal("send into full channel not lost")
+	}
+	if got := ch.Lost(); got != 1 {
+		t.Fatalf("Lost() = %d, want 1", got)
+	}
+	m, ok := ch.Recv()
+	if !ok || m != "a" {
+		t.Fatalf("Recv() = %q,%v, want \"a\",true", m, ok)
+	}
+}
+
+func TestBoundedCapacityOne(t *testing.T) {
+	t.Parallel()
+	// The paper's single-message-capacity regime: after any send into an
+	// occupied channel, the channel still holds exactly the old message.
+	ch := NewBounded[int](1)
+	ch.Send(1)
+	ch.Send(2)
+	ch.Send(3)
+	if got := ch.Len(); got != 1 {
+		t.Fatalf("Len() = %d, want 1", got)
+	}
+	if m, _ := ch.Peek(); m != 1 {
+		t.Fatalf("Peek() = %d, want 1", m)
+	}
+}
+
+func TestBoundedWraparound(t *testing.T) {
+	t.Parallel()
+	ch := NewBounded[int](2)
+	for round := 0; round < 10; round++ {
+		ch.Send(round * 2)
+		ch.Send(round*2 + 1)
+		a, _ := ch.Recv()
+		b, _ := ch.Recv()
+		if a != round*2 || b != round*2+1 {
+			t.Fatalf("round %d: got %d,%d", round, a, b)
+		}
+	}
+}
+
+func TestBoundedDrop(t *testing.T) {
+	t.Parallel()
+	ch := NewBounded[int](2)
+	if ch.Drop() {
+		t.Fatal("Drop() on empty channel succeeded")
+	}
+	ch.Send(1)
+	ch.Send(2)
+	if !ch.Drop() {
+		t.Fatal("Drop() failed on non-empty channel")
+	}
+	if m, _ := ch.Peek(); m != 2 {
+		t.Fatalf("after Drop, Peek() = %d, want 2", m)
+	}
+	if got := ch.Lost(); got != 1 {
+		t.Fatalf("Lost() = %d, want 1", got)
+	}
+}
+
+func TestBoundedPreload(t *testing.T) {
+	t.Parallel()
+	ch := NewBounded[int](3)
+	if err := ch.Preload([]int{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ch.Len(); got != 2 {
+		t.Fatalf("Len() = %d, want 2", got)
+	}
+	got := ch.Contents()
+	if len(got) != 2 || got[0] != 7 || got[1] != 8 {
+		t.Fatalf("Contents() = %v, want [7 8]", got)
+	}
+}
+
+func TestBoundedPreloadOverflow(t *testing.T) {
+	t.Parallel()
+	// The crucial modeling point for Theorem 1: a bounded channel refuses
+	// an initial configuration holding more messages than its capacity.
+	ch := NewBounded[int](1)
+	if err := ch.Preload([]int{1, 2}); err == nil {
+		t.Fatal("Preload over capacity succeeded, want error")
+	}
+}
+
+func TestBoundedPreloadReplacesContents(t *testing.T) {
+	t.Parallel()
+	ch := NewBounded[int](2)
+	ch.Send(1)
+	if err := ch.Preload([]int{9}); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := ch.Recv()
+	if !ok || m != 9 {
+		t.Fatalf("Recv() = %d,%v, want 9,true", m, ok)
+	}
+	if _, ok := ch.Recv(); ok {
+		t.Fatal("old contents survived Preload")
+	}
+}
+
+func TestNewBoundedPanicsOnZeroCapacity(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBounded(0) did not panic")
+		}
+	}()
+	NewBounded[int](0)
+}
+
+func TestUnboundedNeverLosesOnSend(t *testing.T) {
+	t.Parallel()
+	ch := NewUnbounded[int]()
+	for i := 0; i < 10000; i++ {
+		if !ch.Send(i) {
+			t.Fatalf("unbounded Send(%d) reported loss", i)
+		}
+	}
+	if got := ch.Len(); got != 10000 {
+		t.Fatalf("Len() = %d, want 10000", got)
+	}
+	for i := 0; i < 10000; i++ {
+		m, ok := ch.Recv()
+		if !ok || m != i {
+			t.Fatalf("Recv() = %d,%v, want %d,true", m, ok, i)
+		}
+	}
+}
+
+func TestUnboundedPreloadAnyLength(t *testing.T) {
+	t.Parallel()
+	ch := NewUnbounded[int]()
+	msgs := make([]int, 5000)
+	for i := range msgs {
+		msgs[i] = i
+	}
+	if err := ch.Preload(msgs); err != nil {
+		t.Fatal(err)
+	}
+	if got := ch.Len(); got != 5000 {
+		t.Fatalf("Len() = %d, want 5000", got)
+	}
+}
+
+func TestUnboundedDropAndPeek(t *testing.T) {
+	t.Parallel()
+	ch := NewUnbounded[string]()
+	ch.Send("x")
+	ch.Send("y")
+	if m, ok := ch.Peek(); !ok || m != "x" {
+		t.Fatalf("Peek() = %q,%v", m, ok)
+	}
+	ch.Drop()
+	if m, ok := ch.Peek(); !ok || m != "y" {
+		t.Fatalf("after Drop, Peek() = %q,%v", m, ok)
+	}
+	if got := ch.Lost(); got != 1 {
+		t.Fatalf("Lost() = %d, want 1", got)
+	}
+}
+
+func TestCapReporting(t *testing.T) {
+	t.Parallel()
+	if got := NewBounded[int](4).Cap(); got != 4 {
+		t.Fatalf("Bounded Cap() = %d, want 4", got)
+	}
+	if got := NewUnbounded[int]().Cap(); got != Unlimited {
+		t.Fatalf("Unbounded Cap() = %d, want Unlimited", got)
+	}
+}
+
+func TestContentsIsCopy(t *testing.T) {
+	t.Parallel()
+	ch := NewBounded[int](2)
+	ch.Send(1)
+	c := ch.Contents()
+	c[0] = 99
+	if m, _ := ch.Peek(); m != 1 {
+		t.Fatal("mutating Contents() result affected channel state")
+	}
+}
+
+// TestPropertyFIFOModuloLoss checks the paper's channel contract with
+// random operation sequences: received messages are a subsequence of sent
+// messages, in sending order, and the occupancy never exceeds capacity.
+func TestPropertyFIFOModuloLoss(t *testing.T) {
+	t.Parallel()
+	f := func(seed uint64, capRaw uint8) bool {
+		capacity := int(capRaw%4) + 1
+		r := rng.New(seed)
+		ch := NewBounded[int](capacity)
+		var sent, received []int
+		next := 0
+		for op := 0; op < 500; op++ {
+			switch r.Intn(3) {
+			case 0:
+				if ch.Send(next) {
+					sent = append(sent, next)
+				}
+				next++
+			case 1:
+				if m, ok := ch.Recv(); ok {
+					received = append(received, m)
+				}
+			case 2:
+				ch.Drop()
+			}
+			if ch.Len() > capacity {
+				return false
+			}
+		}
+		// received must be a subsequence of sent in order.
+		i := 0
+		for _, m := range received {
+			for i < len(sent) && sent[i] != m {
+				i++
+			}
+			if i == len(sent) {
+				return false
+			}
+			i++
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyLenMatchesContents checks Len/Contents consistency under
+// random workloads for both channel kinds.
+func TestPropertyLenMatchesContents(t *testing.T) {
+	t.Parallel()
+	f := func(seed uint64, unbounded bool) bool {
+		r := rng.New(seed)
+		var ch Queue[int]
+		if unbounded {
+			ch = NewUnbounded[int]()
+		} else {
+			ch = NewBounded[int](3)
+		}
+		for op := 0; op < 300; op++ {
+			switch r.Intn(3) {
+			case 0:
+				ch.Send(op)
+			case 1:
+				ch.Recv()
+			case 2:
+				ch.Drop()
+			}
+			if ch.Len() != len(ch.Contents()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBoundedSendRecv(b *testing.B) {
+	ch := NewBounded[int](1)
+	for i := 0; i < b.N; i++ {
+		ch.Send(i)
+		ch.Recv()
+	}
+}
+
+func BenchmarkUnboundedSendRecv(b *testing.B) {
+	ch := NewUnbounded[int]()
+	for i := 0; i < b.N; i++ {
+		ch.Send(i)
+		ch.Recv()
+	}
+}

@@ -1,0 +1,179 @@
+package check
+
+import (
+	"fmt"
+)
+
+// bitset is a fixed-size set of uint64-indexed bits.
+type bitset []uint64
+
+func newBitset(n uint64) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) has(i uint64) bool { return b[i/64]&(1<<(i%64)) != 0 }
+func (b bitset) set(i uint64)      { b[i/64] |= 1 << (i % 64) }
+
+// Safety runs the exhaustive safety analysis: breadth-first exploration of
+// every abstract initial configuration with a pending request at p,
+// checking that the started computation never accepts stale feedback.
+func Safety(opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	e := newExplorer(opt.FlagTop, true)
+	if e.total > opt.MaxStates {
+		return Result{}, fmt.Errorf("check: abstract space has %d states, above the %d limit", e.total, opt.MaxStates)
+	}
+
+	visited := newBitset(e.total)
+	var queue []uint64
+	var parents map[uint64]parentEdge
+	if opt.TraceViolation {
+		parents = make(map[uint64]parentEdge)
+	}
+
+	res := Result{}
+
+	// Enumerate the initial configurations: p.Request = Wait (the request
+	// is pending), every flag arbitrary, q arbitrary with stale F-Mes,
+	// channels empty or holding one arbitrary stale message.
+	var c conf
+	vals := int(e.vals)
+	for pS := 0; pS < vals; pS++ {
+		for pN := 0; pN < vals; pN++ {
+			for qReq := 0; qReq < 3; qReq++ {
+				for qS := 0; qS < vals; qS++ {
+					for qN := 0; qN < vals; qN++ {
+						for pqIdx := 0; pqIdx <= vals*vals; pqIdx++ {
+							for qpIdx := 0; qpIdx <= vals*vals; qpIdx++ {
+								c = conf{
+									pReq: 0 /* Wait */, pS: uint8(pS), pN: uint8(pN),
+									qReq: uint8(qReq), qS: uint8(qS), qN: uint8(qN),
+									qF: false,
+								}
+								if pqIdx > 0 {
+									c.pqFull = true
+									c.pqS = uint8((pqIdx - 1) / vals)
+									c.pqE = uint8((pqIdx - 1) % vals)
+								}
+								if qpIdx > 0 {
+									c.qpFull = true
+									c.qpS = uint8((qpIdx - 1) / vals)
+									c.qpE = uint8((qpIdx - 1) % vals)
+								}
+								idx := e.encode(&c)
+								if !visited.has(idx) {
+									visited.set(idx)
+									queue = append(queue, idx)
+									res.InitialConfigs++
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// BFS.
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		for op := 0; op < numOps; op++ {
+			e.decode(cur, &e.cur)
+			e.violated = false
+			if !e.apply(op) {
+				continue
+			}
+			if e.violated {
+				res.Explored = len(queue)
+				res.Violation = &ViolationInfo{
+					Description: e.violation + " (transition: " + opNames[op] + ")",
+					Config:      e.render(&e.cur),
+				}
+				if parents != nil {
+					res.Violation.Trace = buildTrace(e, parents, cur, op)
+					res.Violation.Ops, res.Violation.Init = buildReplay(e, parents, cur, op)
+				}
+				return res, nil
+			}
+			succ := e.encode(&e.cur)
+			if succ == cur || visited.has(succ) {
+				continue
+			}
+			visited.set(succ)
+			queue = append(queue, succ)
+			if parents != nil {
+				parents[succ] = parentEdge{from: cur, op: uint8(op)}
+			}
+		}
+	}
+
+	res.Explored = len(queue)
+	res.Exhaustive = true
+	return res, nil
+}
+
+type parentEdge struct {
+	from uint64
+	op   uint8
+}
+
+// buildTrace reconstructs the path from an initial configuration to the
+// violating transition.
+func buildTrace(e *explorer, parents map[uint64]parentEdge, last uint64, finalOp int) []string {
+	var chain []parentEdge
+	cur := last
+	for {
+		edge, ok := parents[cur]
+		if !ok {
+			break
+		}
+		chain = append(chain, edge)
+		cur = edge.from
+	}
+	var c conf
+	out := make([]string, 0, len(chain)+2)
+	e.decode(cur, &c)
+	out = append(out, "initial: "+e.render(&c))
+	for i := len(chain) - 1; i >= 0; i-- {
+		edge := chain[i]
+		e.decode(edge.from, &c)
+		e.cur = c
+		e.apply(int(edge.op))
+		out = append(out, fmt.Sprintf("%-14s -> %s", opNames[edge.op], e.render(&e.cur)))
+	}
+	out = append(out, fmt.Sprintf("%-14s -> VIOLATION", opNames[finalOp]))
+	return out
+}
+
+// buildReplay reconstructs the machine-readable counter-example: the
+// structured initial configuration and the transition name sequence
+// (including the final violating transition).
+func buildReplay(e *explorer, parents map[uint64]parentEdge, last uint64, finalOp int) ([]string, *InitConf) {
+	var chain []parentEdge
+	cur := last
+	for {
+		edge, ok := parents[cur]
+		if !ok {
+			break
+		}
+		chain = append(chain, edge)
+		cur = edge.from
+	}
+	ops := make([]string, 0, len(chain)+1)
+	for i := len(chain) - 1; i >= 0; i-- {
+		ops = append(ops, opNames[chain[i].op])
+	}
+	ops = append(ops, opNames[finalOp])
+
+	var c conf
+	e.decode(cur, &c)
+	init := &InitConf{
+		PReq: c.pReq, PS: c.pS, PN: c.pN,
+		QReq: c.qReq, QS: c.qS, QN: c.qN,
+	}
+	if c.pqFull {
+		init.PQ = &MsgConf{S: c.pqS, E: c.pqE}
+	}
+	if c.qpFull {
+		init.QP = &MsgConf{S: c.qpS, E: c.qpE}
+	}
+	return ops, init
+}

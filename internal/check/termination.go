@@ -1,0 +1,121 @@
+package check
+
+import (
+	"fmt"
+
+	"github.com/snapstab/snapstab/internal/core"
+)
+
+// TermResult reports a termination analysis.
+type TermResult struct {
+	// States is the size of the abstract space (all states are initial:
+	// I = C).
+	States int
+	// Edges counts the transitions examined while building the graph.
+	Edges int
+	// PTrapped and QTrapped count configurations from which the
+	// respective process's current computation can never terminate
+	// (Request = Done unreachable). Zero means Termination holds.
+	PTrapped, QTrapped int
+	// SampleTrap renders one trapped configuration, when any exists.
+	SampleTrap string
+}
+
+// Termination runs the exhaustive termination analysis on the payload-free
+// abstraction. Every configuration of the abstract space is initial
+// (I = C); both processes receive external re-requests, so the system
+// cycles forever. The property checked is: from every configuration, each
+// process can reach Request = Done. On the finite transition system this
+// is equivalent to almost-sure termination under any memoryless fair
+// scheduler (a finite Markov chain reaches a state that stays reachable
+// with probability 1).
+func Termination(opt Options) (TermResult, error) {
+	opt = opt.withDefaults()
+	e := newExplorer(opt.FlagTop, false)
+	if e.total > opt.MaxStates {
+		return TermResult{}, fmt.Errorf("check: abstract space has %d states, above the %d limit", e.total, opt.MaxStates)
+	}
+	n := e.total
+	res := TermResult{States: int(n)}
+
+	// Build the forward adjacency in CSR form. Every configuration is a
+	// node; disabled transitions and self-loops are skipped.
+	counts := make([]uint32, n+1)
+	type edgeBuf struct{ from, to uint64 }
+	edges := make([]edgeBuf, 0, int(n)*4)
+	for idx := uint64(0); idx < n; idx++ {
+		for op := 0; op < numOps; op++ {
+			e.decode(idx, &e.cur)
+			if !e.apply(op) {
+				continue
+			}
+			succ := e.encode(&e.cur)
+			if succ == idx {
+				continue
+			}
+			edges = append(edges, edgeBuf{from: idx, to: succ})
+		}
+	}
+	res.Edges = len(edges)
+
+	// Reverse CSR: for each node, the list of predecessors.
+	for _, ed := range edges {
+		counts[ed.to+1]++
+	}
+	for i := uint64(1); i <= n; i++ {
+		counts[i] += counts[i-1]
+	}
+	preds := make([]uint32, len(edges))
+	fill := make([]uint32, n)
+	for _, ed := range edges {
+		pos := counts[ed.to] + fill[ed.to]
+		preds[pos] = uint32(ed.from)
+		fill[ed.to]++
+	}
+
+	// canReach(target) via reverse BFS.
+	canReach := func(target func(c *conf) bool) bitset {
+		marked := newBitset(n)
+		var queue []uint64
+		var c conf
+		for idx := uint64(0); idx < n; idx++ {
+			e.decode(idx, &c)
+			if target(&c) {
+				marked.set(idx)
+				queue = append(queue, idx)
+			}
+		}
+		for head := 0; head < len(queue); head++ {
+			node := queue[head]
+			for _, pred := range preds[counts[node]:counts[node+1]] {
+				p64 := uint64(pred)
+				if !marked.has(p64) {
+					marked.set(p64)
+					queue = append(queue, p64)
+				}
+			}
+		}
+		return marked
+	}
+
+	pDone := canReach(func(c *conf) bool { return c.pReq == uint8(core.Done) })
+	qDone := canReach(func(c *conf) bool { return c.qReq == uint8(core.Done) })
+
+	var c conf
+	for idx := uint64(0); idx < n; idx++ {
+		trapped := false
+		if !pDone.has(idx) {
+			res.PTrapped++
+			trapped = true
+		}
+		if !qDone.has(idx) {
+			res.QTrapped++
+			trapped = true
+		}
+		if trapped && res.SampleTrap == "" {
+			e.decode(idx, &c)
+			res.SampleTrap = e.render(&c)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,108 @@
+// Package config constructs arbitrary initial configurations, realizing
+// the model's I = C: every execution of a snap-stabilizing protocol may
+// begin with every process variable and every channel holding arbitrary
+// values from their domains (§2).
+//
+// Corruption has two parts:
+//
+//   - machine state: every core.Corruptible machine in every stack
+//     randomizes its own variables over their domains;
+//   - channel contents: every logical channel is filled with up to
+//     capacity random well-formed protocol messages (garbage), the
+//     situation Figure 1 and Lemma 4 reason about.
+//
+// All randomness comes from a caller-provided generator, so corrupted
+// configurations replay from a seed.
+package config
+
+import (
+	"github.com/snapstab/snapstab/internal/core"
+	"github.com/snapstab/snapstab/internal/pif"
+	"github.com/snapstab/snapstab/internal/rng"
+	"github.com/snapstab/snapstab/internal/sim"
+)
+
+// InstanceSpec describes the wire domain of one protocol instance so the
+// corruptor can synthesize well-formed garbage for its channels.
+type InstanceSpec struct {
+	// Instance is the protocol instance ID carried by the messages.
+	Instance string
+	// FlagTop is the top of the handshake-flag domain (4 for the paper's
+	// capacity-1 PIF).
+	FlagTop uint8
+}
+
+// Options tunes corruption.
+type Options struct {
+	// FillProbability is the chance that each channel slot receives a
+	// garbage message (default 0.5 when zero).
+	FillProbability float64
+	// MaxUnboundedGarbage bounds the garbage per channel in unbounded
+	// networks, where "up to capacity" is meaningless (default 3 when
+	// zero). Theorem 1's adversary preloads its own, longer sequences.
+	MaxUnboundedGarbage int
+}
+
+func (o Options) withDefaults() Options {
+	if o.FillProbability == 0 {
+		o.FillProbability = 0.5
+	}
+	if o.MaxUnboundedGarbage == 0 {
+		o.MaxUnboundedGarbage = 3
+	}
+	return o
+}
+
+// CorruptMachines randomizes the state of every corruptible machine in the
+// network.
+func CorruptMachines(net *sim.Network, r *rng.Source) {
+	for p := 0; p < net.N(); p++ {
+		net.Stack(core.ProcID(p)).Corrupt(r)
+	}
+}
+
+// FillChannels loads random garbage messages into every directed channel
+// of every listed instance. Each slot of a bounded channel is filled with
+// probability opts.FillProbability; unbounded channels receive up to
+// opts.MaxUnboundedGarbage messages.
+func FillChannels(net *sim.Network, r *rng.Source, specs []InstanceSpec, opts Options) {
+	opts = opts.withDefaults()
+	for _, s := range specs {
+		for from := 0; from < net.N(); from++ {
+			for to := 0; to < net.N(); to++ {
+				if from == to {
+					continue
+				}
+				slots := net.Capacity()
+				if slots < 0 {
+					slots = opts.MaxUnboundedGarbage
+				}
+				var garbage []core.Message
+				for i := 0; i < slots; i++ {
+					if r.Float64() < opts.FillProbability {
+						garbage = append(garbage, pif.GarbageMessage(r, s.Instance, s.FlagTop))
+					}
+				}
+				k := sim.LinkKey{From: core.ProcID(from), To: core.ProcID(to), Instance: s.Instance}
+				if err := net.Link(k).Preload(garbage); err != nil {
+					// Unreachable: garbage never exceeds the capacity we
+					// just read. Panic loudly rather than corrupt half a
+					// configuration.
+					panic("config: " + err.Error())
+				}
+			}
+		}
+	}
+}
+
+// Corrupt applies CorruptMachines and FillChannels: a full arbitrary
+// initial configuration.
+func Corrupt(net *sim.Network, r *rng.Source, specs []InstanceSpec, opts Options) {
+	CorruptMachines(net, r)
+	FillChannels(net, r, specs, opts)
+}
+
+// PIFSpecs returns the instance specs of a bare PIF deployment.
+func PIFSpecs(instance string, flagTop uint8) []InstanceSpec {
+	return []InstanceSpec{{Instance: instance, FlagTop: flagTop}}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReqStateString(t *testing.T) {
+	t.Parallel()
+	cases := map[ReqState]string{
+		Wait:        "Wait",
+		In:          "In",
+		Done:        "Done",
+		ReqState(9): "ReqState(9)",
+	}
+	for state, want := range cases {
+		if got := state.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", state, got, want)
+		}
+	}
+}
+
+func TestPayloadString(t *testing.T) {
+	t.Parallel()
+	if got := (Payload{Tag: "ASK"}).String(); got != "ASK" {
+		t.Errorf("got %q", got)
+	}
+	if got := (Payload{Tag: "ID", Num: 42}).String(); got != "ID(42)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestMessageComparable(t *testing.T) {
+	t.Parallel()
+	a := Message{Instance: "pif", Kind: "PIF", B: Payload{Tag: "x"}, State: 3}
+	b := Message{Instance: "pif", Kind: "PIF", B: Payload{Tag: "x"}, State: 3}
+	if a != b {
+		t.Fatal("identical messages compare unequal")
+	}
+	b.Echo = 1
+	if a == b {
+		t.Fatal("distinct messages compare equal")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	t.Parallel()
+	e := Event{Step: 12, Kind: EvDeliver, Proc: 1, Peer: 0, Instance: "pif", Note: "x"}
+	s := e.String()
+	for _, want := range []string{"p1", "deliver", "peer=p0", "inst=pif", "(x)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("event string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestEventKindStringsAreUnique(t *testing.T) {
+	t.Parallel()
+	seen := make(map[string]EventKind)
+	for k := EvSend; k <= EvRequest; k++ {
+		s := k.String()
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("kinds %d and %d share string %q", prev, k, s)
+		}
+		seen[s] = k
+	}
+}
+
+type fakeMachine struct {
+	inst      string
+	steps     int
+	delivered []Message
+}
+
+func (f *fakeMachine) Instance() string { return f.inst }
+func (f *fakeMachine) Step(Env) bool    { f.steps++; return false }
+func (f *fakeMachine) Deliver(_ Env, _ ProcID, m Message) {
+	f.delivered = append(f.delivered, m)
+}
+
+func TestStackByInstance(t *testing.T) {
+	t.Parallel()
+	a, b := &fakeMachine{inst: "a"}, &fakeMachine{inst: "b"}
+	s := Stack{a, b}
+	routes := s.ByInstance()
+	if routes["a"] != a || routes["b"] != b {
+		t.Fatal("routing table wrong")
+	}
+}
+
+func TestStackByInstancePanicsOnDuplicate(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate instance did not panic")
+		}
+	}()
+	Stack{&fakeMachine{inst: "x"}, &fakeMachine{inst: "x"}}.ByInstance()
+}
+
+func TestRecorderRingBuffer(t *testing.T) {
+	t.Parallel()
+	r := NewRecorder(3)
+	for i := 0; i < 5; i++ {
+		r.OnEvent(Event{Step: i, Peer: -1})
+	}
+	got := r.Events()
+	if len(got) != 3 {
+		t.Fatalf("retained %d events, want 3", len(got))
+	}
+	for i, e := range got {
+		if e.Step != i+2 {
+			t.Fatalf("event %d has step %d, want %d (oldest-first order)", i, e.Step, i+2)
+		}
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total() = %d, want 5", r.Total())
+	}
+}
+
+func TestRecorderDump(t *testing.T) {
+	t.Parallel()
+	r := NewRecorder(2)
+	r.OnEvent(Event{Kind: EvStart, Proc: 0, Peer: -1})
+	if !strings.Contains(r.Dump(), "start") {
+		t.Fatalf("Dump() = %q missing event", r.Dump())
+	}
+}
+
+func TestMultiObserverFansOut(t *testing.T) {
+	t.Parallel()
+	var a, b int
+	m := MultiObserver{
+		ObserverFunc(func(Event) { a++ }),
+		ObserverFunc(func(Event) { b++ }),
+	}
+	m.OnEvent(Event{})
+	m.OnEvent(Event{})
+	if a != 2 || b != 2 {
+		t.Fatalf("observers saw %d and %d events, want 2 and 2", a, b)
+	}
+}
+
+func TestAppendPayloadInjective(t *testing.T) {
+	t.Parallel()
+	f := func(tag1 string, num1 int64, tag2 string, num2 int64) bool {
+		if len(tag1) > 255 || len(tag2) > 255 {
+			return true // out of the encoding's domain
+		}
+		p1, p2 := Payload{Tag: tag1, Num: num1}, Payload{Tag: tag2, Num: num2}
+		e1 := string(AppendPayload(nil, p1))
+		e2 := string(AppendPayload(nil, p2))
+		return (p1 == p2) == (e1 == e2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendMessageInjective(t *testing.T) {
+	t.Parallel()
+	mk := func(inst, kind string, s, e uint8) Message {
+		return Message{Instance: inst, Kind: kind, State: s, Echo: e}
+	}
+	a := string(AppendMessage(nil, mk("pif", "PIF", 1, 2)))
+	b := string(AppendMessage(nil, mk("pif", "PIF", 2, 1)))
+	c := string(AppendMessage(nil, mk("pi", "fPIF", 1, 2)))
+	if a == b {
+		t.Fatal("State/Echo swap not distinguished")
+	}
+	if a == c {
+		t.Fatal("field-boundary shift not distinguished")
+	}
+}
+
+func TestStackCorruptOnlyCorruptible(t *testing.T) {
+	t.Parallel()
+	// A stack with no Corruptible machines must be a no-op, not a panic.
+	s := Stack{&fakeMachine{inst: "a"}}
+	s.Corrupt(nil)
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// EventKind classifies observable events. Specification checkers are
+// written entirely against the event stream, so the set below is the
+// observation vocabulary of the whole repository.
+type EventKind uint8
+
+// Event kinds. Scheduler-level kinds (send/deliver/lose/activate) describe
+// the execution; protocol-level kinds mark the actions the specifications
+// of the paper talk about.
+const (
+	// EvSend: a process pushed a message into a channel.
+	EvSend EventKind = iota + 1
+	// EvSendLost: the push found the channel full and the message was
+	// lost (bounded-capacity semantics).
+	EvSendLost
+	// EvDeliver: a message was removed from a channel and handed to the
+	// destination's receive action.
+	EvDeliver
+	// EvLose: the adversary/link dropped an in-transit message.
+	EvLose
+	// EvStart: a protocol executed its starting action for an external
+	// request (Request: Wait -> In).
+	EvStart
+	// EvDecide: a protocol terminated a computation (Request: In -> Done).
+	EvDecide
+	// EvRecvBrd: a "receive-brd<B> from q" event (PIF broadcast accepted).
+	EvRecvBrd
+	// EvRecvFck: a "receive-fck<F> from q" event (PIF feedback accepted).
+	EvRecvFck
+	// EvEnterCS: a process entered the critical section.
+	EvEnterCS
+	// EvExitCS: a process left the critical section.
+	EvExitCS
+	// EvRequest: the external application requested a service
+	// (Request <- Wait).
+	EvRequest
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvSend:
+		return "send"
+	case EvSendLost:
+		return "send-lost"
+	case EvDeliver:
+		return "deliver"
+	case EvLose:
+		return "lose"
+	case EvStart:
+		return "start"
+	case EvDecide:
+		return "decide"
+	case EvRecvBrd:
+		return "recv-brd"
+	case EvRecvFck:
+		return "recv-fck"
+	case EvEnterCS:
+		return "enter-cs"
+	case EvExitCS:
+		return "exit-cs"
+	case EvRequest:
+		return "request"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one observable occurrence in an execution. Proc is always the
+// process at which the event happened; Peer is the other endpoint when the
+// event involves a message or a remote process.
+type Event struct {
+	// Step is the global step index at which the event occurred, stamped
+	// by the substrate.
+	Step int
+	// Kind classifies the event.
+	Kind EventKind
+	// Proc is the process at which the event occurred.
+	Proc ProcID
+	// Peer is the other endpoint, when meaningful (sender of a delivered
+	// message, destination of a sent message); -1 otherwise.
+	Peer ProcID
+	// Instance is the protocol instance involved, when meaningful.
+	Instance string
+	// Msg is the message involved, when meaningful.
+	Msg Message
+	// Note carries free-form detail (e.g. which payload was decided on).
+	Note string
+}
+
+// String renders the event on one line for traces and test failures.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%6d] p%d %s", e.Step, e.Proc, e.Kind)
+	if e.Peer >= 0 {
+		fmt.Fprintf(&b, " peer=p%d", e.Peer)
+	}
+	if e.Instance != "" {
+		fmt.Fprintf(&b, " inst=%s", e.Instance)
+	}
+	if e.Msg != (Message{}) {
+		fmt.Fprintf(&b, " msg=%s", e.Msg)
+	}
+	if e.Note != "" {
+		fmt.Fprintf(&b, " (%s)", e.Note)
+	}
+	return b.String()
+}
+
+// NoteRequested marks EvEnterCS events that serve an external request.
+// The mutual exclusion guarantee of Specification 3 covers exactly those
+// entries (paper, footnote 1); entries caused purely by the arbitrary
+// initial configuration carry an empty note.
+const NoteRequested = "requested"
+
+// Observer consumes events as they occur. Implementations must be fast;
+// they run inside the simulation loop.
+type Observer interface {
+	OnEvent(e Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(e Event)
+
+// OnEvent calls f(e).
+func (f ObserverFunc) OnEvent(e Event) { f(e) }
+
+// Recorder is an Observer that retains the most recent events in a ring
+// buffer, for debugging and for printing counter-example traces. The zero
+// value retains nothing; use NewRecorder.
+type Recorder struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total int
+}
+
+var _ Observer = (*Recorder)(nil)
+
+// NewRecorder returns a recorder retaining the last limit events.
+func NewRecorder(limit int) *Recorder {
+	if limit < 1 {
+		limit = 1
+	}
+	return &Recorder{buf: make([]Event, 0, limit)}
+}
+
+// OnEvent records e, evicting the oldest event when full.
+func (r *Recorder) OnEvent(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+}
+
+// Events returns the retained events, oldest first.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total returns the number of events observed (including evicted ones).
+func (r *Recorder) Total() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dump renders the retained events, one per line.
+func (r *Recorder) Dump() string {
+	events := r.Events()
+	var b strings.Builder
+	for _, e := range events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MultiObserver fans events out to several observers.
+type MultiObserver []Observer
+
+// OnEvent forwards e to every observer.
+func (m MultiObserver) OnEvent(e Event) {
+	for _, o := range m {
+		o.OnEvent(e)
+	}
+}
+
+// AppendPayload appends a canonical encoding of p to dst. Helper for
+// Snapshotter implementations.
+func AppendPayload(dst []byte, p Payload) []byte {
+	dst = append(dst, byte(len(p.Tag)))
+	dst = append(dst, p.Tag...)
+	for shift := 0; shift < 64; shift += 8 {
+		dst = append(dst, byte(p.Num>>shift))
+	}
+	return dst
+}
+
+// AppendMessage appends a canonical encoding of m to dst. Helper for
+// configuration hashing.
+func AppendMessage(dst []byte, m Message) []byte {
+	dst = append(dst, byte(len(m.Instance)))
+	dst = append(dst, m.Instance...)
+	dst = append(dst, byte(len(m.Kind)))
+	dst = append(dst, m.Kind...)
+	dst = AppendPayload(dst, m.B)
+	dst = AppendPayload(dst, m.F)
+	dst = append(dst, m.State, m.Echo)
+	return dst
+}

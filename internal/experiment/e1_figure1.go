@@ -1,0 +1,130 @@
+package experiment
+
+import (
+	"github.com/snapstab/snapstab/internal/core"
+	"github.com/snapstab/snapstab/internal/pif"
+	"github.com/snapstab/snapstab/internal/sim"
+	"github.com/snapstab/snapstab/internal/stat"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E1",
+		Title: "Worst case of Protocol PIF in terms of configurations",
+		Paper: "Figure 1",
+		Run:   runE1,
+	})
+}
+
+// figStep is one row of the Figure 1 trace.
+type figStep struct {
+	event string
+	state uint8
+}
+
+// figure1Steps drives the Figure 1 adversarial configuration against a PIF
+// with the given flag-domain top and returns the per-step trace plus the
+// flag value reached from garbage alone and whether the initiator was
+// driven to a (necessarily unsound) decision.
+func figure1Steps(flagTop int) (trace []figStep, spurious uint8, fooled bool) {
+	machines := make([]*pif.PIF, 2)
+	stacks := make([]core.Stack, 2)
+	for i := 0; i < 2; i++ {
+		id := core.ProcID(i)
+		machines[i] = pif.New("pif", id, 2, pif.Callbacks{
+			OnBroadcast: func(_ core.Env, _ core.ProcID, b core.Payload) core.Payload {
+				return ackFor(id, b)
+			},
+		}, pif.WithFlagTop(flagTop))
+		stacks[i] = core.Stack{machines[i]}
+	}
+	net := sim.New(stacks)
+	p, q := machines[0], machines[1]
+
+	// The Figure 1 configuration: a stale message in each direction and a
+	// stale NeigState at q, each good for one spurious increment.
+	q.Request = core.In
+	q.State[0] = 1
+	q.Neig[0] = 1
+	q.FMes[0] = core.Payload{Tag: "stale-feedback"}
+	kQP := sim.LinkKey{From: 1, To: 0, Instance: "pif"}
+	kPQ := sim.LinkKey{From: 0, To: 1, Instance: "pif"}
+	mustPreload(net, kQP, core.Message{Instance: "pif", Kind: pif.Kind, State: 1, Echo: 0, F: core.Payload{Tag: "stale-feedback"}})
+	mustPreload(net, kPQ, core.Message{Instance: "pif", Kind: pif.Kind, State: 2, Echo: 0})
+
+	decided := false
+	cb := p.Callbacks()
+	cb.OnFeedback = func(core.Env, core.ProcID, core.Payload) { decided = true }
+	p.SetCallbacks(cb)
+
+	log := func(action string) {
+		trace = append(trace, figStep{event: action, state: p.State[1]})
+	}
+	p.Invoke(net.Env(0), core.Payload{Tag: "fresh", Num: 9})
+	net.Activate(0)
+	log("p starts (A1, A2)")
+	net.Deliver(kQP)
+	log("stale q->p message, echo 0")
+	spurious = p.State[1]
+	net.Activate(1)
+	net.Deliver(kQP)
+	log("q echoes its stale NeigState (1)")
+	spurious = maxU8(spurious, p.State[1])
+	net.Deliver(kPQ)
+	net.Deliver(kQP)
+	log("stale p->q flag-2 message echoed")
+	spurious = maxU8(spurious, p.State[1])
+	if decided {
+		return trace, spurious, true
+	}
+	// All garbage consumed: only a genuine round trip can continue.
+	net.Activate(0)
+	net.Deliver(kPQ)
+	net.Deliver(kQP)
+	log("genuine round trip (flag 3)")
+	return trace, spurious, false
+}
+
+func maxU8(a, b uint8) uint8 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func mustPreload(net *sim.Network, k sim.LinkKey, msgs ...core.Message) {
+	if err := net.Link(k).Preload(msgs); err != nil {
+		panic("experiment: " + err.Error())
+	}
+}
+
+func runE1(cfg Config) []stat.Table {
+	cfg = cfg.withDefaults()
+
+	// Table 1: the step-by-step Figure 1 trace on the paper's protocol.
+	t1 := stat.Table{
+		ID:      "E1",
+		Title:   "Figure 1 trace: flag value of the initiator under the worst-case initial configuration (FlagTop = 4)",
+		Columns: []string{"step", "event", "State_p[q]"},
+	}
+	trace, spurious, fooled := figure1Steps(4)
+	for i, step := range trace {
+		t1.AddRow(stat.I(i+1), step.event, stat.I(int(step.state)))
+	}
+	t1.AddNote("spurious increments from garbage alone: %d (= FlagTop-1); initiator fooled: %s", spurious, stat.B(fooled))
+
+	// Table 2: the same adversary against ablated flag domains — the
+	// threshold at which the garbage suffices for a full (unsound)
+	// decision.
+	t2 := stat.Table{
+		ID:      "E1",
+		Title:   "Figure 1 adversary vs. flag-domain size (capacity 1: 3 stale tokens available)",
+		Columns: []string{"FlagTop", "increments needed", "spurious increments reached", "decision from garbage"},
+	}
+	for _, top := range []int{1, 2, 3, 4, 5} {
+		_, sp, fooledAt := figure1Steps(top)
+		t2.AddRow(stat.I(top), stat.I(top), stat.I(int(sp)), stat.B(fooledAt))
+	}
+	t2.AddNote("the paper's domain {0..4} is the smallest whose decision threshold exceeds the 2c+1 = 3 stale tokens of a capacity-1 configuration")
+	return []stat.Table{t1, t2}
+}

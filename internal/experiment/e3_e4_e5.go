@@ -1,0 +1,223 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/snapstab/snapstab/internal/config"
+	"github.com/snapstab/snapstab/internal/core"
+	"github.com/snapstab/snapstab/internal/idl"
+	"github.com/snapstab/snapstab/internal/pif"
+	"github.com/snapstab/snapstab/internal/rng"
+	"github.com/snapstab/snapstab/internal/sim"
+	"github.com/snapstab/snapstab/internal/spec"
+	"github.com/snapstab/snapstab/internal/stat"
+)
+
+func init() {
+	register(Experiment{ID: "E3", Title: "PIF snap-stabilization under corruption and loss", Paper: "Theorem 2 / Specification 1", Run: runE3})
+	register(Experiment{ID: "E4", Title: "Channel flushing by a complete PIF computation", Paper: "Property 1", Run: runE4})
+	register(Experiment{ID: "E5", Title: "IDs-Learning correctness under corruption and loss", Paper: "Theorem 3 / Specification 2", Run: runE5})
+}
+
+// pifTrial runs one corrupted-start PIF computation and reports whether it
+// started, decided, how many steps the decision took, and any
+// specification violations.
+func pifTrial(n int, loss float64, seed uint64, maxSteps int) (steps int, violations int, err error) {
+	net, machines := pifDeployment(n, 4, sim.WithSeed(seed), sim.WithLossRate(loss))
+	r := rng.New(seed ^ 0xC0FFEE)
+	config.Corrupt(net, r, config.PIFSpecs("pif", 4), config.Options{})
+
+	checker := &spec.PIFChecker{N: n, Initiator: 0, Instance: "pif", ExpectFck: ackFor}
+	// Rebuild with the observer attached (cheap; machines are shared).
+	net = sim.New(stacksOf(machines), sim.WithSeed(seed), sim.WithLossRate(loss), sim.WithObserver(checker))
+	config.FillChannels(net, r, config.PIFSpecs("pif", 4), config.Options{})
+
+	token := core.Payload{Tag: "fresh", Num: int64(seed % 1000)}
+	requested := false
+	start := 0
+	runErr := net.RunUntil(func() bool {
+		if !requested {
+			if machines[0].Invoke(net.Env(0), token) {
+				requested = true
+				checker.Arm(token)
+				start = net.StepCount()
+			}
+			return false
+		}
+		return checker.Decided()
+	}, maxSteps)
+	if runErr != nil {
+		return 0, 0, fmt.Errorf("trial seed %d: %w", seed, runErr)
+	}
+	return net.StepCount() - start, len(checker.Violations()), nil
+}
+
+func stacksOf(machines []*pif.PIF) []core.Stack {
+	stacks := make([]core.Stack, len(machines))
+	for i, m := range machines {
+		stacks[i] = core.Stack{m}
+	}
+	return stacks
+}
+
+func runE3(cfg Config) []stat.Table {
+	cfg = cfg.withDefaults()
+	t := stat.Table{
+		ID:      "E3",
+		Title:   "PIF from corrupted configurations: Specification 1 verdicts",
+		Columns: []string{"n", "loss", "trials", "timeouts", "violations", "steps to decide (mean)", "steps (p90)"},
+	}
+	ns := []int{2, 3, 5, 8}
+	if cfg.Quick {
+		ns = []int{2, 3}
+	}
+	for _, n := range ns {
+		for _, loss := range []float64{0, 0.1, 0.3} {
+			var steps []int
+			timeouts, violations := 0, 0
+			for trial := 0; trial < cfg.Trials; trial++ {
+				s, v, err := pifTrial(n, loss, cfg.Seed+uint64(trial)*7919+uint64(n*1000), cfg.MaxSteps)
+				if err != nil {
+					timeouts++
+					continue
+				}
+				steps = append(steps, s)
+				violations += v
+			}
+			sum := stat.Summarize(stat.Ints(steps))
+			t.AddRow(stat.I(n), stat.F(loss), stat.I(cfg.Trials), stat.I(timeouts),
+				stat.I(violations), stat.F(sum.Mean), stat.F(sum.P90))
+		}
+	}
+	t.AddNote("violations and timeouts must be 0: every requested broadcast starts, terminates, reaches all, and decides on genuine feedback")
+	return []stat.Table{t}
+}
+
+func runE4(cfg Config) []stat.Table {
+	cfg = cfg.withDefaults()
+	t := stat.Table{
+		ID:      "E4",
+		Title:   "Property 1: tagged garbage incident to the initiator after its first complete computation",
+		Columns: []string{"n", "trials", "garbage messages planted", "residual after completion"},
+	}
+	ns := []int{2, 3, 5}
+	if cfg.Quick {
+		ns = []int{2, 3}
+	}
+	for _, n := range ns {
+		planted, residual := 0, 0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			seed := cfg.Seed + uint64(trial)*104729 + uint64(n)
+			net, machines := pifDeployment(n, 4, sim.WithSeed(seed))
+			r := rng.New(seed ^ 0xBEEF)
+			config.CorruptMachines(net, r)
+			// Plant identifiable garbage in every channel incident to the
+			// initiator.
+			tagged := make(map[core.Message]bool)
+			for q := 1; q < n; q++ {
+				for _, k := range []sim.LinkKey{
+					{From: 0, To: core.ProcID(q), Instance: "pif"},
+					{From: core.ProcID(q), To: 0, Instance: "pif"},
+				} {
+					g := pif.GarbageMessage(r, "pif", 4)
+					g.B = core.Payload{Tag: "planted", Num: int64(trial*100 + q)}
+					mustPreload(net, k, g)
+					tagged[g] = true
+					planted++
+				}
+			}
+			token := core.Payload{Tag: "fresh", Num: int64(trial)}
+			requested := false
+			err := net.RunUntil(func() bool {
+				if !requested {
+					requested = machines[0].Invoke(net.Env(0), token)
+					return false
+				}
+				return machines[0].Done() && machines[0].BMes == token
+			}, cfg.MaxSteps)
+			if err != nil {
+				residual++ // count a timeout as a failure
+				continue
+			}
+			for q := 1; q < n; q++ {
+				for _, k := range []sim.LinkKey{
+					{From: 0, To: core.ProcID(q), Instance: "pif"},
+					{From: core.ProcID(q), To: 0, Instance: "pif"},
+				} {
+					for _, m := range net.Link(k).Contents() {
+						if tagged[m] {
+							residual++
+						}
+					}
+				}
+			}
+		}
+		t.AddRow(stat.I(n), stat.I(cfg.Trials), stat.I(planted), stat.I(residual))
+	}
+	t.AddNote("residual must be 0: a complete computation flushes every initial message from the initiator's channels")
+	return []stat.Table{t}
+}
+
+func runE5(cfg Config) []stat.Table {
+	cfg = cfg.withDefaults()
+	t := stat.Table{
+		ID:      "E5",
+		Title:   "IDs-Learning from corrupted configurations: Specification 2 verdicts",
+		Columns: []string{"n", "loss", "trials", "timeouts", "wrong minID", "wrong ID-Tab entries"},
+	}
+	ns := []int{2, 4, 8}
+	if cfg.Quick {
+		ns = []int{2, 4}
+	}
+	for _, n := range ns {
+		for _, loss := range []float64{0, 0.2} {
+			timeouts, wrongMin, wrongTab := 0, 0, 0
+			for trial := 0; trial < cfg.Trials; trial++ {
+				seed := cfg.Seed + uint64(trial)*7907 + uint64(n*31)
+				r := rng.New(seed)
+				ids := make([]int64, n)
+				perm := r.Perm(n)
+				for i := range ids {
+					ids[i] = int64(perm[i]*17 + 3)
+				}
+				machines := make([]*idl.IDL, n)
+				stacks := make([]core.Stack, n)
+				for i := 0; i < n; i++ {
+					machines[i] = idl.New("idl", core.ProcID(i), n, ids[i])
+					stacks[i] = machines[i].Machines()
+				}
+				net := sim.New(stacks, sim.WithSeed(seed), sim.WithLossRate(loss))
+				config.Corrupt(net, r, config.PIFSpecs("idl/pif", 4), config.Options{})
+				requested := false
+				err := net.RunUntil(func() bool {
+					if !requested {
+						requested = machines[0].Invoke(net.Env(0))
+						return false
+					}
+					return machines[0].Done()
+				}, cfg.MaxSteps)
+				if err != nil {
+					timeouts++
+					continue
+				}
+				minID := ids[0]
+				for _, id := range ids {
+					if id < minID {
+						minID = id
+					}
+				}
+				if machines[0].MinID != minID {
+					wrongMin++
+				}
+				for q := 1; q < n; q++ {
+					if machines[0].IDTab[q] != ids[q] {
+						wrongTab++
+					}
+				}
+			}
+			t.AddRow(stat.I(n), stat.F(loss), stat.I(cfg.Trials), stat.I(timeouts), stat.I(wrongMin), stat.I(wrongTab))
+		}
+	}
+	t.AddNote("all error columns must be 0: at the decision the initiator knows every identifier and the minimum")
+	return []stat.Table{t}
+}

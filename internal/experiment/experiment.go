@@ -1,0 +1,128 @@
+// Package experiment is the benchmark harness: one registered experiment
+// per claim/figure of the paper (see DESIGN.md §6 for the index). Each
+// experiment regenerates its table(s) from scratch; cmd/snapbench prints
+// them and EXPERIMENTS.md records a reference run.
+//
+//	E1  Figure 1          worst-case initial configuration of Protocol PIF
+//	E2  Theorem 1         impossibility with unbounded/unknown capacity
+//	E3  Theorem 2         PIF snap-stabilization under corruption and loss
+//	E4  Property 1        channel flushing by a complete computation
+//	E5  Theorem 3         IDs-Learning correctness
+//	E6  Theorem 4         mutual exclusion safety and liveness
+//	E7  (analysis §4.1)   message/round complexity of PIF
+//	E8  (§2 discussion)   self- vs snap-stabilization service quality
+//	E9  (design choice)   flag-domain ablation, exhaustive
+//	E10 (§4 remark)       known-capacity extension c > 1
+//	E11 (§5 conclusion)   crash-failure boundary (future work)
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/snapstab/snapstab/internal/core"
+	"github.com/snapstab/snapstab/internal/pif"
+	"github.com/snapstab/snapstab/internal/sim"
+	"github.com/snapstab/snapstab/internal/stat"
+)
+
+// Config scales an experiment run.
+type Config struct {
+	// Trials is the number of randomized trials per table row (default
+	// 200; Quick runs use fewer).
+	Trials int
+	// Seed seeds all randomness (default 1).
+	Seed uint64
+	// Quick shrinks problem sizes for smoke tests and benchmarks.
+	Quick bool
+	// MaxSteps bounds each simulated run (default 20M).
+	MaxSteps int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Trials == 0 {
+		c.Trials = 200
+		if c.Quick {
+			c.Trials = 25
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 20_000_000
+	}
+	return c
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	// ID is the experiment identifier ("E3").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Paper names the artifact reproduced.
+	Paper string
+	// Run produces the tables.
+	Run func(cfg Config) []stat.Table
+}
+
+// registry holds all experiments, keyed by ID.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiment: duplicate ID " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment in ID order.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// E2 < E10 requires numeric comparison.
+		return idNum(out[i].ID) < idNum(out[j].ID)
+	})
+	return out
+}
+
+func idNum(id string) int {
+	var n int
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// --- shared builders ---
+
+// ackFor is the reference application feedback: derived from both the
+// responder and the broadcast so stale or forged values are detectable.
+func ackFor(q core.ProcID, b core.Payload) core.Payload {
+	return core.Payload{Tag: "ack", Num: b.Num*1000 + int64(q)}
+}
+
+// pifDeployment is an n-process bare-PIF system with the reference
+// application callbacks.
+func pifDeployment(n int, flagTop int, opts ...sim.Option) (*sim.Network, []*pif.PIF) {
+	machines := make([]*pif.PIF, n)
+	stacks := make([]core.Stack, n)
+	for i := 0; i < n; i++ {
+		id := core.ProcID(i)
+		machines[i] = pif.New("pif", id, n, pif.Callbacks{
+			OnBroadcast: func(_ core.Env, _ core.ProcID, b core.Payload) core.Payload {
+				return ackFor(id, b)
+			},
+		}, pif.WithFlagTop(flagTop))
+		stacks[i] = core.Stack{machines[i]}
+	}
+	return sim.New(stacks, opts...), machines
+}

@@ -1,0 +1,267 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/snapstab/snapstab/internal/stat"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	t.Parallel()
+	all := All()
+	if len(all) != 11 {
+		t.Fatalf("registry has %d experiments, want 11 (E1..E11)", len(all))
+	}
+	for i, e := range all {
+		want := "E" + stat.I(i+1)
+		if e.ID != want {
+			t.Fatalf("experiment %d has ID %s, want %s (ordering broken)", i, e.ID, want)
+		}
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete: %+v", e.ID, e)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	t.Parallel()
+	if _, ok := ByID("E3"); !ok {
+		t.Fatal("E3 not found")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("E99 found")
+	}
+}
+
+// quickCfg runs every experiment at smoke-test scale.
+func quickCfg() Config { return Config{Quick: true, Trials: 6, Seed: 7} }
+
+// findCell returns true if any cell of any row equals want.
+func hasCell(tables []stat.Table, want string) bool {
+	for _, tab := range tables {
+		for _, row := range tab.Rows {
+			for _, cell := range row {
+				if cell == want {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// column returns the index of the named column, or -1.
+func column(tab stat.Table, name string) int {
+	for i, c := range tab.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestE1ReproducesFigure1(t *testing.T) {
+	t.Parallel()
+	tables := runE1(quickCfg())
+	if len(tables) != 2 {
+		t.Fatalf("E1 produced %d tables, want 2", len(tables))
+	}
+	// Table 2: fooled for FlagTop <= 3, safe for >= 4.
+	fooledCol := column(tables[1], "decision from garbage")
+	for _, row := range tables[1].Rows {
+		top := row[0]
+		fooled := row[fooledCol]
+		wantFooled := top == "1" || top == "2" || top == "3"
+		if (fooled == "yes") != wantFooled {
+			t.Errorf("FlagTop %s: fooled=%s, want %v", top, fooled, wantFooled)
+		}
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	t.Parallel()
+	tables := runE2(quickCfg())
+	// Table 1 row 1 (unbounded): violation yes; row 2 (capacity 1): no.
+	t1 := tables[0]
+	vCol := column(t1, "safety violated")
+	if t1.Rows[0][vCol] != "yes" {
+		t.Errorf("unbounded regime not violated: %v", t1.Rows[0])
+	}
+	if t1.Rows[1][vCol] != "no" {
+		t.Errorf("known-capacity regime violated: %v", t1.Rows[1])
+	}
+	// Table 2: a FOOLED cell exists (large g) and a safe cell exists.
+	if !hasCell(tables[1:], "FOOLED") {
+		t.Error("capacity sweep found no FOOLED cell")
+	}
+}
+
+func TestE3NoViolations(t *testing.T) {
+	t.Parallel()
+	tables := runE3(quickCfg())
+	tab := tables[0]
+	vCol, toCol := column(tab, "violations"), column(tab, "timeouts")
+	for _, row := range tab.Rows {
+		if row[vCol] != "0" || row[toCol] != "0" {
+			t.Errorf("row %v has violations/timeouts", row)
+		}
+	}
+}
+
+func TestE4NoResidual(t *testing.T) {
+	t.Parallel()
+	tables := runE4(quickCfg())
+	col := column(tables[0], "residual after completion")
+	for _, row := range tables[0].Rows {
+		if row[col] != "0" {
+			t.Errorf("row %v has residual garbage", row)
+		}
+	}
+}
+
+func TestE5AllCorrect(t *testing.T) {
+	t.Parallel()
+	tables := runE5(quickCfg())
+	tab := tables[0]
+	for _, name := range []string{"timeouts", "wrong minID", "wrong ID-Tab entries"} {
+		col := column(tab, name)
+		for _, row := range tab.Rows {
+			if row[col] != "0" {
+				t.Errorf("%s nonzero in row %v", name, row)
+			}
+		}
+	}
+}
+
+func TestE6NoViolations(t *testing.T) {
+	t.Parallel()
+	tables := runE6(quickCfg())
+	tab := tables[0]
+	for _, name := range []string{"unserved", "ME violations"} {
+		col := column(tab, name)
+		for _, row := range tab.Rows {
+			if row[col] != "0" {
+				t.Errorf("%s nonzero in row %v", name, row)
+			}
+		}
+	}
+}
+
+func TestE7LinearInN(t *testing.T) {
+	t.Parallel()
+	tables := runE7(quickCfg())
+	tab := tables[0]
+	// Lossless rows: messages must grow with n but stay within a constant
+	// factor of the naive baseline.
+	mCol := column(tab, "messages (mean)")
+	oCol := column(tab, "overhead factor")
+	var prev float64
+	for _, row := range tab.Rows {
+		if row[1] != "0" {
+			continue
+		}
+		var m, o float64
+		sscan(t, row[mCol], &m)
+		sscan(t, row[oCol], &o)
+		if m < prev {
+			t.Errorf("messages decreased with n: %v", tab.Rows)
+		}
+		prev = m
+		if o < 1 || o > 40 {
+			t.Errorf("overhead factor %v out of plausible range", o)
+		}
+	}
+}
+
+func sscan(t *testing.T, s string, out *float64) {
+	t.Helper()
+	if _, err := fmtSscan(s, out); err != nil {
+		t.Fatalf("cannot parse %q: %v", s, err)
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	t.Parallel()
+	tables := runE8(quickCfg())
+	tab := tables[0]
+	seqCol := column(tab, "self-stab seq-PIF")
+	snapCol := column(tab, "snap-stab PIF")
+	for i, row := range tab.Rows {
+		g := []int{1, 2, 4, 8}[i]
+		wantSeq := stat.I(g) + " of first " + stat.I(g+2) + " fooled"
+		if row[seqCol] != wantSeq {
+			t.Errorf("G=%d: seq cell %q, want %q", g, row[seqCol], wantSeq)
+		}
+		wantSnap := "0 of first " + stat.I(g+2) + " fooled"
+		if row[snapCol] != wantSnap {
+			t.Errorf("G=%d: snap cell %q, want %q", g, row[snapCol], wantSnap)
+		}
+	}
+}
+
+func TestE9Thresholds(t *testing.T) {
+	t.Parallel()
+	tables := runE9(quickCfg())
+	tab := tables[0]
+	sCol := column(tab, "safety")
+	for _, row := range tab.Rows {
+		top := row[0]
+		safe := strings.HasPrefix(row[sCol], "SAFE")
+		wantSafe := top == "4" || top == "5"
+		if safe != wantSafe {
+			t.Errorf("FlagTop %s: safe=%v, want %v", top, safe, wantSafe)
+		}
+	}
+}
+
+func TestE10Thresholds(t *testing.T) {
+	t.Parallel()
+	tables := runE10(quickCfg())
+	t1 := tables[0]
+	lowCol := column(t1, "fooled @ FlagTop 2c+1")
+	okCol := column(t1, "fooled @ FlagTop 2c+2")
+	for _, row := range t1.Rows {
+		if row[lowCol] != "yes" {
+			t.Errorf("capacity %s: 2c+1 flags not fooled: %v", row[0], row)
+		}
+		if row[okCol] != "no" {
+			t.Errorf("capacity %s: 2c+2 flags fooled: %v", row[0], row)
+		}
+	}
+	t2 := tables[1]
+	vCol := column(t2, "violations")
+	toCol := column(t2, "timeouts")
+	for _, row := range t2.Rows {
+		if row[vCol] != "0" || row[toCol] != "0" {
+			t.Errorf("capacity %s: violations/timeouts nonzero: %v", row[0], row)
+		}
+	}
+}
+
+// fmtSscan wraps fmt.Sscan to keep the test imports tidy.
+func fmtSscan(s string, out *float64) (int, error) {
+	return fmt.Sscan(s, out)
+}
+
+func TestE11CrashBoundary(t *testing.T) {
+	t.Parallel()
+	tables := runE11(quickCfg())
+	tab := tables[0]
+	fabCol := column(tab, "fabricated completions")
+	crCol := column(tab, "crashed handshakes done")
+	decCol := column(tab, "decisions")
+	for _, row := range tab.Rows {
+		if row[fabCol] != "0" || row[crCol] != "0" {
+			t.Errorf("crash row %v forged progress", row)
+		}
+		k := row[1]
+		if k == "0" && row[decCol] == "0" {
+			t.Errorf("crash-free row %v never decided", row)
+		}
+		if k != "0" && row[decCol] != "0" {
+			t.Errorf("row %v decided despite crashes", row)
+		}
+	}
+}

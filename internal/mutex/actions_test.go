@@ -1,0 +1,213 @@
+package mutex
+
+import (
+	"testing"
+
+	"github.com/snapstab/snapstab/internal/core"
+	"github.com/snapstab/snapstab/internal/sim"
+)
+
+// env returns a throwaway environment for direct action tests.
+func testEnv(t *testing.T, n int) core.Env {
+	t.Helper()
+	machines, stacks := build(t, n)
+	_ = machines
+	return sim.New(stacks).Env(0)
+}
+
+func TestA5AskAnswersByFavour(t *testing.T) {
+	t.Parallel()
+	// n=4, self=1: local numbers are p2->1, p3->2, p0->3.
+	m := New("me", 1, 4, 20)
+	cases := []struct {
+		value int
+		from  core.ProcID
+		want  string
+	}{
+		{1, 2, TagYes}, // favoured channel 1 = process 2
+		{1, 3, TagNo},
+		{2, 3, TagYes}, // favoured channel 2 = process 3
+		{3, 0, TagYes}, // favoured channel 3 = process 0
+		{0, 2, TagNo},  // favours itself: everyone else refused
+	}
+	for _, c := range cases {
+		m.Value = c.value
+		got := m.onBroadcast(nil, c.from, core.Payload{Tag: TagAsk})
+		if got.Tag != c.want {
+			t.Errorf("Value=%d ASK from %d: answered %s, want %s", c.value, c.from, got.Tag, c.want)
+		}
+	}
+}
+
+func TestA6ExitForcesPhaseZero(t *testing.T) {
+	t.Parallel()
+	m := New("me", 1, 3, 20)
+	m.Phase = 3
+	got := m.onBroadcast(nil, 0, core.Payload{Tag: TagExit})
+	if m.Phase != 0 {
+		t.Fatalf("Phase = %d after EXIT, want 0", m.Phase)
+	}
+	if got.Tag != TagOK {
+		t.Fatalf("EXIT acknowledged with %s, want OK", got.Tag)
+	}
+}
+
+func TestA7ExitCSAdvancesRotationOnlyForFavoured(t *testing.T) {
+	t.Parallel()
+	m := New("me", 0, 3, 5) // self=0: local numbers p1->1, p2->2
+	m.Value = 1
+	// EXITCS from the non-favoured process: ignored.
+	m.onBroadcast(nil, 2, core.Payload{Tag: TagExitCS})
+	if m.Value != 1 {
+		t.Fatalf("Value = %d after non-favoured EXITCS, want 1", m.Value)
+	}
+	// EXITCS from the favoured process: rotation advances.
+	m.onBroadcast(nil, 1, core.Payload{Tag: TagExitCS})
+	if m.Value != 2 {
+		t.Fatalf("Value = %d after favoured EXITCS, want 2", m.Value)
+	}
+	// Rotation wraps to 0 (the leader's own turn).
+	m.Value = 2
+	m.onBroadcast(nil, 2, core.Payload{Tag: TagExitCS})
+	if m.Value != 0 {
+		t.Fatalf("Value = %d after wrap, want 0", m.Value)
+	}
+}
+
+func TestFeedbackSetsPrivileges(t *testing.T) {
+	t.Parallel()
+	m := New("me", 0, 3, 5)
+	m.onFeedback(nil, 1, core.Payload{Tag: TagYes})
+	if !m.Privileges[1] {
+		t.Fatal("YES did not set the privilege")
+	}
+	m.onFeedback(nil, 1, core.Payload{Tag: TagNo})
+	if m.Privileges[1] {
+		t.Fatal("NO did not clear the privilege")
+	}
+	// OK and garbage leave privileges untouched.
+	m.Privileges[2] = true
+	m.onFeedback(nil, 2, core.Payload{Tag: TagOK})
+	m.onFeedback(nil, 2, core.Payload{Tag: "garbage"})
+	if !m.Privileges[2] {
+		t.Fatal("OK/garbage feedback mutated privileges")
+	}
+}
+
+func TestGarbageBroadcastAnsweredNeutrally(t *testing.T) {
+	t.Parallel()
+	m := New("me", 0, 2, 5)
+	m.Phase = 2
+	m.Value = 1
+	got := m.onBroadcast(nil, 1, core.Payload{Tag: "garbage", Num: 3})
+	if got.Tag != TagOK {
+		t.Fatalf("garbage answered with %s, want OK", got.Tag)
+	}
+	if m.Phase != 2 || m.Value != 1 {
+		t.Fatal("garbage broadcast mutated protocol state")
+	}
+}
+
+func TestPhaseLoopAdvancesThroughAllPhases(t *testing.T) {
+	t.Parallel()
+	machines, stacks := build(t, 2)
+	net := sim.New(stacks, sim.WithSeed(5))
+	seen := make(map[uint8]bool)
+	for i := 0; i < 200000 && len(seen) < 5; i++ {
+		net.Step()
+		seen[machines[1].Phase] = true
+	}
+	for phase := uint8(0); phase < 5; phase++ {
+		if !seen[phase] {
+			t.Fatalf("phase %d never visited: %v", phase, seen)
+		}
+	}
+}
+
+func TestNonRequestingWinnerReleases(t *testing.T) {
+	t.Parallel()
+	// A non-requesting leader that favours itself must advance Value at
+	// A3 (release without critical section) — otherwise rotation stalls
+	// (Lemma 11's first case).
+	machines, stacks := build(t, 2)
+	net := sim.New(stacks, sim.WithSeed(7))
+	leader := machines[0]
+	leader.Value = 0
+	moved := false
+	for i := 0; i < 200000; i++ {
+		net.Step()
+		if leader.Value != 0 {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("leader favouring itself never released (rotation stalled)")
+	}
+}
+
+func TestExitDuringCSKeepsOccupancy(t *testing.T) {
+	t.Parallel()
+	// Receiving an EXIT broadcast while inside the critical section must
+	// reset the phase but not evict the occupant: a process cannot be
+	// yanked out of its critical section by a message.
+	m := New("me", 1, 3, 20)
+	m.InCS = true
+	m.CSLeft = 5
+	m.Phase = 3
+	m.onBroadcast(nil, 0, core.Payload{Tag: TagExit})
+	if !m.InCS || m.CSLeft != 5 {
+		t.Fatal("EXIT broadcast evicted a critical-section occupant")
+	}
+	if m.Phase != 0 {
+		t.Fatalf("Phase = %d, want 0", m.Phase)
+	}
+}
+
+func TestServedExitAfterPhaseResetSkipsPhaseFour(t *testing.T) {
+	t.Parallel()
+	// If an EXIT reset the phase while a served occupant was inside, the
+	// exit must not jump to phase 4 (that would skip the restarted cycle).
+	machines, stacks := build(t, 2)
+	net := sim.New(stacks)
+	m := machines[0]
+	m.InCS = true
+	m.Served = true
+	m.CSLeft = 0
+	m.Request = core.In
+	m.Phase = 1 // EXIT reset happened; cycle restarted
+	net.Activate(0)
+	if m.Phase == 4 {
+		t.Fatal("exit jumped to phase 4 despite the phase reset")
+	}
+	if m.InCS {
+		t.Fatal("occupant did not exit")
+	}
+}
+
+func TestWinnerRequiresFreshPrivilegeFromLeader(t *testing.T) {
+	t.Parallel()
+	// Privilege from a process whose learned ID does not match minID must
+	// not make a winner — even if every privilege bit is set.
+	m := New("me", 2, 3, 30)
+	m.IDL.MinID = 1
+	for q := range m.Privileges {
+		m.Privileges[q] = true
+	}
+	m.IDL.IDTab[0] = 99
+	m.IDL.IDTab[1] = 98
+	if m.Winner() {
+		t.Fatal("winner without any privilege from the leader")
+	}
+	m.IDL.IDTab[1] = 1 // process 1 is the leader and said YES
+	if !m.Winner() {
+		t.Fatal("privilege from the leader not honoured")
+	}
+}
+
+func TestEnvHelperCompiles(t *testing.T) {
+	t.Parallel()
+	if testEnv(t, 2) == nil {
+		t.Fatal("nil env")
+	}
+}

@@ -1,0 +1,344 @@
+// Package pif implements Protocol PIF (Algorithm 1 of the paper): the
+// first snap-stabilizing Propagation of Information with Feedback for
+// message-passing systems with bounded-capacity channels.
+//
+// # The algorithm
+//
+// Per neighbour q, the initiator p keeps a handshake flag State[q] and the
+// last flag value received from q, NeigState[q]. While a computation is in
+// progress (Request = In), p repeatedly sends
+//
+//	<PIF, B-Mes, F-Mes[q], State[q], NeigState[q]>
+//
+// and increments State[q] only when it receives a message from q echoing
+// State[q] back. With channel capacity c, an arbitrary initial
+// configuration holds at most c stale messages in each direction plus one
+// stale NeigState at q — at most 2c+1 stale echo tokens — so after
+// FlagTop = 2c+2 increments the last echo necessarily answers a message p
+// sent after its start. The paper fixes c = 1, giving the flag domain
+// {0..4} (Figure 1 is the worst case, where garbage yields the first three
+// increments). This implementation keeps c as a parameter and instantiates
+// the paper's protocol at c = 1; the reduction "known capacity c ⇒ flag
+// domain {0..2c+2}" is the extension the paper calls straightforward, and
+// experiment E10 validates it empirically.
+//
+// The q-side behaviour is part of the same action A3: q accepts the
+// broadcast (generates receive-brd, exactly once per computation) when the
+// incoming flag reaches FlagTop-1, and answers every message whose flag is
+// below FlagTop.
+//
+// # Events
+//
+// The machine emits EvStart at action A1, EvDecide at termination in A2,
+// and EvRecvBrd / EvRecvFck at the corresponding acceptance points of A3,
+// so specification checkers can verify Specification 1 externally.
+package pif
+
+import (
+	"fmt"
+
+	"github.com/snapstab/snapstab/internal/core"
+)
+
+// Kind is the single message type used by the protocol (the paper's PIF
+// messages).
+const Kind = "PIF"
+
+// Callbacks connects a PIF instance to the application layered above it
+// (IDL, mutual exclusion, or user code).
+type Callbacks struct {
+	// OnBroadcast handles a "receive-brd<B> from q" event and returns the
+	// feedback value to store into F-Mes[q]. A nil OnBroadcast leaves
+	// F-Mes[q] unchanged.
+	OnBroadcast func(env core.Env, from core.ProcID, b core.Payload) core.Payload
+	// OnFeedback handles a "receive-fck<F> from q" event. May be nil.
+	OnFeedback func(env core.Env, from core.ProcID, f core.Payload)
+}
+
+// Option configures a PIF machine.
+type Option func(*PIF)
+
+// WithCapacityBound declares the known channel capacity bound c >= 1 and
+// sizes the flag domain to {0..2c+2} accordingly. Default is the paper's
+// c = 1 (flag domain {0..4}).
+func WithCapacityBound(c int) Option {
+	return func(p *PIF) {
+		if c < 1 {
+			panic(fmt.Sprintf("pif: invalid capacity bound %d", c))
+		}
+		p.top = uint8(2*c + 2)
+	}
+}
+
+// WithFlagTop overrides the flag-domain top directly. It exists for the
+// ablation experiments (E9): tops below 2c+2 make the protocol unsound,
+// which the model checker then demonstrates. Production code should use
+// WithCapacityBound.
+func WithFlagTop(top int) Option {
+	return func(p *PIF) {
+		if top < 1 || top > 250 {
+			panic(fmt.Sprintf("pif: invalid flag top %d", top))
+		}
+		p.top = uint8(top)
+	}
+}
+
+// PIF is one process's instance of Protocol PIF. Exported fields mirror
+// the paper's variables; they are exported because sibling packages
+// (checkers, corruption, composed protocols) manipulate raw protocol state
+// — exactly what "arbitrary initial configuration" means.
+type PIF struct {
+	inst string
+	self core.ProcID
+	n    int
+	top  uint8
+	cb   Callbacks
+
+	// Request is the input/output variable driving computations
+	// (Wait -> In -> Done).
+	Request core.ReqState
+	// BMes is the data to broadcast (input variable B-Mes).
+	BMes core.Payload
+	// FMes[q] is the feedback value for neighbour q (input variable
+	// F-Mes[q]); entry self is unused.
+	FMes []core.Payload
+	// State[q] is the handshake flag toward q; entry self is unused.
+	State []uint8
+	// Neig[q] is the last flag value received from q (NeigState[q]).
+	Neig []uint8
+}
+
+var (
+	_ core.Machine     = (*PIF)(nil)
+	_ core.Snapshotter = (*PIF)(nil)
+	_ core.Corruptible = (*PIF)(nil)
+)
+
+// New returns a PIF machine for process self in an n-process system,
+// publishing on protocol instance inst. The zero-value state corresponds
+// to the clean configuration (Request = Wait is NOT assumed; Request
+// starts Done so nothing runs until invoked or corrupted).
+func New(inst string, self core.ProcID, n int, cb Callbacks, opts ...Option) *PIF {
+	if n < 2 {
+		panic(fmt.Sprintf("pif: need n >= 2, got %d", n))
+	}
+	if self < 0 || int(self) >= n {
+		panic(fmt.Sprintf("pif: self %d outside [0,%d)", self, n))
+	}
+	p := &PIF{
+		inst:    inst,
+		self:    self,
+		n:       n,
+		top:     4, // c = 1, the paper's setting
+		cb:      cb,
+		Request: core.Done,
+		FMes:    make([]core.Payload, n),
+		State:   make([]uint8, n),
+		Neig:    make([]uint8, n),
+	}
+	for _, opt := range opts {
+		opt(p)
+	}
+	return p
+}
+
+// Instance returns the protocol instance ID.
+func (p *PIF) Instance() string { return p.inst }
+
+// Callbacks returns the current application callbacks.
+func (p *PIF) Callbacks() Callbacks { return p.cb }
+
+// SetCallbacks replaces the application callbacks; tools and tests use it
+// to attach observation hooks after construction.
+func (p *PIF) SetCallbacks(cb Callbacks) { p.cb = cb }
+
+// FlagTop returns the top of the flag domain (4 for the paper's c = 1).
+func (p *PIF) FlagTop() uint8 { return p.top }
+
+// Self returns the owning process.
+func (p *PIF) Self() core.ProcID { return p.self }
+
+// Invoke submits an external request to broadcast b. Following the model
+// (§4.1), the application must not re-request before the previous
+// computation decided; Invoke reports false, without effect, if
+// Request != Done.
+func (p *PIF) Invoke(env core.Env, b core.Payload) bool {
+	if p.Request != core.Done {
+		return false
+	}
+	p.BMes = b
+	p.Request = core.Wait
+	env.Emit(core.Event{Kind: core.EvRequest, Peer: -1, Instance: p.inst, Note: b.String()})
+	return true
+}
+
+// Reset unconditionally re-requests a broadcast of b, abandoning any
+// computation in progress. Composed protocols (Algorithm 3's phase
+// machine) use it; external applications should use Invoke.
+func (p *PIF) Reset(b core.Payload) {
+	p.BMes = b
+	p.Request = core.Wait
+}
+
+// Done reports whether no computation is requested or in progress.
+func (p *PIF) Done() bool { return p.Request == core.Done }
+
+// Step runs the internal actions A1 and A2 in text order.
+func (p *PIF) Step(env core.Env) bool {
+	fired := false
+
+	// A1 :: Request = Wait -> start: Request <- In; forall q: State[q] <- 0.
+	if p.Request == core.Wait {
+		p.Request = core.In
+		for q := range p.State {
+			if q != int(p.self) {
+				p.State[q] = 0
+			}
+		}
+		env.Emit(core.Event{Kind: core.EvStart, Peer: -1, Instance: p.inst, Note: p.BMes.String()})
+		fired = true
+	}
+
+	// A2 :: Request = In -> terminate or (re)transmit.
+	if p.Request == core.In {
+		if p.allTop() {
+			p.Request = core.Done
+			env.Emit(core.Event{Kind: core.EvDecide, Peer: -1, Instance: p.inst, Note: p.BMes.String()})
+		} else {
+			for q := 0; q < p.n; q++ {
+				if q == int(p.self) || p.State[q] == p.top {
+					continue
+				}
+				env.Send(core.ProcID(q), core.Message{
+					Instance: p.inst,
+					Kind:     Kind,
+					B:        p.BMes,
+					F:        p.FMes[q],
+					State:    p.State[q],
+					Echo:     p.Neig[q],
+				})
+			}
+		}
+		fired = true
+	}
+
+	return fired
+}
+
+// Deliver runs the receive action A3 for a message from q.
+//
+// The incoming message fields are, in the paper's notation at receiver p:
+// m.State = qState (the sender's flag toward p) and m.Echo = pState (the
+// sender's NeigState, i.e. the echo of p's own flag).
+func (p *PIF) Deliver(env core.Env, from core.ProcID, m core.Message) {
+	if m.Kind != Kind || from == p.self || int(from) >= p.n || from < 0 {
+		// Garbage from the initial configuration: consumed, no effect.
+		return
+	}
+	q := int(from)
+
+	// Clamp out-of-domain flag values from garbage messages. A value
+	// above top can never equal State[q] (<= top) nor top-1 except when
+	// clamped; clamping to top keeps it inert in every comparison below,
+	// matching the model where garbage fields range over the declared
+	// domain.
+	qState := m.State
+	if qState > p.top {
+		qState = p.top
+	}
+	echo := m.Echo
+
+	// receive-brd: accepted once per incoming broadcast, when the
+	// sender's flag first shows top-1.
+	if p.Neig[q] != p.top-1 && qState == p.top-1 {
+		env.Emit(core.Event{Kind: core.EvRecvBrd, Peer: from, Instance: p.inst, Msg: m, Note: m.B.String()})
+		if p.cb.OnBroadcast != nil {
+			p.FMes[q] = p.cb.OnBroadcast(env, from, m.B)
+		}
+	}
+
+	p.Neig[q] = qState
+
+	// Echo-matched increment; at top, the feedback is accepted.
+	if p.State[q] == echo && p.State[q] < p.top {
+		p.State[q]++
+		if p.State[q] == p.top {
+			env.Emit(core.Event{Kind: core.EvRecvFck, Peer: from, Instance: p.inst, Msg: m, Note: m.F.String()})
+			if p.cb.OnFeedback != nil {
+				p.cb.OnFeedback(env, from, m.F)
+			}
+		}
+	}
+
+	// Answer the sender while it still waits for echoes.
+	if qState < p.top {
+		env.Send(from, core.Message{
+			Instance: p.inst,
+			Kind:     Kind,
+			B:        p.BMes,
+			F:        p.FMes[q],
+			State:    p.State[q],
+			Echo:     p.Neig[q],
+		})
+	}
+}
+
+func (p *PIF) allTop() bool {
+	for q := 0; q < p.n; q++ {
+		if q != int(p.self) && p.State[q] != p.top {
+			return false
+		}
+	}
+	return true
+}
+
+// AppendState appends a canonical encoding of the machine state.
+func (p *PIF) AppendState(dst []byte) []byte {
+	dst = append(dst, 'P', byte(p.Request))
+	dst = core.AppendPayload(dst, p.BMes)
+	for q := 0; q < p.n; q++ {
+		if q == int(p.self) {
+			continue
+		}
+		dst = append(dst, p.State[q], p.Neig[q])
+		dst = core.AppendPayload(dst, p.FMes[q])
+	}
+	return dst
+}
+
+// Corrupt overwrites every variable with uniformly random values from its
+// domain, realizing an arbitrary initial configuration. Constants (n,
+// self, instance, flag top) are untouched, as in the model.
+func (p *PIF) Corrupt(r core.Rand) {
+	p.Request = core.ReqState(r.Intn(core.NumReqStates))
+	p.BMes = GarbagePayload(r)
+	for q := 0; q < p.n; q++ {
+		if q == int(p.self) {
+			continue
+		}
+		p.State[q] = uint8(r.Intn(int(p.top) + 1))
+		p.Neig[q] = uint8(r.Intn(int(p.top) + 1))
+		p.FMes[q] = GarbagePayload(r)
+	}
+}
+
+// GarbagePayload draws a random payload, used for corrupted variables and
+// garbage channel contents. The tag marks provenance so Property 1 tests
+// can recognize initial-configuration data.
+func GarbagePayload(r core.Rand) core.Payload {
+	return core.Payload{Tag: "garbage", Num: int64(r.Intn(1 << 16))}
+}
+
+// GarbageMessage draws a random PIF message for instance inst with flags
+// in the domain {0..top}, used to fill channels in arbitrary initial
+// configurations.
+func GarbageMessage(r core.Rand, inst string, top uint8) core.Message {
+	return core.Message{
+		Instance: inst,
+		Kind:     Kind,
+		B:        GarbagePayload(r),
+		F:        GarbagePayload(r),
+		State:    uint8(r.Intn(int(top) + 1)),
+		Echo:     uint8(r.Intn(int(top) + 1)),
+	}
+}

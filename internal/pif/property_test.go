@@ -1,0 +1,178 @@
+package pif
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/snapstab/snapstab/internal/core"
+	"github.com/snapstab/snapstab/internal/rng"
+	"github.com/snapstab/snapstab/internal/sim"
+)
+
+// TestPropertyFlagsStayInDomain: under arbitrary corruption, garbage, and
+// random schedules, no machine's flags ever leave {0..FlagTop}.
+func TestPropertyFlagsStayInDomain(t *testing.T) {
+	t.Parallel()
+	f := func(seed uint64, n8, top8, steps16 uint16) bool {
+		n := int(n8%3) + 2     // 2..4
+		top := int(top8%5) + 1 // 1..5
+		steps := int(steps16%2000) + 100
+		machines := make([]*PIF, n)
+		stacks := make([]core.Stack, n)
+		for i := 0; i < n; i++ {
+			machines[i] = New("pif", core.ProcID(i), n, Callbacks{}, WithFlagTop(top))
+			stacks[i] = core.Stack{machines[i]}
+		}
+		net := sim.New(stacks, sim.WithSeed(seed))
+		r := rng.New(seed ^ 0xABCD)
+		for _, m := range machines {
+			m.Corrupt(r)
+			m.Request = core.Wait // everything computes
+		}
+		for i := 0; i < steps; i++ {
+			net.Step()
+			for _, m := range machines {
+				for q := 0; q < n; q++ {
+					if q == int(m.Self()) {
+						continue
+					}
+					if m.State[q] > uint8(top) || m.Neig[q] > uint8(top) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDecisionImpliesAllTop: whenever Request transitions to Done
+// from In, every per-neighbour flag equals FlagTop (A2's guard).
+func TestPropertyDecisionImpliesAllTop(t *testing.T) {
+	t.Parallel()
+	f := func(seed uint64, n8 uint8) bool {
+		n := int(n8%3) + 2
+		machines := make([]*PIF, n)
+		stacks := make([]core.Stack, n)
+		for i := 0; i < n; i++ {
+			machines[i] = New("pif", core.ProcID(i), n, Callbacks{})
+			stacks[i] = core.Stack{machines[i]}
+		}
+		net := sim.New(stacks, sim.WithSeed(seed))
+		r := rng.New(seed ^ 0xF00D)
+		for _, m := range machines {
+			m.Corrupt(r)
+		}
+		prev := make([]core.ReqState, n)
+		for i, m := range machines {
+			prev[i] = m.Request
+		}
+		for i := 0; i < 3000; i++ {
+			net.Step()
+			for j, m := range machines {
+				if prev[j] == core.In && m.Request == core.Done {
+					for q := 0; q < n; q++ {
+						if q != j && m.State[q] != m.FlagTop() {
+							return false
+						}
+					}
+				}
+				prev[j] = m.Request
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySingleFckPerComputation: within one started computation, at
+// most one receive-fck event is generated per neighbour.
+func TestPropertySingleFckPerComputation(t *testing.T) {
+	t.Parallel()
+	f := func(seed uint64) bool {
+		const n = 3
+		fcks := make(map[[2]core.ProcID]int)
+		ok := true
+		machines := make([]*PIF, n)
+		stacks := make([]core.Stack, n)
+		for i := 0; i < n; i++ {
+			machines[i] = New("pif", core.ProcID(i), n, Callbacks{})
+			stacks[i] = core.Stack{machines[i]}
+		}
+		obs := core.ObserverFunc(func(e core.Event) {
+			switch e.Kind {
+			case core.EvRecvFck:
+				key := [2]core.ProcID{e.Proc, e.Peer}
+				fcks[key]++
+				if fcks[key] > 1 {
+					ok = false
+				}
+			case core.EvStart, core.EvDecide:
+				// A new computation (or its end) resets the per-pair count.
+				for k := range fcks {
+					if k[0] == e.Proc {
+						delete(fcks, k)
+					}
+				}
+			}
+		})
+		net := sim.New(stacks, sim.WithSeed(seed), sim.WithObserver(obs))
+		r := rng.New(seed + 5)
+		for _, m := range machines {
+			m.Corrupt(r)
+			m.Request = core.Wait
+		}
+		for i := 0; i < 5000 && ok; i++ {
+			net.Step()
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyQuiescenceAfterAllDone: once every machine is Done and the
+// channels drain, the system stays silent (no sends ever again).
+func TestPropertyQuiescenceAfterAllDone(t *testing.T) {
+	t.Parallel()
+	f := func(seed uint64) bool {
+		const n = 3
+		machines := make([]*PIF, n)
+		stacks := make([]core.Stack, n)
+		for i := 0; i < n; i++ {
+			machines[i] = New("pif", core.ProcID(i), n, Callbacks{})
+			stacks[i] = core.Stack{machines[i]}
+		}
+		net := sim.New(stacks, sim.WithSeed(seed))
+		r := rng.New(seed * 3)
+		for _, m := range machines {
+			m.Corrupt(r)
+		}
+		// Run until all Done (termination property) and channels empty.
+		err := net.RunUntil(func() bool {
+			for _, m := range machines {
+				if !m.Done() {
+					return false
+				}
+			}
+			return net.InTransit() == 0
+		}, 2_000_000)
+		if err != nil {
+			return false
+		}
+		before := net.Stats().Sends
+		for i := 0; i < 500; i++ {
+			net.Step()
+		}
+		return net.Stats().Sends == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,190 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	t.Parallel()
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("streams diverged at step %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestKnownStream(t *testing.T) {
+	t.Parallel()
+	// Reference values for SplitMix64 seeded with 1234567, from the
+	// published reference implementation.
+	s := New(1234567)
+	want := []uint64{
+		6457827717110365317,
+		3203168211198807973,
+		9817491932198370423,
+		4593380528125082431,
+		16408922859458223821,
+	}
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Fatalf("value %d: got %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	t.Parallel()
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	t.Parallel()
+	s := New(7)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 200; i++ {
+			if v := s.Intn(n); v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnCoversAllValues(t *testing.T) {
+	t.Parallel()
+	s := New(99)
+	const n = 7
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		seen[s.Intn(n)] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("Intn(%d) covered only %d values", n, len(seen))
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	t.Parallel()
+	s := New(3)
+	for i := 0; i < 1000; i++ {
+		if v := s.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	t.Parallel()
+	s := New(11)
+	var sum float64
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / trials
+	if mean < 0.49 || mean > 0.51 {
+		t.Fatalf("mean of uniform draws = %v, want ~0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	t.Parallel()
+	if err := quick.Check(func(seed uint64, n8 uint8) bool {
+		n := int(n8%32) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermZero(t *testing.T) {
+	t.Parallel()
+	if p := New(1).Perm(0); len(p) != 0 {
+		t.Fatalf("Perm(0) = %v, want empty", p)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	t.Parallel()
+	parent := New(5)
+	child := parent.Split()
+	// The child stream must not simply mirror the parent stream.
+	diverged := false
+	for i := 0; i < 50; i++ {
+		if parent.Uint64() != child.Uint64() {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("split stream mirrors parent stream")
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	t.Parallel()
+	var s Source
+	if s.Uint64() == 0 && s.Uint64() == 0 {
+		t.Fatal("zero-value source produced all-zero stream")
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	t.Parallel()
+	s := New(17)
+	trues := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		if s.Bool() {
+			trues++
+		}
+	}
+	if trues < trials*45/100 || trues > trials*55/100 {
+		t.Fatalf("Bool() returned true %d/%d times, want ~50%%", trues, trials)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Intn(1000)
+	}
+}

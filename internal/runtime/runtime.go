@@ -1,0 +1,239 @@
+// Package runtime executes protocol stacks as real concurrent processes:
+// one goroutine per process, and one buffered Go channel per directed
+// (sender, receiver, instance) link.
+//
+// The mapping to the paper's model is direct:
+//
+//   - a Go channel with capacity c is a FIFO channel holding at most c
+//     messages;
+//   - a non-blocking send (select/default) into a full channel drops the
+//     message — exactly "if a process sends a message in a channel that
+//     is full, then the message is lost" (§4);
+//   - goroutine scheduling provides genuine asynchrony; the Go runtime's
+//     fairness gives the paper's weak fairness in practice.
+//
+// Unlike internal/sim, executions here are not reproducible — this
+// substrate exists to demonstrate that the protocols run unchanged under
+// true concurrency (and, via internal/transport/udp, on real sockets).
+// The deterministic simulator remains the tool for experiments and
+// counter-examples.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/snapstab/snapstab/internal/core"
+	"github.com/snapstab/snapstab/internal/rng"
+)
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithCapacity sets the per-link channel capacity (default 1).
+func WithCapacity(c int) Option {
+	return func(e *Engine) { e.capacity = c }
+}
+
+// WithLossRate drops each received message with the given probability,
+// exercising the protocols' loss tolerance on this substrate too.
+func WithLossRate(p float64) Option {
+	return func(e *Engine) { e.loss = p }
+}
+
+// WithObserver subscribes a thread-safe event observer.
+func WithObserver(o core.Observer) Option {
+	return func(e *Engine) { e.observers = append(e.observers, o) }
+}
+
+// WithTick sets the pacing of process activations (default 50µs). Shorter
+// ticks run hotter and faster.
+func WithTick(d time.Duration) Option {
+	return func(e *Engine) { e.tick = d }
+}
+
+// linkKey identifies a directed per-instance link.
+type linkKey struct {
+	from, to core.ProcID
+	instance string
+}
+
+// Engine is a running concurrent deployment.
+type Engine struct {
+	n         int
+	capacity  int
+	loss      float64
+	tick      time.Duration
+	stacks    []core.Stack
+	routes    []map[string]core.Machine
+	observers core.MultiObserver
+
+	mu    sync.Mutex // guards links map creation
+	links map[linkKey]chan core.Message
+
+	procMu []sync.Mutex // one per process: atomic guarded actions
+
+	step    atomic.Int64
+	dropped atomic.Int64
+	started bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// New assembles an engine from one stack per process.
+func New(stacks []core.Stack, opts ...Option) *Engine {
+	if len(stacks) < 2 {
+		panic(fmt.Sprintf("runtime: need at least 2 processes, got %d", len(stacks)))
+	}
+	e := &Engine{
+		n:        len(stacks),
+		capacity: 1,
+		tick:     50 * time.Microsecond,
+		stacks:   stacks,
+		links:    make(map[linkKey]chan core.Message),
+		procMu:   make([]sync.Mutex, len(stacks)),
+		stop:     make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.capacity < 1 {
+		panic(fmt.Sprintf("runtime: invalid capacity %d", e.capacity))
+	}
+	if e.loss < 0 || e.loss >= 1 {
+		panic(fmt.Sprintf("runtime: loss rate %v outside [0,1)", e.loss))
+	}
+	e.routes = make([]map[string]core.Machine, e.n)
+	for i, s := range stacks {
+		e.routes[i] = s.ByInstance()
+	}
+	return e
+}
+
+// link returns (creating on demand) the Go channel for k.
+func (e *Engine) link(k linkKey) chan core.Message {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ch, ok := e.links[k]
+	if !ok {
+		ch = make(chan core.Message, e.capacity)
+		e.links[k] = ch
+	}
+	return ch
+}
+
+// env implements core.Env for one process. It must only be used while the
+// process mutex is held (the engine and Do guarantee that).
+type env struct {
+	e    *Engine
+	self core.ProcID
+}
+
+func (v env) Self() core.ProcID { return v.self }
+func (v env) N() int            { return v.e.n }
+
+func (v env) Send(to core.ProcID, m core.Message) {
+	ch := v.e.link(linkKey{from: v.self, to: to, instance: m.Instance})
+	select {
+	case ch <- m:
+		v.e.emit(core.Event{Kind: core.EvSend, Proc: v.self, Peer: to, Instance: m.Instance, Msg: m})
+	default:
+		// Channel full: the message is lost, per the model.
+		v.e.dropped.Add(1)
+		v.e.emit(core.Event{Kind: core.EvSendLost, Proc: v.self, Peer: to, Instance: m.Instance, Msg: m})
+	}
+}
+
+func (v env) Emit(ev core.Event) {
+	ev.Proc = v.self
+	v.e.emit(ev)
+}
+
+func (e *Engine) emit(ev core.Event) {
+	ev.Step = int(e.step.Add(1))
+	if len(e.observers) > 0 {
+		e.observers.OnEvent(ev)
+	}
+}
+
+// Start launches the process goroutines. It may be called once.
+func (e *Engine) Start() {
+	if e.started {
+		panic("runtime: Start called twice")
+	}
+	e.started = true
+	for p := 0; p < e.n; p++ {
+		p := core.ProcID(p)
+		e.wg.Add(1)
+		go e.run(p)
+	}
+}
+
+// run is the main loop of one process: activate the stack, then drain
+// every incoming link once, forever.
+func (e *Engine) run(p core.ProcID) {
+	defer e.wg.Done()
+	r := rng.New(uint64(p) + 0x9E3779B9)
+	ticker := time.NewTicker(e.tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-ticker.C:
+		}
+
+		e.procMu[p].Lock()
+		ev := env{e: e, self: p}
+		for _, m := range e.stacks[p] {
+			m.Step(ev)
+		}
+		// Drain each incoming link non-blockingly.
+		for from := 0; from < e.n; from++ {
+			if from == int(p) {
+				continue
+			}
+			for inst, mach := range e.routes[p] {
+				ch := e.link(linkKey{from: core.ProcID(from), to: p, instance: inst})
+				select {
+				case m := <-ch:
+					if e.loss > 0 && r.Float64() < e.loss {
+						e.dropped.Add(1)
+						e.emit(core.Event{Kind: core.EvLose, Proc: p, Peer: core.ProcID(from), Instance: inst, Msg: m})
+						continue
+					}
+					e.emit(core.Event{Kind: core.EvDeliver, Proc: p, Peer: core.ProcID(from), Instance: inst, Msg: m})
+					mach.Deliver(ev, core.ProcID(from), m)
+				default:
+				}
+			}
+		}
+		e.procMu[p].Unlock()
+	}
+}
+
+// Do runs f under process p's action mutex, with p's environment. Use it
+// for external interactions (submitting requests, reading protocol state)
+// while the engine runs.
+func (e *Engine) Do(p core.ProcID, f func(env core.Env)) {
+	e.procMu[p].Lock()
+	defer e.procMu[p].Unlock()
+	f(env{e: e, self: p})
+}
+
+// Dropped returns the number of messages lost so far (full channels plus
+// injected loss).
+func (e *Engine) Dropped() int64 { return e.dropped.Load() }
+
+// Stop terminates all process goroutines and waits for them to exit.
+func (e *Engine) Stop() {
+	select {
+	case <-e.stop:
+		return // already stopped
+	default:
+	}
+	close(e.stop)
+	e.wg.Wait()
+}

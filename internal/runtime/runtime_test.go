@@ -1,0 +1,245 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/snapstab/snapstab/internal/core"
+	"github.com/snapstab/snapstab/internal/idl"
+	"github.com/snapstab/snapstab/internal/mutex"
+	"github.com/snapstab/snapstab/internal/pif"
+	"github.com/snapstab/snapstab/internal/rng"
+	"github.com/snapstab/snapstab/internal/spec"
+)
+
+// waitFor polls cond (under no lock; use engine.Do inside cond if state
+// access is needed) until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return cond()
+}
+
+func pifStacks(n int) ([]core.Stack, []*pif.PIF) {
+	stacks := make([]core.Stack, n)
+	machines := make([]*pif.PIF, n)
+	for i := 0; i < n; i++ {
+		id := core.ProcID(i)
+		machines[i] = pif.New("pif", id, n, pif.Callbacks{
+			OnBroadcast: func(_ core.Env, _ core.ProcID, b core.Payload) core.Payload {
+				return core.Payload{Tag: "ack", Num: b.Num*100 + int64(id)}
+			},
+		})
+		stacks[i] = core.Stack{machines[i]}
+	}
+	return stacks, machines
+}
+
+func TestPIFOnConcurrentSubstrate(t *testing.T) {
+	t.Parallel()
+	stacks, machines := pifStacks(4)
+	e := New(stacks)
+	e.Start()
+	defer e.Stop()
+
+	token := core.Payload{Tag: "m", Num: 9}
+	e.Do(0, func(env core.Env) {
+		if !machines[0].Invoke(env, token) {
+			t.Error("Invoke rejected")
+		}
+	})
+	done := waitFor(t, 10*time.Second, func() bool {
+		var d bool
+		e.Do(0, func(core.Env) { d = machines[0].Done() && machines[0].BMes == token })
+		return d
+	})
+	if !done {
+		t.Fatal("broadcast did not complete on the concurrent substrate")
+	}
+}
+
+func TestPIFUnderInjectedLoss(t *testing.T) {
+	t.Parallel()
+	stacks, machines := pifStacks(3)
+	e := New(stacks, WithLossRate(0.3))
+	e.Start()
+	defer e.Stop()
+	e.Do(0, func(env core.Env) { machines[0].Invoke(env, core.Payload{Tag: "m"}) })
+	if !waitFor(t, 20*time.Second, func() bool {
+		var d bool
+		e.Do(0, func(core.Env) { d = machines[0].Done() })
+		return d
+	}) {
+		t.Fatal("broadcast did not survive injected loss")
+	}
+	if e.Dropped() == 0 {
+		t.Fatal("no messages dropped; loss injection inert")
+	}
+}
+
+func TestPIFFromCorruptedStateConcurrent(t *testing.T) {
+	t.Parallel()
+	stacks, machines := pifStacks(3)
+	r := rng.New(99)
+	for _, m := range machines {
+		m.Corrupt(r)
+	}
+	checker := &spec.PIFChecker{N: 3, Initiator: 0, Instance: "pif",
+		ExpectFck: func(q core.ProcID, b core.Payload) core.Payload {
+			return core.Payload{Tag: "ack", Num: b.Num*100 + int64(q)}
+		}}
+	guard := &lockedObserver{inner: checker}
+	e := New(stacks, WithObserver(guard))
+	e.Start()
+	defer e.Stop()
+
+	token := core.Payload{Tag: "fresh", Num: 5}
+	invoked := waitFor(t, 10*time.Second, func() bool {
+		var ok bool
+		e.Do(0, func(env core.Env) {
+			// Invoke emits an event through the observer, so the guard
+			// must not be held around it; the process mutex (held by Do)
+			// already keeps the start action from racing ahead of Arm.
+			ok = machines[0].Invoke(env, token)
+			if ok {
+				guard.mu.Lock()
+				checker.Arm(token)
+				guard.mu.Unlock()
+			}
+		})
+		return ok
+	})
+	if !invoked {
+		t.Fatal("corrupted computation never terminated to accept the request")
+	}
+	if !waitFor(t, 20*time.Second, func() bool {
+		guard.mu.Lock()
+		defer guard.mu.Unlock()
+		return checker.Decided()
+	}) {
+		t.Fatal("requested computation did not decide")
+	}
+	guard.mu.Lock()
+	defer guard.mu.Unlock()
+	if v := checker.Violations(); len(v) != 0 {
+		t.Fatalf("specification violated on concurrent substrate: %v", v)
+	}
+}
+
+// lockedObserver serializes observer callbacks from multiple goroutines.
+type lockedObserver struct {
+	mu    sync.Mutex
+	inner core.Observer
+}
+
+func (l *lockedObserver) OnEvent(e core.Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.OnEvent(e)
+}
+
+func TestIDLOnConcurrentSubstrate(t *testing.T) {
+	t.Parallel()
+	ids := []int64{42, 7, 19}
+	stacks := make([]core.Stack, 3)
+	machines := make([]*idl.IDL, 3)
+	for i := range stacks {
+		machines[i] = idl.New("idl", core.ProcID(i), 3, ids[i])
+		stacks[i] = machines[i].Machines()
+	}
+	e := New(stacks)
+	e.Start()
+	defer e.Stop()
+	e.Do(2, func(env core.Env) { machines[2].Invoke(env) })
+	if !waitFor(t, 10*time.Second, func() bool {
+		var d bool
+		e.Do(2, func(core.Env) { d = machines[2].Done() })
+		return d
+	}) {
+		t.Fatal("IDs-Learning did not complete")
+	}
+	e.Do(2, func(core.Env) {
+		if machines[2].MinID != 7 || machines[2].IDTab[0] != 42 || machines[2].IDTab[1] != 7 {
+			t.Errorf("learned MinID=%d IDTab=%v", machines[2].MinID, machines[2].IDTab)
+		}
+	})
+}
+
+func TestMutexOnConcurrentSubstrate(t *testing.T) {
+	t.Parallel()
+	const n = 3
+	stacks := make([]core.Stack, n)
+	machines := make([]*mutex.ME, n)
+	for i := range stacks {
+		machines[i] = mutex.New("me", core.ProcID(i), n, int64(i+1))
+		stacks[i] = machines[i].Machines()
+	}
+	checker := spec.NewMutexChecker()
+	guard := &lockedObserver{inner: checker}
+	e := New(stacks, WithObserver(guard))
+	e.Start()
+	defer e.Stop()
+
+	for i := 0; i < n; i++ {
+		i := core.ProcID(i)
+		e.Do(i, func(env core.Env) { machines[i].Invoke(env) })
+	}
+	if !waitFor(t, 60*time.Second, func() bool {
+		served := true
+		for i := 0; i < n; i++ {
+			i := core.ProcID(i)
+			e.Do(i, func(core.Env) {
+				if machines[i].Requested() {
+					served = false
+				}
+			})
+		}
+		return served
+	}) {
+		t.Fatal("not every request was served on the concurrent substrate")
+	}
+	guard.mu.Lock()
+	defer guard.mu.Unlock()
+	if v := checker.Violations(); len(v) != 0 {
+		t.Fatalf("mutual exclusion violated: %v", v)
+	}
+	if checker.Entries() != n {
+		t.Fatalf("served entries = %d, want %d", checker.Entries(), n)
+	}
+}
+
+func TestStopIsIdempotentAndTerminates(t *testing.T) {
+	t.Parallel()
+	stacks, _ := pifStacks(2)
+	e := New(stacks)
+	e.Start()
+	e.Stop()
+	e.Stop() // second call must not panic or hang
+}
+
+func TestConstructorValidation(t *testing.T) {
+	t.Parallel()
+	stacks, _ := pifStacks(2)
+	for name, f := range map[string]func(){
+		"one process": func() { New(stacks[:1]) },
+		"capacity 0":  func() { New(stacks, WithCapacity(0)) },
+		"loss 1":      func() { New(stacks, WithLossRate(1)) },
+	} {
+		name, f := name, f
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

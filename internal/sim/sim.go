@@ -1,0 +1,486 @@
+// Package sim is the deterministic execution substrate: it runs protocol
+// stacks (core.Stack) over per-pair bounded or unbounded channels under a
+// seeded scheduler, realizing the asynchronous message-passing model of
+// the paper (§2).
+//
+// All nondeterminism of the model — which process takes a step, which
+// message is delivered, which message is lost — is resolved by a single
+// seeded PRNG, so every execution replays exactly from (topology, stacks,
+// seed). The scheduler offers two disciplines:
+//
+//   - Step: one uniformly random enabled scheduler step (activation,
+//     delivery, or loss). Random scheduling is fair with probability 1,
+//     matching the paper's fairness assumptions.
+//   - SyncRound: activate every process once, then deliver (or lose)
+//     every channel head once. Deterministic and fair; gives a
+//     well-defined "round" unit for complexity measurements.
+//
+// The package also exposes the raw operations (Activate, Deliver, Lose,
+// Link) so adversaries — notably the Theorem 1 construction in
+// internal/adversary — can drive executions by hand.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/snapstab/snapstab/internal/channel"
+	"github.com/snapstab/snapstab/internal/core"
+	"github.com/snapstab/snapstab/internal/rng"
+)
+
+// LinkKey identifies one directed logical channel: the physical link
+// (From, To) carrying one protocol instance. Composed protocol stacks
+// multiplex several instances per physical link; each instance gets its
+// own capacity-bounded sub-channel (see DESIGN.md §4).
+type LinkKey struct {
+	From, To core.ProcID
+	Instance string
+}
+
+// String renders the key compactly.
+func (k LinkKey) String() string {
+	return fmt.Sprintf("p%d->p%d/%s", k.From, k.To, k.Instance)
+}
+
+// Stats counts what happened during a run.
+type Stats struct {
+	// Steps is the number of scheduler steps executed.
+	Steps int
+	// Activations is the number of process activations.
+	Activations int
+	// Sends is the number of messages pushed into channels (including
+	// those immediately lost to a full channel).
+	Sends int
+	// SendLosses counts messages lost because the channel was full.
+	SendLosses int
+	// LinkLosses counts in-transit messages dropped by the lossy link.
+	LinkLosses int
+	// Deliveries counts messages handed to receive actions.
+	Deliveries int
+	// Rounds counts completed rounds: a round completes when every
+	// process has been activated at least once since the previous round.
+	Rounds int
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithCapacity sets the per-instance channel capacity (default 1, the
+// paper's single-message regime). The protocols must be constructed with
+// the same known bound.
+func WithCapacity(c int) Option {
+	return func(n *Network) { n.capacity = c }
+}
+
+// WithUnbounded switches every channel to unbounded capacity — the
+// Theorem 1 impossibility regime.
+func WithUnbounded() Option {
+	return func(n *Network) { n.unbounded = true }
+}
+
+// WithLossRate sets the probability that a scheduled delivery becomes a
+// loss instead. Must be in [0, 1); 1 would violate the fair-loss
+// assumption.
+func WithLossRate(p float64) Option {
+	return func(n *Network) { n.loss = p }
+}
+
+// WithSeed seeds the scheduler PRNG (default 1).
+func WithSeed(seed uint64) Option {
+	return func(n *Network) { n.seed = seed }
+}
+
+// WithObserver subscribes an event observer.
+func WithObserver(o core.Observer) Option {
+	return func(n *Network) { n.observers = append(n.observers, o) }
+}
+
+// Network is a fully-connected system of n processes and the channels
+// between them.
+type Network struct {
+	n         int
+	capacity  int
+	unbounded bool
+	loss      float64
+	seed      uint64
+
+	r         *rng.Source
+	stacks    []core.Stack
+	routes    []map[string]core.Machine
+	links     map[LinkKey]channel.Queue[core.Message]
+	linkOrder []LinkKey
+	observers core.MultiObserver
+
+	step         int
+	stats        Stats
+	activatedSet []bool
+	activatedN   int
+	crashed      []bool
+}
+
+// New assembles a network from one protocol stack per process. The stacks
+// slice length determines n; n must be at least 2.
+func New(stacks []core.Stack, opts ...Option) *Network {
+	if len(stacks) < 2 {
+		panic(fmt.Sprintf("sim: need at least 2 processes, got %d", len(stacks)))
+	}
+	net := &Network{
+		n:            len(stacks),
+		capacity:     1,
+		seed:         1,
+		stacks:       stacks,
+		links:        make(map[LinkKey]channel.Queue[core.Message]),
+		activatedSet: make([]bool, len(stacks)),
+		crashed:      make([]bool, len(stacks)),
+	}
+	for _, opt := range opts {
+		opt(net)
+	}
+	if net.loss < 0 || net.loss >= 1 {
+		panic(fmt.Sprintf("sim: loss rate %v outside [0,1)", net.loss))
+	}
+	if net.capacity < 1 {
+		panic(fmt.Sprintf("sim: invalid capacity %d", net.capacity))
+	}
+	net.r = rng.New(net.seed)
+	net.routes = make([]map[string]core.Machine, net.n)
+	for i, s := range stacks {
+		net.routes[i] = s.ByInstance()
+	}
+	return net
+}
+
+// N returns the number of processes.
+func (net *Network) N() int { return net.n }
+
+// Capacity returns the per-instance channel capacity bound
+// (channel.Unlimited when unbounded).
+func (net *Network) Capacity() int {
+	if net.unbounded {
+		return channel.Unlimited
+	}
+	return net.capacity
+}
+
+// Stats returns a copy of the run counters.
+func (net *Network) Stats() Stats {
+	out := net.stats
+	out.Steps = net.step
+	return out
+}
+
+// StepCount returns the number of scheduler steps executed so far.
+func (net *Network) StepCount() int { return net.step }
+
+// Stack returns process p's protocol stack.
+func (net *Network) Stack(p core.ProcID) core.Stack { return net.stacks[p] }
+
+// Rand exposes the scheduler PRNG so callers (corruption, tests) can draw
+// reproducible randomness from the same stream.
+func (net *Network) Rand() *rng.Source { return net.r }
+
+// Link returns the logical channel for key k, creating it empty on first
+// use. Creation order is recorded so scheduling stays deterministic.
+func (net *Network) Link(k LinkKey) channel.Queue[core.Message] {
+	if q, ok := net.links[k]; ok {
+		return q
+	}
+	if k.From == k.To || int(k.From) >= net.n || int(k.To) >= net.n || k.From < 0 || k.To < 0 {
+		panic(fmt.Sprintf("sim: invalid link %v", k))
+	}
+	var q channel.Queue[core.Message]
+	if net.unbounded {
+		q = channel.NewUnbounded[core.Message]()
+	} else {
+		q = channel.NewBounded[core.Message](net.capacity)
+	}
+	net.links[k] = q
+	net.linkOrder = append(net.linkOrder, k)
+	return q
+}
+
+// Links returns the keys of every channel created so far, in a
+// deterministic order.
+func (net *Network) Links() []LinkKey {
+	out := make([]LinkKey, len(net.linkOrder))
+	copy(out, net.linkOrder)
+	return out
+}
+
+// LinksSorted returns the created link keys in canonical sorted order
+// (useful for stable output independent of creation order).
+func (net *Network) LinksSorted() []LinkKey {
+	out := net.Links()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Instance < b.Instance
+	})
+	return out
+}
+
+// emit stamps and fans out an event.
+func (net *Network) emit(e core.Event) {
+	e.Step = net.step
+	if len(net.observers) > 0 {
+		net.observers.OnEvent(e)
+	}
+}
+
+// env adapts the network to core.Env for one process.
+type env struct {
+	net  *Network
+	self core.ProcID
+}
+
+var _ core.Env = env{}
+
+func (e env) Self() core.ProcID { return e.self }
+func (e env) N() int            { return e.net.n }
+
+func (e env) Send(to core.ProcID, m core.Message) {
+	q := e.net.Link(LinkKey{From: e.self, To: to, Instance: m.Instance})
+	e.net.stats.Sends++
+	if q.Send(m) {
+		e.net.emit(core.Event{Kind: core.EvSend, Proc: e.self, Peer: to, Instance: m.Instance, Msg: m})
+		return
+	}
+	e.net.stats.SendLosses++
+	e.net.emit(core.Event{Kind: core.EvSendLost, Proc: e.self, Peer: to, Instance: m.Instance, Msg: m})
+}
+
+func (e env) Emit(ev core.Event) {
+	ev.Proc = e.self
+	e.net.emit(ev)
+}
+
+// Env returns the environment for process p, letting external code (tests,
+// the façade) invoke requests that emit events through the same stream.
+func (net *Network) Env(p core.ProcID) core.Env { return env{net: net, self: p} }
+
+// Crash permanently silences process p: it takes no further internal
+// actions and consumes incoming messages with no effect. The paper's model
+// excludes crash (permanent) failures — it lists them as future work — so
+// this exists for the boundary experiments: the protocols stay safe but
+// lose liveness when a participant crashes mid-computation.
+func (net *Network) Crash(p core.ProcID) { net.crashed[p] = true }
+
+// Crashed reports whether p has crashed.
+func (net *Network) Crashed(p core.ProcID) bool { return net.crashed[p] }
+
+// Activate runs every enabled internal action of process p once, in text
+// order. It reports whether any action fired.
+func (net *Network) Activate(p core.ProcID) bool {
+	net.stats.Activations++
+	if !net.activatedSet[p] {
+		net.activatedSet[p] = true
+		net.activatedN++
+		if net.activatedN == net.n {
+			net.stats.Rounds++
+			net.activatedN = 0
+			for i := range net.activatedSet {
+				net.activatedSet[i] = false
+			}
+		}
+	}
+	if net.crashed[p] {
+		// The scheduler gave p its turn; a crashed process just does
+		// nothing with it (rounds keep advancing for liveness metrics).
+		return false
+	}
+	fired := false
+	e := env{net: net, self: p}
+	for _, m := range net.stacks[p] {
+		if m.Step(e) {
+			fired = true
+		}
+	}
+	return fired
+}
+
+// Deliver pops the head message of link k and runs the destination's
+// receive action. It reports false when the link is empty.
+func (net *Network) Deliver(k LinkKey) bool {
+	q, ok := net.links[k]
+	if !ok {
+		return false
+	}
+	m, ok := q.Recv()
+	if !ok {
+		return false
+	}
+	net.stats.Deliveries++
+	net.emit(core.Event{Kind: core.EvDeliver, Proc: k.To, Peer: k.From, Instance: m.Instance, Msg: m})
+	if mach, ok := net.routes[k.To][m.Instance]; ok && !net.crashed[k.To] {
+		mach.Deliver(env{net: net, self: k.To}, k.From, m)
+	}
+	// A message addressed to an unknown instance (initial garbage) is
+	// consumed with no effect, exactly like a message whose receive
+	// action has a false guard.
+	return true
+}
+
+// Lose drops the head message of link k, modeling link-level loss. It
+// reports false when the link is empty.
+func (net *Network) Lose(k LinkKey) bool {
+	q, ok := net.links[k]
+	if !ok {
+		return false
+	}
+	m, peeked := q.Peek()
+	if !peeked {
+		return false
+	}
+	q.Drop()
+	net.stats.LinkLosses++
+	net.emit(core.Event{Kind: core.EvLose, Proc: k.To, Peer: k.From, Instance: m.Instance, Msg: m})
+	return true
+}
+
+// nonEmptyLinks returns the keys of links currently holding messages, in
+// deterministic order.
+func (net *Network) nonEmptyLinks() []LinkKey {
+	var out []LinkKey
+	for _, k := range net.linkOrder {
+		if net.links[k].Len() > 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Step executes one random scheduler step: a uniformly chosen process
+// activation or channel-head delivery (which becomes a loss with the
+// configured probability). It reports whether the step changed anything
+// (an action fired or a message moved).
+func (net *Network) Step() bool {
+	net.step++
+	pending := net.nonEmptyLinks()
+	choice := net.r.Intn(net.n + len(pending))
+	if choice < net.n {
+		return net.Activate(core.ProcID(choice))
+	}
+	k := pending[choice-net.n]
+	if net.loss > 0 && net.r.Float64() < net.loss {
+		return net.Lose(k)
+	}
+	return net.Deliver(k)
+}
+
+// SyncRound activates every process once and then delivers (or loses)
+// every channel head once. It reports whether anything changed.
+func (net *Network) SyncRound() bool {
+	net.step++
+	changed := false
+	for p := 0; p < net.n; p++ {
+		if net.Activate(core.ProcID(p)) {
+			changed = true
+		}
+	}
+	for _, k := range net.nonEmptyLinks() {
+		if net.loss > 0 && net.r.Float64() < net.loss {
+			net.Lose(k)
+		} else {
+			net.Deliver(k)
+		}
+		changed = true
+	}
+	return changed
+}
+
+// ErrBudget is returned by RunUntil when the predicate did not hold within
+// the step budget — either a liveness violation or an undersized budget.
+type ErrBudget struct {
+	Steps int
+}
+
+func (e *ErrBudget) Error() string {
+	return fmt.Sprintf("sim: predicate still false after %d steps", e.Steps)
+}
+
+// RunUntil executes random scheduler steps until pred() holds, returning
+// nil, or until maxSteps have run, returning *ErrBudget.
+func (net *Network) RunUntil(pred func() bool, maxSteps int) error {
+	for i := 0; i < maxSteps; i++ {
+		if pred() {
+			return nil
+		}
+		net.Step()
+	}
+	if pred() {
+		return nil
+	}
+	return &ErrBudget{Steps: maxSteps}
+}
+
+// RunRoundsUntil is RunUntil with the synchronous-round scheduler; the
+// budget is counted in rounds.
+func (net *Network) RunRoundsUntil(pred func() bool, maxRounds int) error {
+	for i := 0; i < maxRounds; i++ {
+		if pred() {
+			return nil
+		}
+		net.SyncRound()
+	}
+	if pred() {
+		return nil
+	}
+	return &ErrBudget{Steps: maxRounds}
+}
+
+// Quiescent reports whether the system has terminated: every channel is
+// empty and no process has an enabled internal action. Probing executes
+// one activation sweep, which is itself a legal execution fragment.
+func (net *Network) Quiescent() bool {
+	for _, k := range net.linkOrder {
+		if net.links[k].Len() > 0 {
+			return false
+		}
+	}
+	for p := 0; p < net.n; p++ {
+		if net.Activate(core.ProcID(p)) {
+			return false
+		}
+	}
+	for _, k := range net.linkOrder {
+		if net.links[k].Len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// InTransit returns the total number of messages currently in channels.
+func (net *Network) InTransit() int {
+	total := 0
+	for _, k := range net.linkOrder {
+		total += net.links[k].Len()
+	}
+	return total
+}
+
+// ConfigHash returns a canonical encoding of the global configuration:
+// every process's machine states plus every channel's contents. Two equal
+// encodings mean equal configurations (for snapshot-implementing
+// machines). Used by tests and the divergence checks.
+func (net *Network) ConfigHash() string {
+	var buf []byte
+	for p := 0; p < net.n; p++ {
+		buf = append(buf, 0x02)
+		buf = net.stacks[p].AppendState(buf)
+	}
+	for _, k := range net.LinksSorted() {
+		buf = append(buf, 0x03)
+		buf = append(buf, k.String()...)
+		for _, m := range net.links[k].Contents() {
+			buf = core.AppendMessage(buf, m)
+		}
+	}
+	return string(buf)
+}

@@ -1,0 +1,395 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/snapstab/snapstab/internal/core"
+)
+
+// pinger sends PING to every peer on each activation until it has received
+// a PONG from all of them; it answers every PING with a PONG. A toy
+// request/reply protocol exercising the whole substrate.
+type pinger struct {
+	inst  string
+	self  core.ProcID
+	n     int
+	acked map[core.ProcID]bool
+}
+
+func newPinger(inst string, self core.ProcID, n int) *pinger {
+	return &pinger{inst: inst, self: self, n: n, acked: make(map[core.ProcID]bool)}
+}
+
+func (p *pinger) Instance() string { return p.inst }
+
+func (p *pinger) Done() bool { return len(p.acked) == p.n-1 }
+
+func (p *pinger) Step(env core.Env) bool {
+	if p.Done() {
+		return false
+	}
+	for q := 0; q < p.n; q++ {
+		if q == int(p.self) || p.acked[core.ProcID(q)] {
+			continue
+		}
+		env.Send(core.ProcID(q), core.Message{Instance: p.inst, Kind: "PING"})
+	}
+	return true
+}
+
+func (p *pinger) Deliver(env core.Env, from core.ProcID, m core.Message) {
+	switch m.Kind {
+	case "PING":
+		env.Send(from, core.Message{Instance: p.inst, Kind: "PONG"})
+	case "PONG":
+		p.acked[from] = true
+	}
+}
+
+func pingerStacks(n int) ([]core.Stack, []*pinger) {
+	stacks := make([]core.Stack, n)
+	machines := make([]*pinger, n)
+	for i := 0; i < n; i++ {
+		machines[i] = newPinger("ping", core.ProcID(i), n)
+		stacks[i] = core.Stack{machines[i]}
+	}
+	return stacks, machines
+}
+
+func TestRunUntilCompletesPingPong(t *testing.T) {
+	t.Parallel()
+	stacks, machines := pingerStacks(4)
+	net := New(stacks, WithSeed(7))
+	err := net.RunUntil(func() bool {
+		for _, m := range machines {
+			if !m.Done() {
+				return false
+			}
+		}
+		return true
+	}, 100000)
+	if err != nil {
+		t.Fatalf("ping-pong did not complete: %v", err)
+	}
+}
+
+func TestRunUntilCompletesUnderLoss(t *testing.T) {
+	t.Parallel()
+	stacks, machines := pingerStacks(3)
+	net := New(stacks, WithSeed(11), WithLossRate(0.4))
+	err := net.RunUntil(func() bool {
+		for _, m := range machines {
+			if !m.Done() {
+				return false
+			}
+		}
+		return true
+	}, 500000)
+	if err != nil {
+		t.Fatalf("ping-pong did not complete under loss: %v", err)
+	}
+	if net.Stats().LinkLosses == 0 {
+		t.Fatal("loss rate 0.4 produced zero link losses")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	t.Parallel()
+	run := func() (Stats, int) {
+		stacks, machines := pingerStacks(3)
+		net := New(stacks, WithSeed(99), WithLossRate(0.2))
+		_ = net.RunUntil(func() bool {
+			for _, m := range machines {
+				if !m.Done() {
+					return false
+				}
+			}
+			return true
+		}, 100000)
+		return net.Stats(), net.StepCount()
+	}
+	s1, n1 := run()
+	s2, n2 := run()
+	if s1 != s2 || n1 != n2 {
+		t.Fatalf("same seed diverged: %+v/%d vs %+v/%d", s1, n1, s2, n2)
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	t.Parallel()
+	run := func(seed uint64) int {
+		stacks, machines := pingerStacks(3)
+		net := New(stacks, WithSeed(seed))
+		_ = net.RunUntil(func() bool {
+			for _, m := range machines {
+				if !m.Done() {
+					return false
+				}
+			}
+			return true
+		}, 100000)
+		return net.StepCount()
+	}
+	if run(1) == run(2) && run(3) == run(4) && run(5) == run(6) {
+		t.Fatal("six different seeds produced pairwise identical step counts; scheduler likely ignores the seed")
+	}
+}
+
+func TestCapacityOneLosesOverflow(t *testing.T) {
+	t.Parallel()
+	// Two activations in a row without a delivery: the second PING into
+	// the same capacity-1 link must be lost.
+	stacks, _ := pingerStacks(2)
+	net := New(stacks)
+	net.Activate(0)
+	net.Activate(0)
+	if got := net.Stats().SendLosses; got != 1 {
+		t.Fatalf("SendLosses = %d, want 1", got)
+	}
+	if got := net.Link(LinkKey{From: 0, To: 1, Instance: "ping"}).Len(); got != 1 {
+		t.Fatalf("link holds %d messages, want 1", got)
+	}
+}
+
+func TestUnboundedAccumulates(t *testing.T) {
+	t.Parallel()
+	stacks, _ := pingerStacks(2)
+	net := New(stacks, WithUnbounded())
+	for i := 0; i < 10; i++ {
+		net.Activate(0)
+	}
+	if got := net.Link(LinkKey{From: 0, To: 1, Instance: "ping"}).Len(); got != 10 {
+		t.Fatalf("unbounded link holds %d messages, want 10", got)
+	}
+	if got := net.Stats().SendLosses; got != 0 {
+		t.Fatalf("SendLosses = %d, want 0 in unbounded mode", got)
+	}
+}
+
+func TestDeliverRoutesAndPongs(t *testing.T) {
+	t.Parallel()
+	stacks, machines := pingerStacks(2)
+	net := New(stacks)
+	net.Activate(0) // p0 sends PING to p1
+	k01 := LinkKey{From: 0, To: 1, Instance: "ping"}
+	if !net.Deliver(k01) {
+		t.Fatal("Deliver on loaded link failed")
+	}
+	// p1 replied with PONG synchronously.
+	k10 := LinkKey{From: 1, To: 0, Instance: "ping"}
+	if got := net.Link(k10).Len(); got != 1 {
+		t.Fatalf("reply link holds %d, want 1", got)
+	}
+	if !net.Deliver(k10) {
+		t.Fatal("Deliver of reply failed")
+	}
+	if !machines[0].Done() {
+		t.Fatal("p0 did not record the PONG")
+	}
+}
+
+func TestDeliverEmptyLink(t *testing.T) {
+	t.Parallel()
+	stacks, _ := pingerStacks(2)
+	net := New(stacks)
+	if net.Deliver(LinkKey{From: 0, To: 1, Instance: "ping"}) {
+		t.Fatal("Deliver on never-created link succeeded")
+	}
+	net.Link(LinkKey{From: 0, To: 1, Instance: "ping"})
+	if net.Deliver(LinkKey{From: 0, To: 1, Instance: "ping"}) {
+		t.Fatal("Deliver on empty link succeeded")
+	}
+}
+
+func TestGarbageUnknownInstanceConsumed(t *testing.T) {
+	t.Parallel()
+	stacks, _ := pingerStacks(2)
+	net := New(stacks)
+	k := LinkKey{From: 0, To: 1, Instance: "no-such-protocol"}
+	if err := net.Link(k).Preload([]core.Message{{Instance: "no-such-protocol", Kind: "JUNK"}}); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Deliver(k) {
+		t.Fatal("garbage message was not consumed")
+	}
+	if got := net.Link(k).Len(); got != 0 {
+		t.Fatalf("link still holds %d messages", got)
+	}
+}
+
+func TestLose(t *testing.T) {
+	t.Parallel()
+	stacks, _ := pingerStacks(2)
+	net := New(stacks)
+	net.Activate(0)
+	k := LinkKey{From: 0, To: 1, Instance: "ping"}
+	if !net.Lose(k) {
+		t.Fatal("Lose on loaded link failed")
+	}
+	if got := net.Stats().LinkLosses; got != 1 {
+		t.Fatalf("LinkLosses = %d, want 1", got)
+	}
+	if net.Lose(k) {
+		t.Fatal("Lose on empty link succeeded")
+	}
+}
+
+func TestEventsEmitted(t *testing.T) {
+	t.Parallel()
+	stacks, _ := pingerStacks(2)
+	rec := core.NewRecorder(100)
+	net := New(stacks, WithObserver(rec))
+	net.Activate(0)
+	net.Deliver(LinkKey{From: 0, To: 1, Instance: "ping"})
+	kinds := make(map[core.EventKind]int)
+	for _, e := range rec.Events() {
+		kinds[e.Kind]++
+	}
+	if kinds[core.EvSend] < 2 { // PING plus the synchronous PONG reply
+		t.Fatalf("saw %d sends, want >= 2", kinds[core.EvSend])
+	}
+	if kinds[core.EvDeliver] != 1 {
+		t.Fatalf("saw %d deliveries, want 1", kinds[core.EvDeliver])
+	}
+}
+
+func TestRoundsCount(t *testing.T) {
+	t.Parallel()
+	stacks, _ := pingerStacks(3)
+	net := New(stacks)
+	for p := 0; p < 3; p++ {
+		net.Activate(core.ProcID(p))
+	}
+	if got := net.Stats().Rounds; got != 1 {
+		t.Fatalf("Rounds = %d after full sweep, want 1", got)
+	}
+	net.Activate(0)
+	net.Activate(0) // repeats do not advance the round
+	if got := net.Stats().Rounds; got != 1 {
+		t.Fatalf("Rounds = %d, want still 1", got)
+	}
+}
+
+func TestSyncRoundQuiescence(t *testing.T) {
+	t.Parallel()
+	stacks, machines := pingerStacks(3)
+	net := New(stacks, WithSeed(5))
+	err := net.RunRoundsUntil(func() bool {
+		for _, m := range machines {
+			if !m.Done() {
+				return false
+			}
+		}
+		return true
+	}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain any remaining replies, then the network must be quiescent.
+	for i := 0; i < 10; i++ {
+		net.SyncRound()
+	}
+	if !net.Quiescent() {
+		t.Fatalf("network not quiescent after completion; %d in transit", net.InTransit())
+	}
+}
+
+func TestRunUntilBudgetError(t *testing.T) {
+	t.Parallel()
+	stacks, _ := pingerStacks(2)
+	net := New(stacks)
+	err := net.RunUntil(func() bool { return false }, 10)
+	var budget *ErrBudget
+	if !errors.As(err, &budget) {
+		t.Fatalf("got %v, want *ErrBudget", err)
+	}
+	if budget.Steps != 10 {
+		t.Fatalf("budget.Steps = %d, want 10", budget.Steps)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	t.Parallel()
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	stacks, _ := pingerStacks(2)
+	expectPanic("one process", func() { New(stacks[:1]) })
+	expectPanic("loss=1", func() { New(stacks, WithLossRate(1)) })
+	expectPanic("capacity 0", func() { New(stacks, WithCapacity(0)) })
+}
+
+func TestLinkValidation(t *testing.T) {
+	t.Parallel()
+	stacks, _ := pingerStacks(2)
+	net := New(stacks)
+	for _, k := range []LinkKey{
+		{From: 0, To: 0, Instance: "x"},
+		{From: 0, To: 5, Instance: "x"},
+		{From: -1, To: 1, Instance: "x"},
+	} {
+		k := k
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Link(%v) did not panic", k)
+				}
+			}()
+			net.Link(k)
+		}()
+	}
+}
+
+func TestLinksSortedIsCanonical(t *testing.T) {
+	t.Parallel()
+	stacks, _ := pingerStacks(3)
+	net := New(stacks)
+	net.Link(LinkKey{From: 2, To: 0, Instance: "b"})
+	net.Link(LinkKey{From: 0, To: 1, Instance: "z"})
+	net.Link(LinkKey{From: 0, To: 1, Instance: "a"})
+	got := net.LinksSorted()
+	want := []LinkKey{
+		{From: 0, To: 1, Instance: "a"},
+		{From: 0, To: 1, Instance: "z"},
+		{From: 2, To: 0, Instance: "b"},
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LinksSorted()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestInTransit(t *testing.T) {
+	t.Parallel()
+	stacks, _ := pingerStacks(3)
+	net := New(stacks)
+	net.Activate(0) // two PINGs
+	if got := net.InTransit(); got != 2 {
+		t.Fatalf("InTransit() = %d, want 2", got)
+	}
+}
+
+func BenchmarkSchedulerStep(b *testing.B) {
+	stacks, _ := pingerStacks(8)
+	net := New(stacks, WithSeed(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Step()
+	}
+}
+
+func BenchmarkSyncRound(b *testing.B) {
+	stacks, _ := pingerStacks(8)
+	net := New(stacks, WithSeed(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.SyncRound()
+	}
+}

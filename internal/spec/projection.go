@@ -1,0 +1,124 @@
+package spec
+
+import (
+	"strings"
+
+	"github.com/snapstab/snapstab/internal/core"
+)
+
+// AbstractConfig is a configuration restricted to the states of the
+// processes — the channel contents removed (Definition 2). Each entry is
+// the canonical encoding of one process's full machine stack.
+type AbstractConfig []string
+
+// Equal reports whether two abstract configurations are identical.
+func (a AbstractConfig) Equal(b AbstractConfig) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Project computes the state-projection φ(γ) of the current configuration
+// of the given stacks (Definition 3): the product of the local states of
+// all processes, with every channel erased.
+func Project(stacks []core.Stack) AbstractConfig {
+	out := make(AbstractConfig, len(stacks))
+	for i, s := range stacks {
+		out[i] = string(s.AppendState(nil))
+	}
+	return out
+}
+
+// ProjectProcess computes the state-projection φ_p(γ) on a single process
+// (Definition 3).
+func ProjectProcess(stacks []core.Stack, p core.ProcID) string {
+	return string(stacks[p].AppendState(nil))
+}
+
+// SequenceProjection is Φ(s) (Definition 4): the sequence of abstract
+// configurations along an execution, as sampled by the caller after each
+// step.
+type SequenceProjection []AbstractConfig
+
+// ProjectionRecorder samples the abstract configuration after every
+// scheduler step, building a sequence-projection of the execution. Because
+// sampling after each step is costly, it is meant for the small systems of
+// the impossibility demonstration, not for benchmarks.
+type ProjectionRecorder struct {
+	stacks []core.Stack
+	seq    SequenceProjection
+}
+
+// NewProjectionRecorder starts recording from the current configuration.
+func NewProjectionRecorder(stacks []core.Stack) *ProjectionRecorder {
+	r := &ProjectionRecorder{stacks: stacks}
+	r.Sample()
+	return r
+}
+
+// Sample appends the current abstract configuration to the sequence.
+func (r *ProjectionRecorder) Sample() {
+	r.seq = append(r.seq, Project(r.stacks))
+}
+
+// Sequence returns the recorded sequence-projection.
+func (r *ProjectionRecorder) Sequence() SequenceProjection { return r.seq }
+
+// ContainsFactor reports whether bad occurs as a contiguous factor of the
+// recorded sequence — the executable form of Definition 5's condition (1):
+// an execution e = e0·e1·e2 with Φ(e1) = BAD does not satisfy the
+// specification. Consecutive duplicate configurations in the recording are
+// collapsed first, since a stuttering sample of the same configuration is
+// the same execution factor.
+func (s SequenceProjection) ContainsFactor(bad SequenceProjection) bool {
+	if len(bad) == 0 {
+		return true
+	}
+	collapsed := s.collapse()
+	badCollapsed := bad.collapse()
+	for i := 0; i+len(badCollapsed) <= len(collapsed); i++ {
+		match := true
+		for j := range badCollapsed {
+			if !collapsed[i+j].Equal(badCollapsed[j]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+func (s SequenceProjection) collapse() SequenceProjection {
+	var out SequenceProjection
+	for _, c := range s {
+		if len(out) == 0 || !out[len(out)-1].Equal(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// String renders the projection compactly (lengths only; the encodings are
+// binary).
+func (s SequenceProjection) String() string {
+	var b strings.Builder
+	for i, c := range s {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		b.WriteString("γ")
+		for range c {
+			b.WriteByte('.')
+		}
+	}
+	return b.String()
+}

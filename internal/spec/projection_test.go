@@ -1,0 +1,133 @@
+package spec
+
+import (
+	"testing"
+
+	"github.com/snapstab/snapstab/internal/core"
+)
+
+// regMachine is a minimal snapshot-able machine holding one register.
+type regMachine struct {
+	inst string
+	val  byte
+}
+
+func (m *regMachine) Instance() string                            { return m.inst }
+func (m *regMachine) Step(core.Env) bool                          { return false }
+func (m *regMachine) Deliver(core.Env, core.ProcID, core.Message) {}
+func (m *regMachine) AppendState(dst []byte) []byte               { return append(dst, m.val) }
+
+func stacksWith(vals ...byte) []core.Stack {
+	out := make([]core.Stack, len(vals))
+	for i, v := range vals {
+		out[i] = core.Stack{&regMachine{inst: "r", val: v}}
+	}
+	return out
+}
+
+func TestProjectErasesNothingButChannels(t *testing.T) {
+	t.Parallel()
+	stacks := stacksWith(1, 2, 3)
+	a := Project(stacks)
+	if len(a) != 3 {
+		t.Fatalf("projection has %d entries, want 3", len(a))
+	}
+	stacks[1][0].(*regMachine).val = 9
+	b := Project(stacks)
+	if a.Equal(b) {
+		t.Fatal("projection did not reflect a state change")
+	}
+	if a[0] != b[0] || a[2] != b[2] {
+		t.Fatal("unrelated process projections changed")
+	}
+}
+
+func TestProjectProcessMatchesProject(t *testing.T) {
+	t.Parallel()
+	stacks := stacksWith(7, 8)
+	full := Project(stacks)
+	for p := core.ProcID(0); p < 2; p++ {
+		if got := ProjectProcess(stacks, p); got != full[p] {
+			t.Fatalf("ProjectProcess(%d) = %q, want %q", p, got, full[p])
+		}
+	}
+}
+
+func TestAbstractConfigEqual(t *testing.T) {
+	t.Parallel()
+	a := AbstractConfig{"x", "y"}
+	if !a.Equal(AbstractConfig{"x", "y"}) {
+		t.Fatal("equal configs compare unequal")
+	}
+	if a.Equal(AbstractConfig{"x"}) || a.Equal(AbstractConfig{"x", "z"}) {
+		t.Fatal("unequal configs compare equal")
+	}
+}
+
+func TestProjectionRecorderAndFactor(t *testing.T) {
+	t.Parallel()
+	stacks := stacksWith(0, 0)
+	rec := NewProjectionRecorder(stacks)
+
+	step := func(p int, v byte) {
+		stacks[p][0].(*regMachine).val = v
+		rec.Sample()
+	}
+	step(0, 1)
+	step(1, 1)
+	step(0, 2)
+
+	// The recorded sequence contains the factor [ (1,0), (1,1) ].
+	bad := SequenceProjection{
+		Project(stacksWith(1, 0)),
+		Project(stacksWith(1, 1)),
+	}
+	if !rec.Sequence().ContainsFactor(bad) {
+		t.Fatal("recorded sequence does not contain the expected factor")
+	}
+
+	// A factor that never occurred is not found.
+	absent := SequenceProjection{
+		Project(stacksWith(9, 9)),
+	}
+	if rec.Sequence().ContainsFactor(absent) {
+		t.Fatal("found a factor that never occurred")
+	}
+}
+
+func TestContainsFactorCollapsesStutter(t *testing.T) {
+	t.Parallel()
+	// Sampling the same configuration repeatedly (steps that change only
+	// channels) must not hide a factor.
+	seq := SequenceProjection{
+		Project(stacksWith(0)),
+		Project(stacksWith(0)),
+		Project(stacksWith(1)),
+		Project(stacksWith(1)),
+		Project(stacksWith(2)),
+	}
+	bad := SequenceProjection{
+		Project(stacksWith(0)),
+		Project(stacksWith(1)),
+		Project(stacksWith(2)),
+	}
+	if !seq.ContainsFactor(bad) {
+		t.Fatal("stuttered sequence hid the factor")
+	}
+}
+
+func TestContainsFactorEmptyBad(t *testing.T) {
+	t.Parallel()
+	seq := SequenceProjection{Project(stacksWith(0))}
+	if !seq.ContainsFactor(nil) {
+		t.Fatal("empty factor must trivially be contained")
+	}
+}
+
+func TestSequenceProjectionString(t *testing.T) {
+	t.Parallel()
+	seq := SequenceProjection{Project(stacksWith(0, 1))}
+	if seq.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}

@@ -1,0 +1,291 @@
+// Package udp runs protocol stacks over real UDP sockets — the paper's
+// concluding challenge ("actually implementing them is a future
+// challenge") made concrete on the loopback interface or a LAN.
+//
+// # Channel semantics on UDP
+//
+// UDP already provides the model's unreliability: datagrams are dropped
+// under congestion and (on one pair, one path) are not reordered in
+// practice on loopback/LAN. What UDP does not provide is the KNOWN
+// capacity bound that Theorem 1 makes mandatory. The transport restores
+// it conservatively:
+//
+//   - each (sender, instance) pair gets a bounded mailbox at the
+//     receiver; a datagram arriving at a full mailbox is dropped
+//     (lose-on-full, the model's rule);
+//   - the socket receive buffer is capped, bounding the kernel-queued
+//     backlog; the protocol stacks must be built with a capacity bound
+//     covering mailbox + kernel backlog. AssumedCapacity reports the
+//     bound a stack should use (the flag domain grows linearly in it, so
+//     being conservative is cheap: 2c+2 flag values for bound c).
+//
+// Malformed datagrams fail wire.Decode and are dropped — in the model,
+// that is just message loss, which the protocols tolerate by design.
+package udp
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/snapstab/snapstab/internal/core"
+	"github.com/snapstab/snapstab/internal/wire"
+)
+
+// DefaultAssumedCapacity is the per-link capacity bound the transport is
+// configured for by default: mailbox slots plus a conservative allowance
+// for kernel-buffered datagrams.
+const DefaultAssumedCapacity = 64
+
+// Option configures a Node.
+type Option func(*Node)
+
+// WithMailbox sets the per-(sender, instance) mailbox size (default 8).
+func WithMailbox(slots int) Option {
+	return func(n *Node) { n.mailboxSlots = slots }
+}
+
+// WithTick sets the mailbox drain pacing (default 200µs).
+func WithTick(d time.Duration) Option {
+	return func(n *Node) { n.tick = d }
+}
+
+// WithStepInterval sets the pacing of internal protocol actions (default
+// 2ms). Action A2 retransmits on every activation, so this is the
+// retransmission interval; unpaced retransmission floods the path and the
+// queueing delay stalls the handshake (deliveries, by contrast, are
+// drained at the faster tick).
+func WithStepInterval(d time.Duration) Option {
+	return func(n *Node) { n.stepInterval = d }
+}
+
+// WithObserver subscribes a thread-safe event observer.
+func WithObserver(o core.Observer) Option {
+	return func(n *Node) { n.observers = append(n.observers, o) }
+}
+
+// Node is one process bound to a UDP socket.
+type Node struct {
+	self         core.ProcID
+	stack        core.Stack
+	routes       map[string]core.Machine
+	conn         *net.UDPConn
+	peers        []*net.UDPAddr
+	mailboxSlots int
+	tick         time.Duration
+	stepInterval time.Duration
+	observers    core.MultiObserver
+
+	mu        sync.Mutex // guards machines and mailboxes (atomic actions)
+	mailboxes map[mailKey][]core.Message
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+type mailKey struct {
+	from     core.ProcID
+	instance string
+}
+
+// NewNode binds process self to laddr. peers maps every process ID
+// (including self, whose entry is ignored) to its address.
+func NewNode(self core.ProcID, stack core.Stack, laddr string, peers []string, opts ...Option) (*Node, error) {
+	if int(self) >= len(peers) {
+		return nil, fmt.Errorf("udp: self %d outside peer list of %d", self, len(peers))
+	}
+	addr, err := net.ResolveUDPAddr("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("udp: resolve local %q: %w", laddr, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udp: listen %q: %w", laddr, err)
+	}
+	// Bound the kernel backlog so the total in-flight count stays within
+	// the assumed capacity (best effort; some platforms round up).
+	_ = conn.SetReadBuffer(64 * 1024)
+
+	n := &Node{
+		self:         self,
+		stack:        stack,
+		routes:       stack.ByInstance(),
+		conn:         conn,
+		peers:        make([]*net.UDPAddr, len(peers)),
+		mailboxSlots: 8,
+		tick:         200 * time.Microsecond,
+		stepInterval: 2 * time.Millisecond,
+		mailboxes:    make(map[mailKey][]core.Message),
+		stop:         make(chan struct{}),
+	}
+	for i, p := range peers {
+		if core.ProcID(i) == self {
+			continue
+		}
+		a, err := net.ResolveUDPAddr("udp", p)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("udp: resolve peer %d %q: %w", i, p, err)
+		}
+		n.peers[i] = a
+	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	if n.mailboxSlots < 1 {
+		conn.Close()
+		return nil, fmt.Errorf("udp: invalid mailbox size %d", n.mailboxSlots)
+	}
+	return n, nil
+}
+
+// Addr returns the bound local address (useful with port 0).
+func (n *Node) Addr() string { return n.conn.LocalAddr().String() }
+
+// SetPeer sets the address of peer id after construction, enabling
+// two-phase setup: bind every socket with port 0 first, then wire the
+// learned addresses. Must be called before Start.
+func (n *Node) SetPeer(id core.ProcID, addr *net.UDPAddr) { n.peers[id] = addr }
+
+// env implements core.Env; use only under n.mu.
+type env struct{ n *Node }
+
+func (v env) Self() core.ProcID { return v.n.self }
+func (v env) N() int            { return len(v.n.peers) }
+
+func (v env) Send(to core.ProcID, m core.Message) {
+	peer := v.n.peers[to]
+	if peer == nil {
+		return
+	}
+	data, err := wire.Encode(m)
+	if err != nil {
+		return // unencodable payloads are dropped: message loss
+	}
+	if _, err := v.n.conn.WriteToUDP(data, peer); err == nil {
+		v.n.emit(core.Event{Kind: core.EvSend, Proc: v.n.self, Peer: to, Instance: m.Instance, Msg: m})
+	}
+}
+
+func (v env) Emit(ev core.Event) {
+	ev.Proc = v.n.self
+	v.n.emit(ev)
+}
+
+func (n *Node) emit(ev core.Event) {
+	if len(n.observers) > 0 {
+		n.observers.OnEvent(ev)
+	}
+}
+
+// Start launches the receive and activation loops.
+func (n *Node) Start() {
+	n.wg.Add(2)
+	go n.recvLoop()
+	go n.actLoop()
+}
+
+// recvLoop moves datagrams from the socket into the bounded mailboxes.
+func (n *Node) recvLoop() {
+	defer n.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		select {
+		case <-n.stop:
+			return
+		default:
+		}
+		_ = n.conn.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+		sz, from, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			continue // timeout or transient error: try again
+		}
+		m, err := wire.Decode(buf[:sz])
+		if err != nil {
+			continue // malformed datagram: dropped (message loss)
+		}
+		sender := n.senderOf(from)
+		if sender < 0 {
+			continue // not a known peer: dropped
+		}
+		key := mailKey{from: sender, instance: m.Instance}
+		n.mu.Lock()
+		box := n.mailboxes[key]
+		if len(box) < n.mailboxSlots {
+			n.mailboxes[key] = append(box, m)
+		} else {
+			n.emit(core.Event{Kind: core.EvSendLost, Proc: n.self, Peer: sender, Instance: m.Instance, Msg: m})
+		}
+		n.mu.Unlock()
+	}
+}
+
+// senderOf maps a source address to a peer ID.
+func (n *Node) senderOf(addr *net.UDPAddr) core.ProcID {
+	for i, p := range n.peers {
+		if p != nil && p.Port == addr.Port && p.IP.Equal(addr.IP) {
+			return core.ProcID(i)
+		}
+	}
+	return -1
+}
+
+// actLoop drains the mailboxes at every tick and runs the stack's
+// internal actions at the (slower) step interval.
+func (n *Node) actLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.tick)
+	defer ticker.Stop()
+	var lastStep time.Time
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-ticker.C:
+		}
+		n.mu.Lock()
+		ev := env{n: n}
+		if now := time.Now(); now.Sub(lastStep) >= n.stepInterval {
+			lastStep = now
+			for _, m := range n.stack {
+				m.Step(ev)
+			}
+		}
+		for key, box := range n.mailboxes {
+			if len(box) == 0 {
+				continue
+			}
+			mach, ok := n.routes[key.instance]
+			if !ok {
+				n.mailboxes[key] = box[:0]
+				continue
+			}
+			for _, m := range box {
+				n.emit(core.Event{Kind: core.EvDeliver, Proc: n.self, Peer: key.from, Instance: key.instance, Msg: m})
+				mach.Deliver(ev, key.from, m)
+			}
+			n.mailboxes[key] = box[:0]
+		}
+		n.mu.Unlock()
+	}
+}
+
+// Do runs f under the node's action mutex with its environment.
+func (n *Node) Do(f func(env core.Env)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	f(env{n: n})
+}
+
+// Stop terminates the loops and closes the socket.
+func (n *Node) Stop() {
+	select {
+	case <-n.stop:
+		return
+	default:
+	}
+	close(n.stop)
+	n.wg.Wait()
+	n.conn.Close()
+}

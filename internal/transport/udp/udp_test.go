@@ -1,0 +1,220 @@
+package udp
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"github.com/snapstab/snapstab/internal/core"
+	"github.com/snapstab/snapstab/internal/idl"
+	"github.com/snapstab/snapstab/internal/pif"
+	"github.com/snapstab/snapstab/internal/rng"
+)
+
+// cluster spins up n nodes on loopback with OS-assigned ports. Each
+// process's stack is produced by mk once the port layout is known.
+func cluster(t *testing.T, n int, mk func(self core.ProcID) core.Stack) []*Node {
+	t.Helper()
+	// First bind placeholder nodes to learn ports: bind real nodes in two
+	// phases instead — phase 1 reserves addresses.
+	nodes := make([]*Node, n)
+	addrs := make([]string, n)
+	// Reserve ports by binding, then rebuild the peer lists.
+	for i := 0; i < n; i++ {
+		node, err := NewNode(core.ProcID(i), mk(core.ProcID(i)), "127.0.0.1:0", make([]string, n))
+		if err != nil {
+			t.Fatalf("bind node %d: %v", i, err)
+		}
+		nodes[i] = node
+		addrs[i] = node.Addr()
+	}
+	// Fill in the real peer addresses now that all ports are known.
+	for i, node := range nodes {
+		for j, a := range addrs {
+			if i == j {
+				continue
+			}
+			peer, err := net.ResolveUDPAddr("udp", a)
+			if err != nil {
+				t.Fatalf("parse %q: %v", a, err)
+			}
+			node.peers[j] = peer
+		}
+	}
+	for _, node := range nodes {
+		node.Start()
+	}
+	t.Cleanup(func() {
+		for _, node := range nodes {
+			node.Stop()
+		}
+	})
+	return nodes
+}
+
+func waitFor(t *testing.T, d time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return cond()
+}
+
+func TestPIFOverLoopbackUDP(t *testing.T) {
+	// Not parallel: concurrent clusters share the loopback path and
+	// the timer wheel; interference slows the handshakes by >20x.
+	const n = 3
+	machines := make([]*pif.PIF, n)
+	nodes := cluster(t, n, func(self core.ProcID) core.Stack {
+		m := pif.New("pif", self, n, pif.Callbacks{
+			OnBroadcast: func(_ core.Env, _ core.ProcID, b core.Payload) core.Payload {
+				return core.Payload{Tag: "ack", Num: b.Num*10 + int64(self)}
+			},
+		}, pif.WithCapacityBound(DefaultAssumedCapacity))
+		machines[self] = m
+		return core.Stack{m}
+	})
+
+	token := core.Payload{Tag: "hello", Num: 4}
+	nodes[0].Do(func(env core.Env) {
+		if !machines[0].Invoke(env, token) {
+			t.Error("Invoke rejected")
+		}
+	})
+	ok := waitFor(t, 20*time.Second, func() bool {
+		var done bool
+		nodes[0].Do(func(core.Env) { done = machines[0].Done() && machines[0].BMes == token })
+		return done
+	})
+	if !ok {
+		t.Fatal("broadcast over real UDP did not complete")
+	}
+}
+
+func TestPIFOverUDPFromCorruptedState(t *testing.T) {
+	// Not parallel: concurrent clusters share the loopback path and
+	// the timer wheel; interference slows the handshakes by >20x.
+	const n = 2
+	machines := make([]*pif.PIF, n)
+	r := rng.New(7)
+	nodes := cluster(t, n, func(self core.ProcID) core.Stack {
+		m := pif.New("pif", self, n, pif.Callbacks{
+			OnBroadcast: func(_ core.Env, _ core.ProcID, b core.Payload) core.Payload {
+				return core.Payload{Tag: "ack", Num: b.Num*10 + int64(self)}
+			},
+		}, pif.WithCapacityBound(DefaultAssumedCapacity))
+		m.Corrupt(r)
+		machines[self] = m
+		return core.Stack{m}
+	})
+
+	token := core.Payload{Tag: "fresh", Num: 3}
+	invoked := waitFor(t, 20*time.Second, func() bool {
+		var ok bool
+		nodes[0].Do(func(env core.Env) { ok = machines[0].Invoke(env, token) })
+		return ok
+	})
+	if !invoked {
+		t.Fatal("corrupted computation never terminated")
+	}
+	var feedback core.Payload
+	nodes[0].Do(func(core.Env) {
+		cb := machines[0].Callbacks()
+		cb.OnFeedback = func(_ core.Env, _ core.ProcID, f core.Payload) { feedback = f }
+		machines[0].SetCallbacks(cb)
+	})
+	ok := waitFor(t, 20*time.Second, func() bool {
+		var done bool
+		nodes[0].Do(func(core.Env) { done = machines[0].Done() && machines[0].BMes == token })
+		return done
+	})
+	if !ok {
+		t.Fatal("requested broadcast did not complete over UDP")
+	}
+	want := core.Payload{Tag: "ack", Num: token.Num*10 + 1}
+	if feedback != want {
+		t.Fatalf("decided on feedback %v, want %v", feedback, want)
+	}
+}
+
+func TestIDLOverUDP(t *testing.T) {
+	// Not parallel: concurrent clusters share the loopback path and
+	// the timer wheel; interference slows the handshakes by >20x.
+	const n = 3
+	ids := []int64{30, 10, 20}
+	machines := make([]*idl.IDL, n)
+	nodes := cluster(t, n, func(self core.ProcID) core.Stack {
+		d := idl.New("idl", self, n, ids[self], pif.WithCapacityBound(DefaultAssumedCapacity))
+		machines[self] = d
+		return d.Machines()
+	})
+	nodes[0].Do(func(env core.Env) { machines[0].Invoke(env) })
+	ok := waitFor(t, 20*time.Second, func() bool {
+		var done bool
+		nodes[0].Do(func(core.Env) { done = machines[0].Done() })
+		return done
+	})
+	if !ok {
+		t.Fatal("IDs-Learning over UDP did not complete")
+	}
+	nodes[0].Do(func(core.Env) {
+		if machines[0].MinID != 10 || machines[0].IDTab[1] != 10 || machines[0].IDTab[2] != 20 {
+			t.Errorf("MinID=%d IDTab=%v", machines[0].MinID, machines[0].IDTab)
+		}
+	})
+}
+
+func TestMailboxBoundsBacklog(t *testing.T) {
+	// Not parallel: concurrent clusters share the loopback path and
+	// the timer wheel; interference slows the handshakes by >20x.
+	// A node that is never activated accumulates at most mailboxSlots
+	// messages per (sender, instance).
+	const n = 2
+	machines := make([]*pif.PIF, n)
+	nodes := cluster(t, n, func(self core.ProcID) core.Stack {
+		m := pif.New("pif", self, n, pif.Callbacks{}, pif.WithCapacityBound(DefaultAssumedCapacity))
+		machines[self] = m
+		return core.Stack{m}
+	})
+	// Freeze node 1's activation loop by holding its mutex while node 0
+	// floods it.
+	release := make(chan struct{})
+	frozen := make(chan struct{})
+	go func() {
+		nodes[1].Do(func(core.Env) {
+			close(frozen)
+			<-release
+		})
+	}()
+	<-frozen
+	nodes[0].Do(func(env core.Env) {
+		for i := 0; i < 100; i++ {
+			env.Send(1, core.Message{Instance: "pif", Kind: pif.Kind})
+		}
+	})
+	time.Sleep(300 * time.Millisecond) // let the receive loop drain the socket
+	close(release)
+	nodes[1].Do(func(core.Env) {}) // synchronize
+	nodes[1].mu.Lock()
+	box := nodes[1].mailboxes[mailKey{from: 0, instance: "pif"}]
+	over := len(box) > nodes[1].mailboxSlots
+	nodes[1].mu.Unlock()
+	if over {
+		t.Fatalf("mailbox holds %d messages, above the bound", len(box))
+	}
+}
+
+func TestNodeValidation(t *testing.T) {
+	t.Parallel()
+	stack := core.Stack{pif.New("pif", 0, 2, pif.Callbacks{})}
+	if _, err := NewNode(5, stack, "127.0.0.1:0", []string{"a", "b"}); err == nil {
+		t.Fatal("out-of-range self accepted")
+	}
+	if _, err := NewNode(0, stack, "127.0.0.1:0", []string{"", "not-an-addr:xx"}); err == nil {
+		t.Fatal("bad peer address accepted")
+	}
+}

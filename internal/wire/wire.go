@@ -1,0 +1,126 @@
+// Package wire encodes protocol messages for transmission over real
+// networks (the UDP transport of cmd/snapnet) and for size accounting in
+// the benchmarks.
+//
+// The format is deliberately simple and self-delimiting:
+//
+//	magic   [2]byte  0x53 0x4e ("SN")
+//	version byte     1
+//	state   byte
+//	echo    byte
+//	instance, kind, bTag, fTag: varint length + bytes
+//	bNum, fNum: 8-byte little-endian two's complement
+//
+// Decoding is total: any byte slice either decodes to a well-formed
+// Message or returns an error — a malformed datagram can therefore be
+// dropped at the transport boundary, which in the model is simply message
+// loss (the protocols tolerate it by construction).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/snapstab/snapstab/internal/core"
+)
+
+// Format constants.
+const (
+	magic0, magic1 = 0x53, 0x4e
+	version        = 1
+	// MaxStringLen bounds the variable-length fields; longer strings are
+	// rejected on both paths.
+	MaxStringLen = 255
+)
+
+// Errors returned by Decode.
+var (
+	ErrBadMagic  = errors.New("wire: bad magic")
+	ErrBadLength = errors.New("wire: truncated or oversized message")
+	ErrVersion   = errors.New("wire: unsupported version")
+)
+
+// Encode serializes m. It returns an error if a string field exceeds
+// MaxStringLen.
+func Encode(m core.Message) ([]byte, error) {
+	for _, s := range []string{m.Instance, m.Kind, m.B.Tag, m.F.Tag} {
+		if len(s) > MaxStringLen {
+			return nil, fmt.Errorf("wire: field %q exceeds %d bytes", s[:16]+"...", MaxStringLen)
+		}
+	}
+	buf := make([]byte, 0, 5+4+len(m.Instance)+len(m.Kind)+len(m.B.Tag)+len(m.F.Tag)+16)
+	buf = append(buf, magic0, magic1, version, m.State, m.Echo)
+	appendStr := func(s string) {
+		buf = append(buf, byte(len(s)))
+		buf = append(buf, s...)
+	}
+	appendStr(m.Instance)
+	appendStr(m.Kind)
+	appendStr(m.B.Tag)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.B.Num))
+	appendStr(m.F.Tag)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.F.Num))
+	return buf, nil
+}
+
+// Decode parses a datagram produced by Encode.
+func Decode(data []byte) (core.Message, error) {
+	var m core.Message
+	if len(data) < 5 {
+		return m, ErrBadLength
+	}
+	if data[0] != magic0 || data[1] != magic1 {
+		return m, ErrBadMagic
+	}
+	if data[2] != version {
+		return m, ErrVersion
+	}
+	m.State, m.Echo = data[3], data[4]
+	rest := data[5:]
+
+	readStr := func() (string, error) {
+		if len(rest) < 1 {
+			return "", ErrBadLength
+		}
+		n := int(rest[0])
+		if len(rest) < 1+n {
+			return "", ErrBadLength
+		}
+		s := string(rest[1 : 1+n])
+		rest = rest[1+n:]
+		return s, nil
+	}
+	readNum := func() (int64, error) {
+		if len(rest) < 8 {
+			return 0, ErrBadLength
+		}
+		v := int64(binary.LittleEndian.Uint64(rest))
+		rest = rest[8:]
+		return v, nil
+	}
+
+	var err error
+	if m.Instance, err = readStr(); err != nil {
+		return core.Message{}, err
+	}
+	if m.Kind, err = readStr(); err != nil {
+		return core.Message{}, err
+	}
+	if m.B.Tag, err = readStr(); err != nil {
+		return core.Message{}, err
+	}
+	if m.B.Num, err = readNum(); err != nil {
+		return core.Message{}, err
+	}
+	if m.F.Tag, err = readStr(); err != nil {
+		return core.Message{}, err
+	}
+	if m.F.Num, err = readNum(); err != nil {
+		return core.Message{}, err
+	}
+	if len(rest) != 0 {
+		return core.Message{}, ErrBadLength
+	}
+	return m, nil
+}

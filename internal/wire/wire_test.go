@@ -1,0 +1,148 @@
+package wire
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/snapstab/snapstab/internal/core"
+)
+
+func TestRoundTrip(t *testing.T) {
+	t.Parallel()
+	m := core.Message{
+		Instance: "me/idl/pif",
+		Kind:     "PIF",
+		B:        core.Payload{Tag: "ASK", Num: -7},
+		F:        core.Payload{Tag: "YES", Num: 1 << 40},
+		State:    3,
+		Echo:     4,
+	}
+	data, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("round trip: got %v, want %v", got, m)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	t.Parallel()
+	f := func(inst, kind, bTag, fTag string, bNum, fNum int64, state, echo uint8) bool {
+		m := core.Message{
+			Instance: inst, Kind: kind,
+			B:     core.Payload{Tag: bTag, Num: bNum},
+			F:     core.Payload{Tag: fTag, Num: fNum},
+			State: state, Echo: echo,
+		}
+		data, err := Encode(m)
+		if err != nil {
+			// Over-length strings are the only legal encode error.
+			return len(inst) > MaxStringLen || len(kind) > MaxStringLen ||
+				len(bTag) > MaxStringLen || len(fTag) > MaxStringLen
+		}
+		got, err := Decode(data)
+		return err == nil && got == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	t.Parallel()
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     {magic0, magic1},
+		"bad magic": {0, 0, version, 0, 0, 0, 0, 0},
+		"truncated": {magic0, magic1, version, 0, 0, 5, 'a'},
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s: decode succeeded on malformed input", name)
+		}
+	}
+}
+
+func TestDecodeRejectsWrongVersion(t *testing.T) {
+	t.Parallel()
+	data, err := Encode(core.Message{Instance: "x", Kind: "PIF"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[2] = 99
+	if _, err := Decode(data); !errors.Is(err, ErrVersion) {
+		t.Fatalf("got %v, want ErrVersion", err)
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	t.Parallel()
+	data, err := Encode(core.Message{Instance: "x", Kind: "PIF"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, 0xFF)
+	if _, err := Decode(data); !errors.Is(err, ErrBadLength) {
+		t.Fatalf("got %v, want ErrBadLength", err)
+	}
+}
+
+func TestEncodeRejectsOversizedStrings(t *testing.T) {
+	t.Parallel()
+	m := core.Message{Instance: strings.Repeat("x", MaxStringLen+1)}
+	if _, err := Encode(m); err == nil {
+		t.Fatal("oversized instance accepted")
+	}
+}
+
+func TestDecodeRandomBytesNeverPanics(t *testing.T) {
+	t.Parallel()
+	f := func(data []byte) bool {
+		_, _ = Decode(data) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodedSizeReasonable(t *testing.T) {
+	t.Parallel()
+	data, err := Encode(core.Message{Instance: "pif", Kind: "PIF", State: 3, Echo: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) > 64 {
+		t.Fatalf("minimal message encodes to %d bytes; format bloated", len(data))
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	m := core.Message{Instance: "me/idl/pif", Kind: "PIF", B: core.Payload{Tag: "ASK"}, State: 3}
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	m := core.Message{Instance: "me/idl/pif", Kind: "PIF", B: core.Payload{Tag: "ASK"}, State: 3}
+	data, err := Encode(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

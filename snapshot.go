@@ -1,0 +1,75 @@
+package snapstab
+
+import (
+	"fmt"
+
+	"github.com/snapstab/snapstab/internal/config"
+	"github.com/snapstab/snapstab/internal/core"
+	"github.com/snapstab/snapstab/internal/pif"
+	"github.com/snapstab/snapstab/internal/rng"
+	"github.com/snapstab/snapstab/internal/sim"
+	"github.com/snapstab/snapstab/internal/snapshot"
+)
+
+// SnapshotCluster is a simulated system running the snap-stabilizing
+// global state collection protocol: any process can gather, in one
+// computation, the application state of every process — and the gathered
+// values are certified to have been produced for this very collection,
+// never stale channel garbage.
+type SnapshotCluster struct {
+	opt      options
+	net      *sim.Network
+	machines []*snapshot.Snapshot
+}
+
+// NewSnapshotCluster builds an n-process collection deployment. provider
+// reads process p's application state when probed.
+func NewSnapshotCluster(n int, provider func(p int) Payload, opts ...Option) *SnapshotCluster {
+	o := buildOptions(opts)
+	c := &SnapshotCluster{opt: o}
+	c.machines = make([]*snapshot.Snapshot, n)
+	stacks := make([]core.Stack, n)
+	for i := 0; i < n; i++ {
+		i := i
+		c.machines[i] = snapshot.New("snap", core.ProcID(i), n, pif.WithCapacityBound(o.capacity))
+		if provider != nil {
+			c.machines[i].Provide = func() core.Payload { return provider(i).internal() }
+		}
+		stacks[i] = c.machines[i].Machines()
+	}
+	c.net = sim.New(stacks,
+		sim.WithSeed(o.seed),
+		sim.WithLossRate(o.lossRate),
+		sim.WithCapacity(o.capacity),
+	)
+	return c
+}
+
+// CorruptEverything randomizes every variable and channel.
+func (c *SnapshotCluster) CorruptEverything(seed uint64) {
+	r := rng.New(seed)
+	config.Corrupt(c.net, r,
+		config.PIFSpecs("snap/pif", c.machines[0].PIF.FlagTop()), config.Options{})
+}
+
+// Collect runs a collection at process p and returns every process's
+// state as reported for this probe (indexed by process).
+func (c *SnapshotCluster) Collect(p int) ([]Payload, error) {
+	machine := c.machines[p]
+	requested := false
+	err := c.net.RunUntil(func() bool {
+		if !requested {
+			requested = machine.Invoke(c.net.Env(core.ProcID(p)))
+			return false
+		}
+		return machine.Done()
+	}, c.opt.maxSteps)
+	if err != nil {
+		return nil, fmt.Errorf("%w: collect at %d", ErrBudget, p)
+	}
+	out := make([]Payload, len(machine.Views))
+	for q, v := range machine.Views {
+		out[q] = Payload{Tag: v.Tag, Num: v.Num}
+	}
+	return out, nil
+}

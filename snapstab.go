@@ -1,0 +1,380 @@
+// Package snapstab is a Go implementation of the snap-stabilizing
+// message-passing protocols of Delaët, Devismes, Nesterenko & Tixeuil,
+// "Snap-Stabilization in Message-Passing Systems" (PODC 2008 / INRIA
+// RR-6446): Propagation of Information with Feedback (PIF), IDs-Learning,
+// and mutual exclusion over fully-connected networks with bounded-capacity
+// lossy FIFO channels.
+//
+// A snap-stabilizing protocol satisfies its specification for every
+// request, starting from an ARBITRARY initial configuration — corrupted
+// process memories and corrupted channel contents alike. There is no
+// convergence period during which requests may be served incorrectly
+// (that weaker guarantee is self-stabilization).
+//
+// This package is the high-level façade: it assembles simulated clusters,
+// optionally corrupts them, and exposes one-call request APIs. The
+// underlying machines, substrates, checkers, model checker, and adversary
+// constructions live in the internal packages and are exercised by
+// cmd/snapsim, cmd/snapcheck, cmd/snapbench, and cmd/snapnet.
+//
+//	cluster := snapstab.NewPIFCluster(5, snapstab.WithLossRate(0.2))
+//	cluster.CorruptEverything(42) // adversarial initial configuration
+//	fb, err := cluster.Broadcast(0, "hello", 7)
+//	// fb holds every other process's acknowledgment of THIS broadcast.
+package snapstab
+
+import (
+	"fmt"
+
+	"github.com/snapstab/snapstab/internal/config"
+	"github.com/snapstab/snapstab/internal/core"
+	"github.com/snapstab/snapstab/internal/idl"
+	"github.com/snapstab/snapstab/internal/mutex"
+	"github.com/snapstab/snapstab/internal/pif"
+	"github.com/snapstab/snapstab/internal/rng"
+	"github.com/snapstab/snapstab/internal/sim"
+	"github.com/snapstab/snapstab/internal/spec"
+)
+
+// Payload is an application datum carried by broadcasts and feedback.
+type Payload struct {
+	// Tag names the datum.
+	Tag string
+	// Num is a numeric argument.
+	Num int64
+}
+
+func (p Payload) internal() core.Payload { return core.Payload{Tag: p.Tag, Num: p.Num} }
+
+// Options configure a cluster.
+type options struct {
+	lossRate  float64
+	seed      uint64
+	capacity  int
+	maxSteps  int
+	csLength  int
+	onReceive func(proc int, from int, b Payload) Payload
+}
+
+// Option configures a cluster.
+type Option func(*options)
+
+// WithLossRate makes links drop in-transit messages with probability p
+// (0 <= p < 1).
+func WithLossRate(p float64) Option { return func(o *options) { o.lossRate = p } }
+
+// WithSeed seeds the deterministic scheduler (default 1). Two clusters
+// built with identical options replay identical executions.
+func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
+
+// WithCapacity sets the known per-channel capacity bound c >= 1 (default
+// 1, the paper's setting). The protocols size their handshake flag domain
+// to {0..2c+2} automatically.
+func WithCapacity(c int) Option { return func(o *options) { o.capacity = c } }
+
+// WithStepBudget bounds each request's simulation steps (default 50M).
+func WithStepBudget(steps int) Option { return func(o *options) { o.maxSteps = steps } }
+
+// WithCSLength sets how many activations the critical section occupies in
+// mutual exclusion clusters (default 2).
+func WithCSLength(k int) Option { return func(o *options) { o.csLength = k } }
+
+// WithReceiver installs the application broadcast handler: it runs at
+// process proc when a broadcast from process from is accepted and returns
+// the feedback value. The default echoes an acknowledgment derived from
+// the broadcast and the receiver.
+func WithReceiver(f func(proc, from int, b Payload) Payload) Option {
+	return func(o *options) { o.onReceive = f }
+}
+
+func buildOptions(opts []Option) options {
+	o := options{seed: 1, capacity: 1, maxSteps: 50_000_000, csLength: 2}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// ErrBudget is returned when a request did not complete within the step
+// budget — with correct use that indicates an undersized budget, since
+// the protocols terminate from every configuration.
+var ErrBudget = fmt.Errorf("snapstab: step budget exhausted")
+
+// ---------------------------------------------------------------------
+// PIF
+// ---------------------------------------------------------------------
+
+// PIFCluster is a simulated fully-connected system running Protocol PIF.
+type PIFCluster struct {
+	opt      options
+	net      *sim.Network
+	machines []*pif.PIF
+	checker  *spec.PIFChecker
+}
+
+// NewPIFCluster builds an n-process PIF deployment (n >= 2).
+func NewPIFCluster(n int, opts ...Option) *PIFCluster {
+	o := buildOptions(opts)
+	c := &PIFCluster{opt: o}
+	c.machines = make([]*pif.PIF, n)
+	stacks := make([]core.Stack, n)
+	for i := 0; i < n; i++ {
+		id := core.ProcID(i)
+		c.machines[i] = pif.New("pif", id, n, pif.Callbacks{
+			OnBroadcast: func(_ core.Env, from core.ProcID, b core.Payload) core.Payload {
+				if o.onReceive != nil {
+					return o.onReceive(int(id), int(from), Payload{Tag: b.Tag, Num: b.Num}).internal()
+				}
+				return core.Payload{Tag: "ack", Num: b.Num*1000 + int64(id)}
+			},
+		}, pif.WithCapacityBound(o.capacity))
+		stacks[i] = core.Stack{c.machines[i]}
+	}
+	c.checker = &spec.PIFChecker{N: n, Initiator: 0, Instance: "pif"}
+	c.net = sim.New(stacks,
+		sim.WithSeed(o.seed),
+		sim.WithLossRate(o.lossRate),
+		sim.WithCapacity(o.capacity),
+		sim.WithObserver(c.checker),
+	)
+	return c
+}
+
+// CorruptEverything drives the cluster into an arbitrary initial
+// configuration: every protocol variable randomized, every channel filled
+// with garbage. Reproducible from the seed.
+func (c *PIFCluster) CorruptEverything(seed uint64) {
+	r := rng.New(seed)
+	config.Corrupt(c.net, r,
+		config.PIFSpecs("pif", c.machines[0].FlagTop()), config.Options{})
+}
+
+// Feedback is one process's acknowledgment.
+type Feedback struct {
+	// From is the acknowledging process.
+	From int
+	// Value is the application feedback payload.
+	Value Payload
+}
+
+// Broadcast requests a PIF computation at process p and runs the cluster
+// until the decision, returning the feedback collected from every other
+// process. The guarantee (Theorem 2) holds no matter how corrupted the
+// cluster was when the request was submitted.
+func (c *PIFCluster) Broadcast(p int, tag string, num int64) ([]Feedback, error) {
+	token := core.Payload{Tag: tag, Num: num}
+	machine := c.machines[p]
+	feedbacks := make(map[core.ProcID]core.Payload)
+	cb := machine.Callbacks()
+	cb.OnFeedback = func(_ core.Env, from core.ProcID, f core.Payload) {
+		feedbacks[from] = f
+	}
+	machine.SetCallbacks(cb)
+
+	requested := false
+	err := c.net.RunUntil(func() bool {
+		if !requested {
+			requested = machine.Invoke(c.net.Env(core.ProcID(p)), token)
+			return false
+		}
+		return machine.Done() && machine.BMes == token
+	}, c.opt.maxSteps)
+	if err != nil {
+		return nil, fmt.Errorf("%w: broadcast at %d", ErrBudget, p)
+	}
+	out := make([]Feedback, 0, len(feedbacks))
+	for q := 0; q < c.net.N(); q++ {
+		if f, ok := feedbacks[core.ProcID(q)]; ok {
+			out = append(out, Feedback{From: q, Value: Payload{Tag: f.Tag, Num: f.Num}})
+		}
+	}
+	return out, nil
+}
+
+// N returns the number of processes.
+func (c *PIFCluster) N() int { return c.net.N() }
+
+// Stats returns scheduler counters for the whole cluster lifetime.
+func (c *PIFCluster) Stats() sim.Stats { return c.net.Stats() }
+
+// ---------------------------------------------------------------------
+// IDs-Learning
+// ---------------------------------------------------------------------
+
+// IDCluster is a simulated system running Protocol IDL.
+type IDCluster struct {
+	opt      options
+	net      *sim.Network
+	machines []*idl.IDL
+	ids      []int64
+}
+
+// NewIDCluster builds an n-process IDs-Learning deployment with the given
+// distinct identifiers.
+func NewIDCluster(ids []int64, opts ...Option) *IDCluster {
+	o := buildOptions(opts)
+	n := len(ids)
+	c := &IDCluster{opt: o, ids: append([]int64(nil), ids...)}
+	c.machines = make([]*idl.IDL, n)
+	stacks := make([]core.Stack, n)
+	for i := 0; i < n; i++ {
+		c.machines[i] = idl.New("idl", core.ProcID(i), n, ids[i], pif.WithCapacityBound(o.capacity))
+		stacks[i] = c.machines[i].Machines()
+	}
+	c.net = sim.New(stacks,
+		sim.WithSeed(o.seed),
+		sim.WithLossRate(o.lossRate),
+		sim.WithCapacity(o.capacity),
+	)
+	return c
+}
+
+// CorruptEverything randomizes every variable and channel.
+func (c *IDCluster) CorruptEverything(seed uint64) {
+	r := rng.New(seed)
+	config.Corrupt(c.net, r,
+		config.PIFSpecs("idl/pif", c.machines[0].PIF.FlagTop()), config.Options{})
+}
+
+// Learn runs an IDs-Learning computation at process p and returns the
+// minimum identifier in the system and p's learned identifier table
+// (indexed by process; entry p is p's own identifier).
+func (c *IDCluster) Learn(p int) (minID int64, table []int64, err error) {
+	machine := c.machines[p]
+	requested := false
+	runErr := c.net.RunUntil(func() bool {
+		if !requested {
+			requested = machine.Invoke(c.net.Env(core.ProcID(p)))
+			return false
+		}
+		return machine.Done()
+	}, c.opt.maxSteps)
+	if runErr != nil {
+		return 0, nil, fmt.Errorf("%w: learn at %d", ErrBudget, p)
+	}
+	table = append([]int64(nil), machine.IDTab...)
+	table[p] = machine.ID()
+	return machine.MinID, table, nil
+}
+
+// ---------------------------------------------------------------------
+// Mutual exclusion
+// ---------------------------------------------------------------------
+
+// MutexCluster is a simulated system running Protocol ME.
+type MutexCluster struct {
+	opt      options
+	net      *sim.Network
+	machines []*mutex.ME
+	checker  *spec.MutexChecker
+}
+
+// NewMutexCluster builds an n-process mutual exclusion deployment with the
+// given distinct identifiers (the smallest is the leader).
+func NewMutexCluster(ids []int64, opts ...Option) *MutexCluster {
+	o := buildOptions(opts)
+	n := len(ids)
+	c := &MutexCluster{opt: o}
+	c.machines = make([]*mutex.ME, n)
+	stacks := make([]core.Stack, n)
+	for i := 0; i < n; i++ {
+		c.machines[i] = mutex.New("me", core.ProcID(i), n, ids[i],
+			mutex.WithCSLength(o.csLength),
+			mutex.WithPIFOptions(pif.WithCapacityBound(o.capacity)))
+		stacks[i] = c.machines[i].Machines()
+	}
+	c.checker = spec.NewMutexChecker()
+	c.net = sim.New(stacks,
+		sim.WithSeed(o.seed),
+		sim.WithLossRate(o.lossRate),
+		sim.WithCapacity(o.capacity),
+		sim.WithObserver(c.checker),
+	)
+	return c
+}
+
+// CorruptEverything randomizes every variable and channel, possibly
+// placing processes inside the critical section (the paper's footnote 1).
+func (c *MutexCluster) CorruptEverything(seed uint64) {
+	r := rng.New(seed)
+	config.CorruptMachines(c.net, r)
+	for i, m := range c.machines {
+		if m.InCS {
+			c.checker.PrimeZombie(core.ProcID(i))
+		}
+	}
+	specs := []config.InstanceSpec{
+		{Instance: "me/idl/pif", FlagTop: c.machines[0].IDL.PIF.FlagTop()},
+		{Instance: "me/pif", FlagTop: c.machines[0].PIF.FlagTop()},
+	}
+	config.FillChannels(c.net, r, specs, config.Options{})
+}
+
+// Acquire requests the critical section at process p, runs the cluster
+// until the request is served (critical section entered and exited), and
+// executes body inside it. The guarantee (Theorem 4): the request is
+// served in finite time, exclusively among requesting processes.
+func (c *MutexCluster) Acquire(p int, body func()) error {
+	machine := c.machines[p]
+	machine.CSBody = body
+	defer func() { machine.CSBody = nil }()
+	requested := false
+	err := c.net.RunUntil(func() bool {
+		if !requested {
+			requested = machine.Invoke(c.net.Env(core.ProcID(p)))
+			return false
+		}
+		return !machine.Requested()
+	}, c.opt.maxSteps)
+	if err != nil {
+		return fmt.Errorf("%w: acquire at %d", ErrBudget, p)
+	}
+	return nil
+}
+
+// AcquireAll submits requests at every listed process and runs until all
+// are served; bodies[i] (when non-nil) runs inside process procs[i]'s
+// critical section.
+func (c *MutexCluster) AcquireAll(procs []int, bodies []func()) error {
+	requested := make([]bool, len(procs))
+	for i, p := range procs {
+		if bodies != nil && bodies[i] != nil {
+			c.machines[p].CSBody = bodies[i]
+		}
+	}
+	defer func() {
+		for _, p := range procs {
+			c.machines[p].CSBody = nil
+		}
+	}()
+	err := c.net.RunUntil(func() bool {
+		all := true
+		for i, p := range procs {
+			if !requested[i] {
+				requested[i] = c.machines[p].Invoke(c.net.Env(core.ProcID(p)))
+			}
+			if !requested[i] || c.machines[p].Requested() {
+				all = false
+			}
+		}
+		return all
+	}, c.opt.maxSteps)
+	if err != nil {
+		return fmt.Errorf("%w: acquire-all", ErrBudget)
+	}
+	return nil
+}
+
+// Violations returns the mutual exclusion violations observed so far
+// (always empty for correct use; exposed so applications can assert it).
+func (c *MutexCluster) Violations() []string {
+	vs := c.checker.Violations()
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.String()
+	}
+	return out
+}
+
+// Entries returns the number of served critical-section entries.
+func (c *MutexCluster) Entries() int { return c.checker.Entries() }

@@ -1,0 +1,244 @@
+package snapstab_test
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	snapstab "github.com/snapstab/snapstab"
+)
+
+func TestPIFClusterCleanBroadcast(t *testing.T) {
+	t.Parallel()
+	c := snapstab.NewPIFCluster(4, snapstab.WithSeed(3))
+	fb, err := c.Broadcast(0, "hello", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fb) != 3 {
+		t.Fatalf("got %d feedbacks, want 3", len(fb))
+	}
+	for _, f := range fb {
+		if want := int64(7000 + f.From); f.Value.Num != want {
+			t.Errorf("feedback from %d = %v, want Num %d", f.From, f.Value, want)
+		}
+	}
+}
+
+func TestPIFClusterCorruptedBroadcast(t *testing.T) {
+	t.Parallel()
+	for seed := uint64(1); seed <= 20; seed++ {
+		c := snapstab.NewPIFCluster(3, snapstab.WithSeed(seed), snapstab.WithLossRate(0.2))
+		c.CorruptEverything(seed * 13)
+		fb, err := c.Broadcast(1, "fresh", int64(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(fb) != 2 {
+			t.Fatalf("seed %d: %d feedbacks, want 2", seed, len(fb))
+		}
+		for _, f := range fb {
+			if want := int64(seed)*1000 + int64(f.From); f.Value.Num != want {
+				t.Errorf("seed %d: stale feedback %v from %d", seed, f.Value, f.From)
+			}
+		}
+	}
+}
+
+func TestPIFClusterCustomReceiver(t *testing.T) {
+	t.Parallel()
+	c := snapstab.NewPIFCluster(2, snapstab.WithReceiver(func(proc, from int, b snapstab.Payload) snapstab.Payload {
+		return snapstab.Payload{Tag: "custom", Num: b.Num + int64(proc*100)}
+	}))
+	fb, err := c.Broadcast(0, "q", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fb) != 1 || fb[0].Value.Tag != "custom" || fb[0].Value.Num != 105 {
+		t.Fatalf("feedback = %v, want custom(105)", fb)
+	}
+}
+
+func TestPIFClusterRepeatedBroadcasts(t *testing.T) {
+	t.Parallel()
+	c := snapstab.NewPIFCluster(3, snapstab.WithSeed(11))
+	for i := int64(0); i < 5; i++ {
+		if _, err := c.Broadcast(int(i)%3, "round", i); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+}
+
+func TestPIFClusterBudgetError(t *testing.T) {
+	t.Parallel()
+	c := snapstab.NewPIFCluster(2, snapstab.WithStepBudget(3))
+	_, err := c.Broadcast(0, "x", 1)
+	if !errors.Is(err, snapstab.ErrBudget) {
+		t.Fatalf("got %v, want ErrBudget", err)
+	}
+}
+
+func TestPIFClusterCapacityOption(t *testing.T) {
+	t.Parallel()
+	c := snapstab.NewPIFCluster(3, snapstab.WithCapacity(2), snapstab.WithSeed(5))
+	c.CorruptEverything(99)
+	if _, err := c.Broadcast(0, "m", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIDClusterLearn(t *testing.T) {
+	t.Parallel()
+	c := snapstab.NewIDCluster([]int64{42, 7, 19}, snapstab.WithSeed(9))
+	c.CorruptEverything(4)
+	min, table, err := c.Learn(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min != 7 {
+		t.Fatalf("minID = %d, want 7", min)
+	}
+	want := []int64{42, 7, 19}
+	for i, id := range want {
+		if table[i] != id {
+			t.Fatalf("table = %v, want %v", table, want)
+		}
+	}
+}
+
+func TestMutexClusterSerializesCounter(t *testing.T) {
+	t.Parallel()
+	ids := []int64{5, 3, 9}
+	c := snapstab.NewMutexCluster(ids, snapstab.WithSeed(21))
+	c.CorruptEverything(8)
+	var counter atomic.Int64
+	procs := []int{0, 1, 2}
+	bodies := []func(){
+		func() { counter.Add(1) },
+		func() { counter.Add(1) },
+		func() { counter.Add(1) },
+	}
+	if err := c.AcquireAll(procs, bodies); err != nil {
+		t.Fatal(err)
+	}
+	if got := counter.Load(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+	if c.Entries() < 3 {
+		t.Fatalf("entries = %d, want >= 3", c.Entries())
+	}
+}
+
+func TestMutexClusterSequentialAcquires(t *testing.T) {
+	t.Parallel()
+	c := snapstab.NewMutexCluster([]int64{2, 8}, snapstab.WithSeed(33))
+	for round := 0; round < 3; round++ {
+		ran := false
+		if err := c.Acquire(round%2, func() { ran = true }); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !ran {
+			t.Fatalf("round %d: body did not run", round)
+		}
+	}
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestDeterministicReplayAcrossClusters(t *testing.T) {
+	t.Parallel()
+	run := func() int {
+		c := snapstab.NewPIFCluster(3, snapstab.WithSeed(77), snapstab.WithLossRate(0.1))
+		c.CorruptEverything(5)
+		if _, err := c.Broadcast(0, "m", 1); err != nil {
+			t.Fatal(err)
+		}
+		return c.Stats().Steps + c.Stats().Deliveries
+	}
+	if run() != run() {
+		t.Fatal("identical clusters diverged")
+	}
+}
+
+func TestResetClusterWipesEverywhere(t *testing.T) {
+	t.Parallel()
+	const n = 3
+	var wiped [n][]int64
+	c := snapstab.NewResetCluster(n, func(p int, epoch int64) {
+		wiped[p] = append(wiped[p], epoch)
+	}, snapstab.WithSeed(41))
+	c.CorruptEverything(3)
+	epoch, err := c.Reset(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < n; p++ {
+		found := false
+		for _, e := range wiped[p] {
+			if e == epoch {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("process %d never reset under epoch %d (saw %v)", p, epoch, wiped[p])
+		}
+	}
+}
+
+func TestResetClusterRepeats(t *testing.T) {
+	t.Parallel()
+	c := snapstab.NewResetCluster(2, nil, snapstab.WithSeed(51))
+	var last int64
+	for i := 0; i < 3; i++ {
+		epoch, err := c.Reset(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epoch <= last {
+			t.Fatalf("epoch did not advance: %d -> %d", last, epoch)
+		}
+		last = epoch
+	}
+}
+
+func TestSnapshotClusterCollects(t *testing.T) {
+	t.Parallel()
+	states := []int64{11, 22, 33}
+	c := snapstab.NewSnapshotCluster(3, func(p int) snapstab.Payload {
+		return snapstab.Payload{Tag: "state", Num: states[p]}
+	}, snapstab.WithSeed(61))
+	c.CorruptEverything(9)
+	views, err := c.Collect(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, want := range states {
+		if views[p].Num != want || views[p].Tag != "state" {
+			t.Fatalf("view of %d = %v, want state(%d)", p, views[p], want)
+		}
+	}
+}
+
+func TestSnapshotClusterSeesUpdates(t *testing.T) {
+	t.Parallel()
+	val := int64(1)
+	c := snapstab.NewSnapshotCluster(2, func(int) snapstab.Payload {
+		return snapstab.Payload{Num: val}
+	}, snapstab.WithSeed(71))
+	v1, err := c.Collect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val = 2
+	v2, err := c.Collect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1[1].Num != 1 || v2[1].Num != 2 {
+		t.Fatalf("views across updates: %v then %v", v1[1], v2[1])
+	}
+}

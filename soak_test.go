@@ -1,0 +1,101 @@
+package snapstab_test
+
+import (
+	"testing"
+
+	snapstab "github.com/snapstab/snapstab"
+)
+
+// TestSoak is the long-haul confidence run: many corrupted clusters, many
+// interleaved requests across all four protocols, every outcome verified.
+// Skipped under -short; scaled by design to a couple of minutes.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	t.Parallel()
+
+	t.Run("pif", func(t *testing.T) {
+		t.Parallel()
+		for seed := uint64(1); seed <= 150; seed++ {
+			n := 2 + int(seed%5) // 2..6
+			loss := float64(seed%3) * 0.15
+			c := snapstab.NewPIFCluster(n, snapstab.WithSeed(seed), snapstab.WithLossRate(loss))
+			c.CorruptEverything(seed * 7)
+			for r := int64(0); r < 3; r++ {
+				fb, err := c.Broadcast(int(r)%n, "soak", int64(seed)*10+r)
+				if err != nil {
+					t.Fatalf("seed %d round %d: %v", seed, r, err)
+				}
+				if len(fb) != n-1 {
+					t.Fatalf("seed %d round %d: %d feedbacks, want %d", seed, r, len(fb), n-1)
+				}
+				want := int64(seed)*10 + r
+				for _, f := range fb {
+					if f.Value.Num/1000 != want {
+						t.Fatalf("seed %d round %d: feedback %v not derived from this broadcast", seed, r, f.Value)
+					}
+				}
+			}
+		}
+	})
+
+	t.Run("idl", func(t *testing.T) {
+		t.Parallel()
+		for seed := uint64(1); seed <= 100; seed++ {
+			n := 2 + int(seed%4)
+			ids := make([]int64, n)
+			min := int64(1 << 30)
+			for i := range ids {
+				ids[i] = int64((uint64(i)*2654435761 + seed*97) % 10000)
+				if ids[i] < min {
+					min = ids[i]
+				}
+			}
+			c := snapstab.NewIDCluster(ids, snapstab.WithSeed(seed))
+			c.CorruptEverything(seed)
+			got, table, err := c.Learn(int(seed) % n)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if got != min {
+				t.Fatalf("seed %d: minID %d, want %d (table %v)", seed, got, min, table)
+			}
+		}
+	})
+
+	t.Run("mutex", func(t *testing.T) {
+		t.Parallel()
+		for seed := uint64(1); seed <= 40; seed++ {
+			n := 2 + int(seed%3)
+			ids := make([]int64, n)
+			for i := range ids {
+				ids[i] = int64(i*13 + int(seed%7) + 1)
+			}
+			c := snapstab.NewMutexCluster(ids, snapstab.WithSeed(seed))
+			c.CorruptEverything(seed * 3)
+			procs := make([]int, n)
+			for i := range procs {
+				procs[i] = i
+			}
+			if err := c.AcquireAll(procs, nil); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if v := c.Violations(); len(v) != 0 {
+				t.Fatalf("seed %d: %v", seed, v)
+			}
+		}
+	})
+
+	t.Run("reset", func(t *testing.T) {
+		t.Parallel()
+		for seed := uint64(1); seed <= 60; seed++ {
+			n := 2 + int(seed%4)
+			c := snapstab.NewResetCluster(n, nil, snapstab.WithSeed(seed))
+			c.CorruptEverything(seed * 5)
+			if _, err := c.Reset(int(seed) % n); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+	})
+}
