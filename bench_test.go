@@ -34,6 +34,28 @@ func benchExperiment(b *testing.B, id string) {
 	}
 }
 
+// BenchmarkExperimentParallelism measures the wall-clock effect of the
+// trial-runner worker pool on a trial-heavy experiment. Throughput must
+// improve with parallelism while the tables stay byte-identical (pinned by
+// TestParallelRunnerDeterminism in internal/experiment).
+func BenchmarkExperimentParallelism(b *testing.B) {
+	e, ok := experiment.ByID("E3")
+	if !ok {
+		b.Fatal("E3 not registered")
+	}
+	for _, par := range []int{1, 2, 4, 0} { // 0 = GOMAXPROCS
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			cfg := experiment.Config{Quick: true, Trials: 32, Seed: 1, Parallelism: par}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if tables := e.Run(cfg); len(tables) == 0 {
+					b.Fatal("no tables produced")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkE1WorstCase(b *testing.B)     { benchExperiment(b, "E1") }
 func BenchmarkE2Impossibility(b *testing.B) { benchExperiment(b, "E2") }
 func BenchmarkE3PIF(b *testing.B)           { benchExperiment(b, "E3") }

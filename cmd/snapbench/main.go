@@ -8,7 +8,11 @@
 //	snapbench -e E3,E9         # a subset
 //	snapbench -quick           # smoke-test scale
 //	snapbench -trials 500      # crank the statistics
+//	snapbench -parallel 8      # trial-runner workers (0 = GOMAXPROCS)
 //	snapbench -markdown        # emit EXPERIMENTS.md-style markdown
+//
+// Tables are byte-identical at every -parallel setting: each trial's
+// randomness is a pure function of (seed, row, trial).
 package main
 
 import (
@@ -27,11 +31,16 @@ func main() {
 		trials   = flag.Int("trials", 0, "trials per table row (0 = default)")
 		seed     = flag.Uint64("seed", 1, "base seed")
 		quick    = flag.Bool("quick", false, "smoke-test scale")
+		parallel = flag.Int("parallel", 0, "trial-runner workers (0 = GOMAXPROCS, 1 = sequential)")
 		markdown = flag.Bool("markdown", false, "emit markdown tables")
 	)
 	flag.Parse()
 
-	cfg := experiment.Config{Trials: *trials, Seed: *seed, Quick: *quick}
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "snapbench: -parallel must be >= 0, got %d\n", *parallel)
+		os.Exit(1)
+	}
+	cfg := experiment.Config{Trials: *trials, Seed: *seed, Quick: *quick, Parallelism: *parallel}
 	var selected []experiment.Experiment
 	if *ids == "" {
 		selected = experiment.All()

@@ -1,0 +1,3 @@
+module github.com/snapstab/snapstab
+
+go 1.22

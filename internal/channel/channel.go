@@ -45,6 +45,14 @@ type Queue[T any] interface {
 	// does not exist in the bounded model (this is exactly the step of
 	// the Theorem 1 proof that fails under bounded capacity).
 	Preload(msgs []T) error
+	// SetTransition registers f to be invoked whenever the channel
+	// transitions between empty and non-empty: f(true) when a message
+	// enters an empty channel, f(false) when the last message leaves. At
+	// most one hook is supported; registering replaces the previous one.
+	// The scheduler uses the hook to maintain its O(1) non-empty-link
+	// index (DESIGN.md §4), so the hook fires from every mutating method,
+	// including Preload.
+	SetTransition(f func(nonEmpty bool))
 }
 
 // Unlimited is the Cap value reported by unbounded channels.
@@ -53,10 +61,11 @@ const Unlimited = -1
 // Bounded is a FIFO channel with capacity c >= 1 that silently loses
 // messages sent while full.
 type Bounded[T any] struct {
-	buf  []T
-	head int
-	n    int
-	lost int
+	buf        []T
+	head       int
+	n          int
+	lost       int
+	transition func(nonEmpty bool)
 }
 
 var _ Queue[int] = (*Bounded[int])(nil)
@@ -79,6 +88,9 @@ func (b *Bounded[T]) Send(m T) bool {
 	}
 	b.buf[(b.head+b.n)%len(b.buf)] = m
 	b.n++
+	if b.n == 1 && b.transition != nil {
+		b.transition(true)
+	}
 	return true
 }
 
@@ -92,6 +104,9 @@ func (b *Bounded[T]) Recv() (T, bool) {
 	b.buf[b.head] = zero
 	b.head = (b.head + 1) % len(b.buf)
 	b.n--
+	if b.n == 0 && b.transition != nil {
+		b.transition(false)
+	}
 	return m, true
 }
 
@@ -143,16 +158,24 @@ func (b *Bounded[T]) Preload(msgs []T) error {
 	for i := range b.buf {
 		b.buf[i] = zero
 	}
+	was := b.n > 0
 	b.head = 0
 	b.n = copy(b.buf, msgs)
+	if now := b.n > 0; now != was && b.transition != nil {
+		b.transition(now)
+	}
 	return nil
 }
+
+// SetTransition registers the empty/non-empty hook.
+func (b *Bounded[T]) SetTransition(f func(nonEmpty bool)) { b.transition = f }
 
 // Unbounded is a FIFO channel with no capacity limit, the setting of the
 // Theorem 1 impossibility result.
 type Unbounded[T any] struct {
-	buf  []T
-	lost int
+	buf        []T
+	lost       int
+	transition func(nonEmpty bool)
 }
 
 var _ Queue[int] = (*Unbounded[int])(nil)
@@ -165,6 +188,9 @@ func NewUnbounded[T any]() *Unbounded[T] {
 // Send enqueues m; an unbounded channel never loses on send.
 func (u *Unbounded[T]) Send(m T) bool {
 	u.buf = append(u.buf, m)
+	if len(u.buf) == 1 && u.transition != nil {
+		u.transition(true)
+	}
 	return true
 }
 
@@ -180,6 +206,9 @@ func (u *Unbounded[T]) Recv() (T, bool) {
 	copy(u.buf, u.buf[1:])
 	u.buf[len(u.buf)-1] = zero
 	u.buf = u.buf[:len(u.buf)-1]
+	if len(u.buf) == 0 && u.transition != nil {
+		u.transition(false)
+	}
 	return m, true
 }
 
@@ -221,6 +250,13 @@ func (u *Unbounded[T]) Contents() []T {
 // channel accepts any preload; this is the capability Theorem 1's
 // adversary exploits.
 func (u *Unbounded[T]) Preload(msgs []T) error {
+	was := len(u.buf) > 0
 	u.buf = append(u.buf[:0:0], msgs...)
+	if now := len(u.buf) > 0; now != was && u.transition != nil {
+		u.transition(now)
+	}
 	return nil
 }
+
+// SetTransition registers the empty/non-empty hook.
+func (u *Unbounded[T]) SetTransition(f func(nonEmpty bool)) { u.transition = f }

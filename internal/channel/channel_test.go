@@ -295,6 +295,81 @@ func TestPropertyLenMatchesContents(t *testing.T) {
 	}
 }
 
+// transitionLog records every hook invocation.
+type transitionLog struct{ calls []bool }
+
+func (l *transitionLog) hook(nonEmpty bool) { l.calls = append(l.calls, nonEmpty) }
+
+func TestTransitionHookBounded(t *testing.T) {
+	t.Parallel()
+	ch := NewBounded[int](2)
+	var log transitionLog
+	ch.SetTransition(log.hook)
+	ch.Send(1) // empty -> non-empty
+	ch.Send(2) // still non-empty: no call
+	ch.Recv()  // still non-empty: no call
+	ch.Recv()  // non-empty -> empty
+	want := []bool{true, false}
+	if len(log.calls) != 2 || log.calls[0] != want[0] || log.calls[1] != want[1] {
+		t.Fatalf("hook calls = %v, want %v", log.calls, want)
+	}
+	// A send lost to a full channel must not fire the hook.
+	one := NewBounded[int](1)
+	var log2 transitionLog
+	one.SetTransition(log2.hook)
+	one.Send(1)
+	one.Send(2) // lost
+	if len(log2.calls) != 1 {
+		t.Fatalf("lost send fired the hook: %v", log2.calls)
+	}
+	one.Drop() // non-empty -> empty, via Recv
+	if len(log2.calls) != 2 || log2.calls[1] {
+		t.Fatalf("Drop did not fire the emptying transition: %v", log2.calls)
+	}
+}
+
+func TestTransitionHookPreload(t *testing.T) {
+	t.Parallel()
+	for _, unbounded := range []bool{false, true} {
+		var ch Queue[int]
+		if unbounded {
+			ch = NewUnbounded[int]()
+		} else {
+			ch = NewBounded[int](3)
+		}
+		var log transitionLog
+		ch.SetTransition(log.hook)
+		if err := ch.Preload([]int{1, 2}); err != nil { // empty -> non-empty
+			t.Fatal(err)
+		}
+		if err := ch.Preload([]int{9}); err != nil { // non-empty -> non-empty: no call
+			t.Fatal(err)
+		}
+		if err := ch.Preload(nil); err != nil { // non-empty -> empty
+			t.Fatal(err)
+		}
+		want := []bool{true, false}
+		if len(log.calls) != 2 || log.calls[0] != want[0] || log.calls[1] != want[1] {
+			t.Fatalf("unbounded=%v: hook calls = %v, want %v", unbounded, log.calls, want)
+		}
+	}
+}
+
+func TestTransitionHookUnbounded(t *testing.T) {
+	t.Parallel()
+	ch := NewUnbounded[int]()
+	var log transitionLog
+	ch.SetTransition(log.hook)
+	ch.Send(1)
+	ch.Send(2)
+	ch.Drop()
+	ch.Recv()
+	want := []bool{true, false}
+	if len(log.calls) != 2 || log.calls[0] != want[0] || log.calls[1] != want[1] {
+		t.Fatalf("hook calls = %v, want %v", log.calls, want)
+	}
+}
+
 func BenchmarkBoundedSendRecv(b *testing.B) {
 	ch := NewBounded[int](1)
 	for i := 0; i < b.N; i++ {

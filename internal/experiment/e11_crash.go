@@ -33,11 +33,15 @@ func runE11(cfg Config) []stat.Table {
 	if cfg.Quick {
 		ns = []int{3}
 	}
+	type trialResult struct {
+		decided               bool
+		liveDone, crashedDone int
+	}
+	row := 0
 	for _, n := range ns {
 		for k := 0; k < n-1; k++ {
-			decisions, fabricated, liveDone, crashedDone := 0, 0, 0, 0
-			for trial := 0; trial < trials; trial++ {
-				seed := cfg.Seed + uint64(trial)*193 + uint64(n*17+k)
+			n, k := n, k
+			results := runTrials(cfg, row, trials, func(trial int, seed uint64) trialResult {
 				net, machines := pifDeployment(n, 4, sim.WithSeed(seed))
 				for c := 0; c < k; c++ {
 					net.Crash(core.ProcID(n - 1 - c)) // crash the tail processes
@@ -48,22 +52,31 @@ func runE11(cfg Config) []stat.Table {
 				// k > 0 the computation must still be in progress at the
 				// end.
 				_ = net.RunUntil(machines[0].Done, 200_000)
-				if machines[0].Done() {
+				var res trialResult
+				res.decided = machines[0].Done()
+				for q := 1; q < n; q++ {
+					done := machines[0].State[q] == machines[0].FlagTop()
+					if q >= n-k {
+						if done {
+							res.crashedDone++
+						}
+					} else if done {
+						res.liveDone++
+					}
+				}
+				return res
+			})
+			row++
+			decisions, fabricated, liveDone, crashedDone := 0, 0, 0, 0
+			for _, res := range results {
+				if res.decided {
 					decisions++
 					if k > 0 {
 						fabricated++
 					}
 				}
-				for q := 1; q < n; q++ {
-					done := machines[0].State[q] == machines[0].FlagTop()
-					if q >= n-k {
-						if done {
-							crashedDone++
-						}
-					} else if done {
-						liveDone++
-					}
-				}
+				liveDone += res.liveDone
+				crashedDone += res.crashedDone
 			}
 			t.AddRow(stat.I(n), stat.I(k), stat.I(trials), stat.I(decisions),
 				stat.I(fabricated), stat.I(liveDone), stat.I(crashedDone))

@@ -121,9 +121,14 @@ func runE1(cfg Config) []stat.Table {
 		Title:   "Figure 1 adversary vs. flag-domain size (capacity 1: 3 stale tokens available)",
 		Columns: []string{"FlagTop", "increments needed", "spurious increments reached", "decision from garbage"},
 	}
-	for _, top := range []int{1, 2, 3, 4, 5} {
+	tops := []int{1, 2, 3, 4, 5}
+	rows := runRows(cfg, len(tops), func(i int) []string {
+		top := tops[i]
 		_, sp, fooledAt := figure1Steps(top)
-		t2.AddRow(stat.I(top), stat.I(top), stat.I(int(sp)), stat.B(fooledAt))
+		return []string{stat.I(top), stat.I(top), stat.I(int(sp)), stat.B(fooledAt)}
+	})
+	for _, row := range rows {
+		t2.AddRow(row...)
 	}
 	t2.AddNote("the paper's domain {0..4} is the smallest whose decision threshold exceeds the 2c+1 = 3 stale tokens of a capacity-1 configuration")
 	return []stat.Table{t1, t2}

@@ -38,10 +38,14 @@ func runE2(cfg Config) []stat.Table {
 		{"bounded, capacity 1 (known)", 1, false},
 		{"bounded, capacity = |MesSeq|", len(rec.MesSeq), false},
 	}
-	for _, r := range regimes {
+	t1Rows := runRows(cfg, len(regimes), func(i int) []string {
+		r := regimes[i]
 		out := adversary.Replay(rec, 1, r.capacity, r.unbounded)
-		t1.AddRow(r.name, stat.B(out.PreloadAccepted), stat.B(out.Decided),
-			stat.B(out.PeerParticipated), stat.B(out.ProjectionReproduced), stat.B(out.Violation()))
+		return []string{r.name, stat.B(out.PreloadAccepted), stat.B(out.Decided),
+			stat.B(out.PeerParticipated), stat.B(out.ProjectionReproduced), stat.B(out.Violation())}
+	})
+	for _, row := range t1Rows {
+		t1.AddRow(row...)
 	}
 	t1.AddNote("recorded MesSeq length: %d messages; the bounded capacity-1 channel refuses the preload, so gamma_0 does not exist — the paper's escape hatch", len(rec.MesSeq))
 
@@ -52,7 +56,8 @@ func runE2(cfg Config) []stat.Table {
 		Title:   "Attack threshold: PIF assuming capacity bound c vs. actual channel capacity g (minimal fooling preload = 2c+2 messages)",
 		Columns: []string{"assumed c (flags 0..2c+2)", "g=1", "g=2", "g=4", "g=6", "g=8", "g=10", "unbounded"},
 	}
-	for c := 1; c <= 3; c++ {
+	t2Rows := runRows(cfg, 3, func(i int) []string {
+		c := i + 1
 		top := uint8(2*c + 2)
 		seq := adversary.MinimalFoolingSequence("pif", top, core.Payload{Tag: "forged"})
 		row := []string{stat.I(c)}
@@ -62,6 +67,9 @@ func runE2(cfg Config) []stat.Table {
 		}
 		out := adversary.AttackWithPreload(seq, c, 0, true)
 		row = append(row, cell(out))
+		return row
+	})
+	for _, row := range t2Rows {
 		t2.AddRow(row...)
 	}
 	t2.AddNote("FOOLED iff the channel admits the 2c+2-message preload: protocols are safe exactly on channels respecting their known bound")

@@ -71,20 +71,34 @@ func runE3(cfg Config) []stat.Table {
 	if cfg.Quick {
 		ns = []int{2, 3}
 	}
+	type trialResult struct {
+		steps      int
+		violations int
+		timeout    bool
+	}
+	row := 0
 	for _, n := range ns {
 		for _, loss := range []float64{0, 0.1, 0.3} {
-			var steps []int
-			timeouts, violations := 0, 0
-			for trial := 0; trial < cfg.Trials; trial++ {
-				s, v, err := pifTrial(n, loss, cfg.Seed+uint64(trial)*7919+uint64(n*1000), cfg.MaxSteps)
+			n, loss := n, loss
+			results := runTrials(cfg, row, cfg.Trials, func(_ int, seed uint64) trialResult {
+				s, v, err := pifTrial(n, loss, seed, cfg.MaxSteps)
 				if err != nil {
+					return trialResult{timeout: true}
+				}
+				return trialResult{steps: s, violations: v}
+			})
+			row++
+			var steps stat.Samples
+			timeouts, violations := 0, 0
+			for _, res := range results {
+				if res.timeout {
 					timeouts++
 					continue
 				}
-				steps = append(steps, s)
-				violations += v
+				steps.AddInt(res.steps)
+				violations += res.violations
 			}
-			sum := stat.Summarize(stat.Ints(steps))
+			sum := steps.Summary()
 			t.AddRow(stat.I(n), stat.F(loss), stat.I(cfg.Trials), stat.I(timeouts),
 				stat.I(violations), stat.F(sum.Mean), stat.F(sum.P90))
 		}
@@ -104,10 +118,14 @@ func runE4(cfg Config) []stat.Table {
 	if cfg.Quick {
 		ns = []int{2, 3}
 	}
-	for _, n := range ns {
-		planted, residual := 0, 0
-		for trial := 0; trial < cfg.Trials; trial++ {
-			seed := cfg.Seed + uint64(trial)*104729 + uint64(n)
+	type trialResult struct {
+		planted  int
+		residual int
+	}
+	for row, n := range ns {
+		n := n
+		results := runTrials(cfg, row, cfg.Trials, func(trial int, seed uint64) trialResult {
+			var res trialResult
 			net, machines := pifDeployment(n, 4, sim.WithSeed(seed))
 			r := rng.New(seed ^ 0xBEEF)
 			config.CorruptMachines(net, r)
@@ -123,7 +141,7 @@ func runE4(cfg Config) []stat.Table {
 					g.B = core.Payload{Tag: "planted", Num: int64(trial*100 + q)}
 					mustPreload(net, k, g)
 					tagged[g] = true
-					planted++
+					res.planted++
 				}
 			}
 			token := core.Payload{Tag: "fresh", Num: int64(trial)}
@@ -136,8 +154,8 @@ func runE4(cfg Config) []stat.Table {
 				return machines[0].Done() && machines[0].BMes == token
 			}, cfg.MaxSteps)
 			if err != nil {
-				residual++ // count a timeout as a failure
-				continue
+				res.residual++ // count a timeout as a failure
+				return res
 			}
 			for q := 1; q < n; q++ {
 				for _, k := range []sim.LinkKey{
@@ -146,11 +164,17 @@ func runE4(cfg Config) []stat.Table {
 				} {
 					for _, m := range net.Link(k).Contents() {
 						if tagged[m] {
-							residual++
+							res.residual++
 						}
 					}
 				}
 			}
+			return res
+		})
+		planted, residual := 0, 0
+		for _, res := range results {
+			planted += res.planted
+			residual += res.residual
 		}
 		t.AddRow(stat.I(n), stat.I(cfg.Trials), stat.I(planted), stat.I(residual))
 	}
@@ -169,11 +193,15 @@ func runE5(cfg Config) []stat.Table {
 	if cfg.Quick {
 		ns = []int{2, 4}
 	}
+	type trialResult struct {
+		timeout            bool
+		wrongMin, wrongTab int
+	}
+	row := 0
 	for _, n := range ns {
 		for _, loss := range []float64{0, 0.2} {
-			timeouts, wrongMin, wrongTab := 0, 0, 0
-			for trial := 0; trial < cfg.Trials; trial++ {
-				seed := cfg.Seed + uint64(trial)*7907 + uint64(n*31)
+			n, loss := n, loss
+			results := runTrials(cfg, row, cfg.Trials, func(_ int, seed uint64) trialResult {
 				r := rng.New(seed)
 				ids := make([]int64, n)
 				perm := r.Perm(n)
@@ -197,9 +225,9 @@ func runE5(cfg Config) []stat.Table {
 					return machines[0].Done()
 				}, cfg.MaxSteps)
 				if err != nil {
-					timeouts++
-					continue
+					return trialResult{timeout: true}
 				}
+				var res trialResult
 				minID := ids[0]
 				for _, id := range ids {
 					if id < minID {
@@ -207,13 +235,23 @@ func runE5(cfg Config) []stat.Table {
 					}
 				}
 				if machines[0].MinID != minID {
-					wrongMin++
+					res.wrongMin++
 				}
 				for q := 1; q < n; q++ {
 					if machines[0].IDTab[q] != ids[q] {
-						wrongTab++
+						res.wrongTab++
 					}
 				}
+				return res
+			})
+			row++
+			timeouts, wrongMin, wrongTab := 0, 0, 0
+			for _, res := range results {
+				if res.timeout {
+					timeouts++
+				}
+				wrongMin += res.wrongMin
+				wrongTab += res.wrongTab
 			}
 			t.AddRow(stat.I(n), stat.F(loss), stat.I(cfg.Trials), stat.I(timeouts), stat.I(wrongMin), stat.I(wrongTab))
 		}

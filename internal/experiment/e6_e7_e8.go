@@ -40,12 +40,16 @@ func runE6(cfg Config) []stat.Table {
 	if cfg.Quick {
 		ns = []int{2, 3}
 	}
+	type trialResult struct {
+		unserved           bool
+		violations, zombie int
+		steps              int
+	}
+	row := 0
 	for _, n := range ns {
 		for _, loss := range []float64{0, 0.1} {
-			unserved, violations, zombies := 0, 0, 0
-			var steps []int
-			for trial := 0; trial < trials; trial++ {
-				seed := cfg.Seed + uint64(trial)*6997 + uint64(n*131)
+			n, loss := n, loss
+			results := runTrials(cfg, row, trials, func(_ int, seed uint64) trialResult {
 				machines := make([]*mutex.ME, n)
 				stacks := make([]core.Stack, n)
 				for i := 0; i < n; i++ {
@@ -79,14 +83,27 @@ func runE6(cfg Config) []stat.Table {
 					return all
 				}, cfg.MaxSteps)
 				if err != nil {
+					return trialResult{unserved: true}
+				}
+				return trialResult{
+					violations: len(checker.Violations()),
+					zombie:     checker.ZombieOverlaps(),
+					steps:      (net.StepCount() - begin) / n,
+				}
+			})
+			row++
+			unserved, violations, zombies := 0, 0, 0
+			var steps stat.Samples
+			for _, res := range results {
+				if res.unserved {
 					unserved++
 					continue
 				}
-				violations += len(checker.Violations())
-				zombies += checker.ZombieOverlaps()
-				steps = append(steps, (net.StepCount()-begin)/n)
+				violations += res.violations
+				zombies += res.zombie
+				steps.AddInt(res.steps)
 			}
-			sum := stat.Summarize(stat.Ints(steps))
+			sum := steps.Summary()
 			t.AddRow(stat.I(n), stat.F(loss), stat.I(trials), stat.I(unserved),
 				stat.I(violations), stat.I(zombies), stat.F(sum.Mean), stat.F(sum.P90))
 		}
@@ -107,24 +124,36 @@ func runE7(cfg Config) []stat.Table {
 	if cfg.Quick {
 		ns = []int{2, 4, 6}
 	}
+	type trialResult struct {
+		ok           bool
+		msgs, rounds int
+	}
+	row := 0
 	for _, n := range ns {
 		for _, loss := range []float64{0, 0.2} {
-			var msgs, rounds []int
-			for trial := 0; trial < trials; trial++ {
-				seed := cfg.Seed + uint64(trial)*31 + uint64(n)
+			n, loss := n, loss
+			results := runTrials(cfg, row, trials, func(trial int, seed uint64) trialResult {
 				net, machines := pifDeployment(n, 4, sim.WithSeed(seed), sim.WithLossRate(loss))
 				token := core.Payload{Tag: "m", Num: int64(trial)}
 				machines[0].Invoke(net.Env(0), token)
 				before := net.Stats()
 				if err := net.RunRoundsUntil(machines[0].Done, 1_000_000); err != nil {
-					continue
+					return trialResult{}
 				}
 				after := net.Stats()
-				msgs = append(msgs, after.Sends-before.Sends)
-				rounds = append(rounds, after.Rounds-before.Rounds)
+				return trialResult{ok: true, msgs: after.Sends - before.Sends, rounds: after.Rounds - before.Rounds}
+			})
+			row++
+			var msgs, rounds stat.Samples
+			for _, res := range results {
+				if !res.ok {
+					continue
+				}
+				msgs.AddInt(res.msgs)
+				rounds.AddInt(res.rounds)
 			}
-			m := stat.Summarize(stat.Ints(msgs))
-			r := stat.Summarize(stat.Ints(rounds))
+			m := msgs.Summary()
+			r := rounds.Summary()
 			naive := 2 * (n - 1)
 			t.AddRow(stat.I(n), stat.F(loss), stat.F(m.Mean), stat.F(r.Mean),
 				stat.I(naive), stat.F(m.Mean/float64(naive)))
@@ -141,11 +170,13 @@ func runE8(cfg Config) []stat.Table {
 		Title:   "Requests violated before convergence, by protocol (2 processes, adversarial garbage of depth G)",
 		Columns: []string{"G (garbage depth)", "naive PIF", "self-stab seq-PIF", "snap-stab PIF"},
 	}
-	for _, g := range []int{1, 2, 4, 8} {
-		naive := e8Naive()
-		seq := e8Seq(g)
-		snap := e8Snap(g, cfg)
-		t.AddRow(stat.I(g), naive, seq, snap)
+	gs := []int{1, 2, 4, 8}
+	rows := runRows(cfg, len(gs), func(i int) []string {
+		g := gs[i]
+		return []string{stat.I(g), e8Naive(), e8Seq(g), e8Snap(g, cfg)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.AddNote("seq-PIF is fooled once per forged acknowledgment (then converges: self-stabilization); snap-PIF serves every request correctly (snap-stabilization); naive PIF is fooled by a single forged message and deadlocks under loss")
 	return []stat.Table{t}

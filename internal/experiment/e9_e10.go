@@ -27,11 +27,11 @@ func runE9(cfg Config) []stat.Table {
 	if cfg.Quick {
 		tops = []int{2, 3, 4}
 	}
-	for _, top := range tops {
+	rows := runRows(cfg, len(tops), func(i int) []string {
+		top := tops[i]
 		res, err := check.Safety(check.Options{FlagTop: top, TraceViolation: top < 4})
 		if err != nil {
-			t.AddRow(stat.I(top), "-", "error: "+err.Error(), "-", "-")
-			continue
+			return []string{stat.I(top), "-", "error: " + err.Error(), "-", "-"}
 		}
 		term, err := check.Termination(check.Options{FlagTop: top})
 		traps := "-"
@@ -47,7 +47,10 @@ func runE9(cfg Config) []stat.Table {
 				example += "; " + stat.I(len(res.Violation.Trace)) + "-step counter-example"
 			}
 		}
-		t.AddRow(stat.I(top), stat.I(res.Explored), verdict, traps, example)
+		return []string{stat.I(top), stat.I(res.Explored), verdict, traps, example}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.AddNote("the paper's domain {0..4} (FlagTop 4) is the smallest safe one; termination holds for every size (handshakes complete either way — too easily below the threshold)")
 	return []stat.Table{t}
@@ -125,12 +128,15 @@ func runE10(cfg Config) []stat.Table {
 	if cfg.Quick {
 		caps = []int{1, 2}
 	}
-	for _, c := range caps {
+	t1Rows := runRows(cfg, len(caps), func(i int) []string {
+		c := caps[i]
 		spuriousLow, fooledLow := capacityAdversary(c, 2*c+1)
 		spuriousOK, fooledOK := capacityAdversary(c, 2*c+2)
-		_ = spuriousOK
-		t1.AddRow(stat.I(c), stat.I(2*c+1), stat.I(int(maxU8(spuriousLow, spuriousOK))),
-			stat.B(fooledLow), stat.B(fooledOK))
+		return []string{stat.I(c), stat.I(2*c + 1), stat.I(int(maxU8(spuriousLow, spuriousOK))),
+			stat.B(fooledLow), stat.B(fooledOK)}
+	})
+	for _, row := range t1Rows {
+		t1.AddRow(row...)
 	}
 	t1.AddNote("with capacity c the adversary owns exactly 2c+1 stale echo tokens; FlagTop = 2c+2 is the smallest safe domain — the paper's c = 1 case generalizes linearly")
 
@@ -145,11 +151,14 @@ func runE10(cfg Config) []stat.Table {
 	if trials < 10 {
 		trials = 10
 	}
-	for _, c := range caps {
+	type trialResult struct {
+		timeout    bool
+		violations int
+	}
+	for row, c := range caps {
+		c := c
 		top := 2*c + 2
-		timeouts, violations := 0, 0
-		for trial := 0; trial < trials; trial++ {
-			seed := cfg.Seed + uint64(trial)*911 + uint64(c*7)
+		results := runTrials(cfg, row, trials, func(trial int, seed uint64) trialResult {
 			net, machines := pifDeployment(3, top, sim.WithSeed(seed), sim.WithCapacity(c))
 			checker := &spec.PIFChecker{N: 3, Initiator: 0, Instance: "pif", ExpectFck: ackFor}
 			net = sim.New(stacksOf(machines), sim.WithSeed(seed), sim.WithCapacity(c), sim.WithObserver(checker))
@@ -168,10 +177,17 @@ func runE10(cfg Config) []stat.Table {
 				return checker.Decided()
 			}, cfg.MaxSteps)
 			if err != nil {
+				return trialResult{timeout: true}
+			}
+			return trialResult{violations: len(checker.Violations())}
+		})
+		timeouts, violations := 0, 0
+		for _, res := range results {
+			if res.timeout {
 				timeouts++
 				continue
 			}
-			violations += len(checker.Violations())
+			violations += res.violations
 		}
 		t2.AddRow(stat.I(c), stat.I(top), stat.I(trials), stat.I(timeouts), stat.I(violations))
 	}

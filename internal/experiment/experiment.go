@@ -37,6 +37,12 @@ type Config struct {
 	Quick bool
 	// MaxSteps bounds each simulated run (default 20M).
 	MaxSteps int
+	// Parallelism bounds the trial-runner worker pool: trials (and
+	// independent rows) fan out across this many goroutines. 0 means
+	// GOMAXPROCS; 1 runs sequentially. Tables are byte-identical at every
+	// setting — each trial's randomness is a pure function of (Seed, row,
+	// trial) and results merge in trial order (see runner.go).
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {

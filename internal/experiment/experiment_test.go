@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -243,6 +244,56 @@ func TestE10Thresholds(t *testing.T) {
 // fmtSscan wraps fmt.Sscan to keep the test imports tidy.
 func fmtSscan(s string, out *float64) (int, error) {
 	return fmt.Sscan(s, out)
+}
+
+// TestParallelRunnerDeterminism pins the tentpole contract of the trial
+// runner: one Config renders byte-identical tables at Parallelism 1, 4,
+// and NumCPU. Combined with `go test -race`, this also exercises the
+// worker pool for data races.
+func TestParallelRunnerDeterminism(t *testing.T) {
+	t.Parallel()
+	// A mix of trial-heavy (E3, E7, E11) and row-parallel (E1) experiments
+	// keeps the run fast while covering both fan-out shapes.
+	ids := []string{"E1", "E3", "E7", "E11"}
+	render := func(parallelism int) string {
+		var sb strings.Builder
+		cfg := Config{Quick: true, Trials: 8, Seed: 3, Parallelism: parallelism}
+		for _, id := range ids {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %s not registered", id)
+			}
+			for _, tab := range e.Run(cfg) {
+				tab.Render(&sb)
+			}
+		}
+		return sb.String()
+	}
+	want := render(1)
+	for _, parallelism := range []int{4, runtime.NumCPU()} {
+		if got := render(parallelism); got != want {
+			t.Errorf("tables differ between Parallelism 1 and %d:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				parallelism, want, got)
+		}
+	}
+}
+
+func TestTrialSeedPureFunction(t *testing.T) {
+	t.Parallel()
+	if TrialSeed(1, 2, 3) != TrialSeed(1, 2, 3) {
+		t.Fatal("TrialSeed not deterministic")
+	}
+	// Adjacent coordinates must not collide: rows share no seeds.
+	seen := make(map[uint64]bool)
+	for row := 0; row < 30; row++ {
+		for trial := 0; trial < 200; trial++ {
+			s := TrialSeed(7, row, trial)
+			if seen[s] {
+				t.Fatalf("seed collision at row %d trial %d", row, trial)
+			}
+			seen[s] = true
+		}
+	}
 }
 
 func TestE11CrashBoundary(t *testing.T) {

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/snapstab/snapstab/internal/rng"
+)
+
+// This file is the shared parallel trial runner (DESIGN.md §5). Every
+// experiment fans its independent units of work — randomized trials within
+// a table row, or whole deterministic rows — across a bounded worker pool.
+//
+// Determinism is preserved by construction, not by ordering the workers:
+//
+//   - each trial draws all of its randomness from TrialSeed(Seed, row,
+//     trial), a pure function of the trial's coordinates, so what a trial
+//     computes is independent of which worker ran it and when;
+//   - results land in a slice slot indexed by trial, and callers fold them
+//     in index order (stat.Samples.Merge, plain accumulation), so the
+//     merged tables are byte-identical at every Parallelism level.
+
+// TrialSeed derives the seed of one randomized trial from the experiment's
+// base seed and the trial's coordinates (table row, trial index). Trials
+// must draw every bit of randomness from this seed — never from shared
+// state — so that tables do not depend on worker scheduling.
+func TrialSeed(base uint64, row, trial int) uint64 {
+	return rng.Mix(base, uint64(row), uint64(trial))
+}
+
+// workers resolves Config.Parallelism to a concrete pool size. Negative
+// values run sequentially, like 1 — a computed negative should degrade
+// safely rather than silently fan out across every core.
+func (c Config) workers() int {
+	if c.Parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if c.Parallelism < 1 {
+		return 1
+	}
+	return c.Parallelism
+}
+
+// fanOut computes out[i] = fn(i) for i in [0, n) on up to workers
+// goroutines, handing out indices through a shared counter. Slots are
+// written exactly once each, so no further synchronization is needed to
+// read the result after the pool drains.
+func fanOut[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// runTrials runs one table row's randomized trials across the worker pool
+// and returns the per-trial results in trial order. row must be unique per
+// table row within the experiment so rows draw disjoint seed streams.
+func runTrials[T any](cfg Config, row, trials int, trial func(t int, seed uint64) T) []T {
+	return fanOut(cfg.workers(), trials, func(i int) T {
+		return trial(i, TrialSeed(cfg.Seed, row, i))
+	})
+}
+
+// runRows computes n independent table rows across the worker pool,
+// returning them in row order. For deterministic (trial-free) experiments
+// this parallelizes the rows themselves.
+func runRows[T any](cfg Config, n int, row func(i int) T) []T {
+	return fanOut(cfg.workers(), n, row)
+}

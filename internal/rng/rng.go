@@ -78,3 +78,20 @@ func (s *Source) Perm(n int) []int {
 func (s *Source) Split() *Source {
 	return &Source{state: s.Uint64()}
 }
+
+// Mix hashes parts into one well-distributed seed by folding each part
+// through the SplitMix64 finalizer. It is order-sensitive — Mix(a, b) and
+// Mix(b, a) differ — so hierarchical seeds like (base, row, trial) stay
+// collision-free in practice. The parallel experiment runner derives every
+// trial's seed this way, making each trial a pure function of its
+// coordinates regardless of worker scheduling.
+func Mix(parts ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, p := range parts {
+		h += p + 0x9e3779b97f4a7c15
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}

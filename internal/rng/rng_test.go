@@ -188,3 +188,25 @@ func BenchmarkIntn(b *testing.B) {
 		_ = s.Intn(1000)
 	}
 }
+
+func TestMixDeterministicAndSensitive(t *testing.T) {
+	t.Parallel()
+	if Mix(1, 2, 3) != Mix(1, 2, 3) {
+		t.Fatal("Mix is not deterministic")
+	}
+	seen := make(map[uint64][3]uint64)
+	for base := uint64(0); base < 3; base++ {
+		for row := uint64(0); row < 20; row++ {
+			for trial := uint64(0); trial < 50; trial++ {
+				v := Mix(base, row, trial)
+				if prev, dup := seen[v]; dup {
+					t.Fatalf("Mix collision: (%d,%d,%d) and %v -> %d", base, row, trial, prev, v)
+				}
+				seen[v] = [3]uint64{base, row, trial}
+			}
+		}
+	}
+	if Mix(1, 2) == Mix(2, 1) {
+		t.Fatal("Mix is order-insensitive; hierarchical seeds would collide")
+	}
+}

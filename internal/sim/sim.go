@@ -112,6 +112,17 @@ type Network struct {
 	linkOrder []LinkKey
 	observers core.MultiObserver
 
+	// The non-empty-link index: pending holds the ids (indices into
+	// linkOrder) of every link currently carrying messages, as a dense
+	// swap-remove set; pendingPos[id] is the id's position in pending, or
+	// -1. Channel transition hooks keep the set exact through every
+	// mutation path (Send, Deliver, Lose, Preload), so Step never scans
+	// the links (DESIGN.md §4).
+	pending    []int
+	pendingPos []int
+	scratch    []int
+	envs       []core.Env
+
 	step         int
 	stats        Stats
 	activatedSet []bool
@@ -147,6 +158,13 @@ func New(stacks []core.Stack, opts ...Option) *Network {
 	net.routes = make([]map[string]core.Machine, net.n)
 	for i, s := range stacks {
 		net.routes[i] = s.ByInstance()
+	}
+	// Box one core.Env per process up front: handing machines a freshly
+	// boxed env value on every activation would put one interface
+	// allocation on the scheduler hot path.
+	net.envs = make([]core.Env, net.n)
+	for i := range net.envs {
+		net.envs[i] = env{net: net, self: core.ProcID(i)}
 	}
 	return net
 }
@@ -196,7 +214,23 @@ func (net *Network) Link(k LinkKey) channel.Queue[core.Message] {
 		q = channel.NewBounded[core.Message](net.capacity)
 	}
 	net.links[k] = q
+	id := len(net.linkOrder)
 	net.linkOrder = append(net.linkOrder, k)
+	net.pendingPos = append(net.pendingPos, -1)
+	q.SetTransition(func(nonEmpty bool) {
+		if nonEmpty {
+			net.pendingPos[id] = len(net.pending)
+			net.pending = append(net.pending, id)
+			return
+		}
+		pos := net.pendingPos[id]
+		last := len(net.pending) - 1
+		moved := net.pending[last]
+		net.pending[pos] = moved
+		net.pendingPos[moved] = pos
+		net.pending = net.pending[:last]
+		net.pendingPos[id] = -1
+	})
 	return q
 }
 
@@ -262,7 +296,7 @@ func (e env) Emit(ev core.Event) {
 
 // Env returns the environment for process p, letting external code (tests,
 // the façade) invoke requests that emit events through the same stream.
-func (net *Network) Env(p core.ProcID) core.Env { return env{net: net, self: p} }
+func (net *Network) Env(p core.ProcID) core.Env { return net.envs[p] }
 
 // Crash permanently silences process p: it takes no further internal
 // actions and consumes incoming messages with no effect. The paper's model
@@ -295,7 +329,7 @@ func (net *Network) Activate(p core.ProcID) bool {
 		return false
 	}
 	fired := false
-	e := env{net: net, self: p}
+	e := net.envs[p]
 	for _, m := range net.stacks[p] {
 		if m.Step(e) {
 			fired = true
@@ -318,7 +352,7 @@ func (net *Network) Deliver(k LinkKey) bool {
 	net.stats.Deliveries++
 	net.emit(core.Event{Kind: core.EvDeliver, Proc: k.To, Peer: k.From, Instance: m.Instance, Msg: m})
 	if mach, ok := net.routes[k.To][m.Instance]; ok && !net.crashed[k.To] {
-		mach.Deliver(env{net: net, self: k.To}, k.From, m)
+		mach.Deliver(net.envs[k.To], k.From, m)
 	}
 	// A message addressed to an unknown instance (initial garbage) is
 	// consumed with no effect, exactly like a message whose receive
@@ -343,30 +377,36 @@ func (net *Network) Lose(k LinkKey) bool {
 	return true
 }
 
-// nonEmptyLinks returns the keys of links currently holding messages, in
-// deterministic order.
-func (net *Network) nonEmptyLinks() []LinkKey {
-	var out []LinkKey
-	for _, k := range net.linkOrder {
-		if net.links[k].Len() > 0 {
-			out = append(out, k)
+// pendingSnapshot fills the reusable scratch buffer with the ids of
+// non-empty links in creation order. A snapshot is needed whenever
+// deliveries happen while iterating: delivering mutates the pending set.
+func (net *Network) pendingSnapshot() []int {
+	net.scratch = net.scratch[:0]
+	for id := range net.linkOrder {
+		if net.pendingPos[id] >= 0 {
+			net.scratch = append(net.scratch, id)
 		}
 	}
-	return out
+	return net.scratch
 }
 
 // Step executes one random scheduler step: a uniformly chosen process
 // activation or channel-head delivery (which becomes a loss with the
 // configured probability). It reports whether the step changed anything
 // (an action fired or a message moved).
+//
+// The choice over non-empty links reads the incrementally maintained
+// pending index, so a step is O(1) in the number of links and performs no
+// heap allocation in steady state. The index's swap-remove order differs
+// from creation order, so a fixed seed may produce a different — but
+// equally valid — execution than earlier revisions that scanned links.
 func (net *Network) Step() bool {
 	net.step++
-	pending := net.nonEmptyLinks()
-	choice := net.r.Intn(net.n + len(pending))
+	choice := net.r.Intn(net.n + len(net.pending))
 	if choice < net.n {
 		return net.Activate(core.ProcID(choice))
 	}
-	k := pending[choice-net.n]
+	k := net.linkOrder[net.pending[choice-net.n]]
 	if net.loss > 0 && net.r.Float64() < net.loss {
 		return net.Lose(k)
 	}
@@ -383,7 +423,8 @@ func (net *Network) SyncRound() bool {
 			changed = true
 		}
 	}
-	for _, k := range net.nonEmptyLinks() {
+	for _, id := range net.pendingSnapshot() {
+		k := net.linkOrder[id]
 		if net.loss > 0 && net.r.Float64() < net.loss {
 			net.Lose(k)
 		} else {
@@ -405,55 +446,55 @@ func (e *ErrBudget) Error() string {
 }
 
 // RunUntil executes random scheduler steps until pred() holds, returning
-// nil, or until maxSteps have run, returning *ErrBudget.
+// nil, or until maxSteps have run, returning *ErrBudget with the number of
+// steps actually executed. The predicate is evaluated exactly once before
+// the first step and once after every step — the bounded, predictable
+// cadence matters because experiment predicates carry side effects
+// (issuing the request under test).
 func (net *Network) RunUntil(pred func() bool, maxSteps int) error {
-	for i := 0; i < maxSteps; i++ {
-		if pred() {
-			return nil
-		}
-		net.Step()
-	}
 	if pred() {
 		return nil
 	}
-	return &ErrBudget{Steps: maxSteps}
+	executed := 0
+	for ; executed < maxSteps; executed++ {
+		net.Step()
+		if pred() {
+			return nil
+		}
+	}
+	return &ErrBudget{Steps: executed}
 }
 
 // RunRoundsUntil is RunUntil with the synchronous-round scheduler; the
 // budget is counted in rounds.
 func (net *Network) RunRoundsUntil(pred func() bool, maxRounds int) error {
-	for i := 0; i < maxRounds; i++ {
-		if pred() {
-			return nil
-		}
-		net.SyncRound()
-	}
 	if pred() {
 		return nil
 	}
-	return &ErrBudget{Steps: maxRounds}
+	executed := 0
+	for ; executed < maxRounds; executed++ {
+		net.SyncRound()
+		if pred() {
+			return nil
+		}
+	}
+	return &ErrBudget{Steps: executed}
 }
 
 // Quiescent reports whether the system has terminated: every channel is
 // empty and no process has an enabled internal action. Probing executes
-// one activation sweep, which is itself a legal execution fragment.
+// one activation sweep, which is itself a legal execution fragment. The
+// channel check is O(1) via the pending index.
 func (net *Network) Quiescent() bool {
-	for _, k := range net.linkOrder {
-		if net.links[k].Len() > 0 {
-			return false
-		}
+	if len(net.pending) > 0 {
+		return false
 	}
 	for p := 0; p < net.n; p++ {
 		if net.Activate(core.ProcID(p)) {
 			return false
 		}
 	}
-	for _, k := range net.linkOrder {
-		if net.links[k].Len() > 0 {
-			return false
-		}
-	}
-	return true
+	return len(net.pending) == 0
 }
 
 // InTransit returns the total number of messages currently in channels.

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 
 	"github.com/snapstab/snapstab/internal/core"
@@ -376,18 +377,146 @@ func TestInTransit(t *testing.T) {
 	}
 }
 
+// churner sends one message to each neighbour on every activation and
+// ignores deliveries: a never-quiescent workload that keeps the scheduler's
+// delivery path busy forever, for steady-state measurements.
+type churner struct {
+	inst string
+	self core.ProcID
+	n    int
+}
+
+func (c *churner) Instance() string { return c.inst }
+
+func (c *churner) Step(env core.Env) bool {
+	env.Send(core.ProcID((int(c.self)+1)%c.n), core.Message{Instance: c.inst, Kind: "CHURN"})
+	return true
+}
+
+func (c *churner) Deliver(core.Env, core.ProcID, core.Message) {}
+
+func churnStacks(n int) []core.Stack {
+	stacks := make([]core.Stack, n)
+	for i := 0; i < n; i++ {
+		stacks[i] = core.Stack{&churner{inst: "churn", self: core.ProcID(i), n: n}}
+	}
+	return stacks
+}
+
+// TestStepZeroAllocSteadyState pins the tentpole property: once every link
+// exists and the pending index has grown to capacity, Step allocates
+// nothing.
+func TestStepZeroAllocSteadyState(t *testing.T) {
+	for _, loss := range []float64{0, 0.2} {
+		net := New(churnStacks(8), WithSeed(3), WithLossRate(loss))
+		for i := 0; i < 10_000; i++ { // warm up: create links, grow pending
+			net.Step()
+		}
+		avg := testing.AllocsPerRun(5_000, func() { net.Step() })
+		if avg != 0 {
+			t.Errorf("loss=%v: Step allocates %.2f objects per call in steady state, want 0", loss, avg)
+		}
+	}
+}
+
+// TestPendingIndexMatchesChannels cross-checks the incremental non-empty
+// index against the ground truth after every kind of mutation, including
+// out-of-band Preload through the Link accessor.
+func TestPendingIndexMatchesChannels(t *testing.T) {
+	t.Parallel()
+	stacks, _ := pingerStacks(4)
+	net := New(stacks, WithSeed(13), WithLossRate(0.1))
+	check := func(when string) {
+		t.Helper()
+		want := 0
+		for _, k := range net.Links() {
+			if net.Link(k).Len() > 0 {
+				want++
+			}
+		}
+		if got := len(net.pending); got != want {
+			t.Fatalf("%s: pending holds %d links, channels hold %d non-empty", when, got, want)
+		}
+		for pos, id := range net.pending {
+			if net.pendingPos[id] != pos {
+				t.Fatalf("%s: pendingPos[%d] = %d, want %d", when, id, net.pendingPos[id], pos)
+			}
+			if net.links[net.linkOrder[id]].Len() == 0 {
+				t.Fatalf("%s: pending link %v is empty", when, net.linkOrder[id])
+			}
+		}
+	}
+	for i := 0; i < 2_000; i++ {
+		net.Step()
+		check("after Step")
+	}
+	k := LinkKey{From: 0, To: 1, Instance: "ping"}
+	if err := net.Link(k).Preload([]core.Message{{Instance: "ping", Kind: "PING"}}); err != nil {
+		t.Fatal(err)
+	}
+	check("after Preload")
+	if err := net.Link(k).Preload(nil); err != nil {
+		t.Fatal(err)
+	}
+	check("after emptying Preload")
+	for i := 0; i < 50; i++ {
+		net.SyncRound()
+		check("after SyncRound")
+	}
+}
+
+func TestRunUntilPredicateEvaluationCount(t *testing.T) {
+	t.Parallel()
+	stacks, _ := pingerStacks(2)
+	net := New(stacks)
+	calls := 0
+	err := net.RunUntil(func() bool { calls++; return false }, 10)
+	var budget *ErrBudget
+	if !errors.As(err, &budget) {
+		t.Fatalf("got %v, want *ErrBudget", err)
+	}
+	// Exactly once before the first step and once after each of the 10
+	// steps: 11 total, no double evaluation at budget exhaustion.
+	if calls != 11 {
+		t.Fatalf("predicate evaluated %d times for a 10-step budget, want 11", calls)
+	}
+	if net.StepCount() != budget.Steps {
+		t.Fatalf("ErrBudget.Steps = %d, but %d steps executed", budget.Steps, net.StepCount())
+	}
+}
+
 func BenchmarkSchedulerStep(b *testing.B) {
 	stacks, _ := pingerStacks(8)
 	net := New(stacks, WithSeed(1))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net.Step()
 	}
 }
 
+// BenchmarkSchedulerStepChurn measures the steady-state Step hot path with
+// every link live; allocs/op must report 0.
+func BenchmarkSchedulerStepChurn(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			net := New(churnStacks(n), WithSeed(1))
+			for i := 0; i < n*n; i++ {
+				net.Step()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.Step()
+			}
+		})
+	}
+}
+
 func BenchmarkSyncRound(b *testing.B) {
 	stacks, _ := pingerStacks(8)
 	net := New(stacks, WithSeed(1))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net.SyncRound()

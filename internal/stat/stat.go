@@ -73,6 +73,38 @@ func Ints(xs []int) []float64 {
 	return out
 }
 
+// Samples accumulates observations across trials. The parallel experiment
+// runner collects one Samples (or result struct) per trial and folds them
+// in trial order, so merged statistics are independent of worker count and
+// completion order.
+type Samples struct {
+	xs []float64
+}
+
+// Add appends observations.
+func (s *Samples) Add(xs ...float64) { s.xs = append(s.xs, xs...) }
+
+// AddInt appends one integer observation.
+func (s *Samples) AddInt(x int) { s.xs = append(s.xs, float64(x)) }
+
+// Merge appends every observation of parts, preserving order: merging
+// per-trial Samples in trial index order is deterministic regardless of
+// the order the trials finished in.
+func (s *Samples) Merge(parts ...Samples) {
+	for _, p := range parts {
+		s.xs = append(s.xs, p.xs...)
+	}
+}
+
+// Len returns the number of observations.
+func (s *Samples) Len() int { return len(s.xs) }
+
+// Values returns the accumulated observations (not a copy).
+func (s *Samples) Values() []float64 { return s.xs }
+
+// Summary summarizes the accumulated observations.
+func (s *Samples) Summary() Summary { return Summarize(s.xs) }
+
 // Table is a titled grid of cells with optional footnotes.
 type Table struct {
 	// ID ties the table to an experiment ("E3").

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/snapstab/snapstab/internal/core"
@@ -80,8 +81,37 @@ type Node struct {
 	mu        sync.Mutex // guards machines and mailboxes (atomic actions)
 	mailboxes map[mailKey][]core.Message
 
+	sends        atomic.Int64
+	sendDrops    atomic.Int64
+	mailboxDrops atomic.Int64
+
 	stop chan struct{}
 	wg   sync.WaitGroup
+}
+
+// Stats counts transport-level events, mirroring sim.Stats where the model
+// concepts coincide. All counters are safe to read concurrently with the
+// node's loops.
+type Stats struct {
+	// Sends counts datagrams successfully handed to the socket.
+	Sends int64
+	// SendDrops counts messages lost at the sender — WriteToUDP failures
+	// and unencodable payloads. The simulator's analogue is
+	// sim.Stats.SendLosses; without this counter a misconfigured or
+	// saturated transport is indistinguishable from fair loss.
+	SendDrops int64
+	// MailboxDrops counts datagrams dropped at a full receive mailbox,
+	// the transport's lose-on-full rule.
+	MailboxDrops int64
+}
+
+// Stats returns a snapshot of the transport counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		Sends:        n.sends.Load(),
+		SendDrops:    n.sendDrops.Load(),
+		MailboxDrops: n.mailboxDrops.Load(),
+	}
 }
 
 type mailKey struct {
@@ -161,11 +191,19 @@ func (v env) Send(to core.ProcID, m core.Message) {
 	}
 	data, err := wire.Encode(m)
 	if err != nil {
-		return // unencodable payloads are dropped: message loss
+		// Unencodable payloads are dropped: message loss, but counted so
+		// the loss is observable.
+		v.n.sendDrops.Add(1)
+		v.n.emit(core.Event{Kind: core.EvSendLost, Proc: v.n.self, Peer: to, Instance: m.Instance, Msg: m})
+		return
 	}
-	if _, err := v.n.conn.WriteToUDP(data, peer); err == nil {
-		v.n.emit(core.Event{Kind: core.EvSend, Proc: v.n.self, Peer: to, Instance: m.Instance, Msg: m})
+	if _, err := v.n.conn.WriteToUDP(data, peer); err != nil {
+		v.n.sendDrops.Add(1)
+		v.n.emit(core.Event{Kind: core.EvSendLost, Proc: v.n.self, Peer: to, Instance: m.Instance, Msg: m})
+		return
 	}
+	v.n.sends.Add(1)
+	v.n.emit(core.Event{Kind: core.EvSend, Proc: v.n.self, Peer: to, Instance: m.Instance, Msg: m})
 }
 
 func (v env) Emit(ev core.Event) {
@@ -215,6 +253,7 @@ func (n *Node) recvLoop() {
 		if len(box) < n.mailboxSlots {
 			n.mailboxes[key] = append(box, m)
 		} else {
+			n.mailboxDrops.Add(1)
 			n.emit(core.Event{Kind: core.EvSendLost, Proc: n.self, Peer: sender, Instance: m.Instance, Msg: m})
 		}
 		n.mu.Unlock()

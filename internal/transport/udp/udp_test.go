@@ -208,6 +208,90 @@ func TestMailboxBoundsBacklog(t *testing.T) {
 	}
 }
 
+func TestStatsCountSendsAndDrops(t *testing.T) {
+	// Not parallel: shares the loopback path with the cluster tests.
+	const n = 2
+	machines := make([]*pif.PIF, n)
+	nodes := cluster(t, n, func(self core.ProcID) core.Stack {
+		m := pif.New("pif", self, n, pif.Callbacks{}, pif.WithCapacityBound(DefaultAssumedCapacity))
+		machines[self] = m
+		return core.Stack{m}
+	})
+	nodes[0].Do(func(env core.Env) {
+		env.Send(1, core.Message{Instance: "pif", Kind: pif.Kind})
+	})
+	if got := nodes[0].Stats().Sends; got < 1 {
+		t.Fatalf("Sends = %d after a successful send, want >= 1", got)
+	}
+	if got := nodes[0].Stats().SendDrops; got != 0 {
+		t.Fatalf("SendDrops = %d on a healthy socket, want 0", got)
+	}
+}
+
+func TestStatsCountDroppedSends(t *testing.T) {
+	t.Parallel()
+	stack := core.Stack{pif.New("pif", 0, 2, pif.Callbacks{})}
+	node, err := NewNode(0, stack, "127.0.0.1:0", []string{"", "127.0.0.1:9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stop closes the socket (the loops were never started), so every
+	// subsequent WriteToUDP fails: the silent-swallow path of env.Send.
+	node.Stop()
+	const attempts = 3
+	node.Do(func(env core.Env) {
+		for i := 0; i < attempts; i++ {
+			env.Send(1, core.Message{Instance: "pif", Kind: pif.Kind})
+		}
+	})
+	s := node.Stats()
+	if s.SendDrops != attempts {
+		t.Fatalf("SendDrops = %d, want %d", s.SendDrops, attempts)
+	}
+	if s.Sends != 0 {
+		t.Fatalf("Sends = %d on a closed socket, want 0", s.Sends)
+	}
+}
+
+func TestStatsCountMailboxDrops(t *testing.T) {
+	// Not parallel: shares the loopback path with the cluster tests.
+	// A receiver with a 1-slot mailbox that (effectively) never drains
+	// must count every overflowing datagram.
+	mk := func(self core.ProcID) core.Stack {
+		return core.Stack{pif.New("pif", self, 2, pif.Callbacks{}, pif.WithCapacityBound(DefaultAssumedCapacity))}
+	}
+	recv, err := NewNode(1, mk(1), "127.0.0.1:0", make([]string, 2),
+		WithMailbox(1), WithTick(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	send, err := NewNode(0, mk(0), "127.0.0.1:0", make([]string, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recvAddr, err := net.ResolveUDPAddr("udp", recv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendAddr, err := net.ResolveUDPAddr("udp", send.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	send.SetPeer(1, recvAddr)
+	recv.SetPeer(0, sendAddr)
+	recv.Start() // the sender's loops stay off: Do drives its socket directly
+	t.Cleanup(func() { recv.Stop(); send.Stop() })
+
+	send.Do(func(env core.Env) {
+		for i := 0; i < 50; i++ {
+			env.Send(1, core.Message{Instance: "pif", Kind: pif.Kind})
+		}
+	})
+	if !waitFor(t, 5*time.Second, func() bool { return recv.Stats().MailboxDrops > 0 }) {
+		t.Fatal("flooding a 1-slot mailbox produced no MailboxDrops")
+	}
+}
+
 func TestNodeValidation(t *testing.T) {
 	t.Parallel()
 	stack := core.Stack{pif.New("pif", 0, 2, pif.Callbacks{})}
