@@ -110,13 +110,28 @@ func run(protocol string, n int, corrupt bool, seed uint64, timeout time.Duratio
 		fmt.Println("initial protocol states: corrupted")
 	}
 
+	var err error
 	switch protocol {
 	case "pif":
-		return runPIF(nodes, pifs, timeout)
+		err = runPIF(nodes, pifs, timeout)
 	case "idl":
-		return runIDL(nodes, idls, timeout)
+		err = runIDL(nodes, idls, timeout)
 	}
-	return nil
+	// Print the counters even (especially) on failure: the drop columns
+	// are the first diagnostic for a timed-out run.
+	printStats(nodes)
+	return err
+}
+
+// printStats reports the transport counters per node: sender-side drops
+// (failed sendto) and receiver-side drops (full mailboxes, the model's
+// lose-on-full rule) are distinguished, mirroring EvSendLost vs EvLose.
+func printStats(nodes []*udp.Node) {
+	for i, node := range nodes {
+		s := node.Stats()
+		fmt.Printf("node %d: sent=%d send-drops=%d mailbox-drops=%d\n",
+			i, s.Sends, s.SendDrops, s.MailboxDrops)
+	}
 }
 
 func runPIF(nodes []*udp.Node, machines []*pif.PIF, timeout time.Duration) error {

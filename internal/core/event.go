@@ -18,12 +18,16 @@ const (
 	// EvSend: a process pushed a message into a channel.
 	EvSend EventKind = iota + 1
 	// EvSendLost: the push found the channel full and the message was
-	// lost (bounded-capacity semantics).
+	// lost at the SENDER (bounded-capacity semantics). Proc is the
+	// sender, Peer the intended destination.
 	EvSendLost
 	// EvDeliver: a message was removed from a channel and handed to the
 	// destination's receive action.
 	EvDeliver
-	// EvLose: the adversary/link dropped an in-transit message.
+	// EvLose: an in-transit message was dropped at the RECEIVER — by the
+	// adversary/lossy link (sim, runtime) or a full receive mailbox
+	// (udp). Proc is the receiver, Peer the original sender. Observers
+	// can therefore attribute every loss to one side of the channel.
 	EvLose
 	// EvStart: a protocol executed its starting action for an external
 	// request (Request: Wait -> In).

@@ -1,22 +1,34 @@
 // Package runtime executes protocol stacks as real concurrent processes:
-// one goroutine per process, and one buffered Go channel per directed
-// (sender, receiver, instance) link.
+// one goroutine per process, delivering messages through a per-process
+// fan-in channel fed by a dense, precomputed link table.
 //
 // The mapping to the paper's model is direct:
 //
-//   - a Go channel with capacity c is a FIFO channel holding at most c
-//     messages;
-//   - a non-blocking send (select/default) into a full channel drops the
-//     message — exactly "if a process sends a message in a channel that
-//     is full, then the message is lost" (§4);
-//   - goroutine scheduling provides genuine asynchrony; the Go runtime's
-//     fairness gives the paper's weak fairness in practice.
+//   - every directed (sender, receiver, instance) link carries an atomic
+//     in-flight counter bounded by the configured capacity c: a send that
+//     would exceed the bound is dropped — exactly "if a process sends a
+//     message in a channel that is full, then the message is lost" (§4);
+//   - admitted messages travel as core.Envelope values through the
+//     receiver's fan-in channel, sized so that a send never blocks; the
+//     receiver drains the channel to empty on every wakeup, so links with
+//     capacity > 1 never backlog;
+//   - internal (non-receive) actions are paced by a per-process step
+//     timer (WithTick); deliveries are event-driven and happen as soon as
+//     the receiving goroutine is scheduled. Go's scheduler provides
+//     genuine asynchrony, and its fairness gives the paper's weak
+//     fairness in practice.
+//
+// The link table is built once at New from the stacks' instances — the
+// hot path takes no engine-wide lock and performs no map writes. A
+// message addressed to an instance the destination does not run is
+// dropped at the send (it could never be delivered; in the model this is
+// a send into a zero-capacity channel).
 //
 // Unlike internal/sim, executions here are not reproducible — this
 // substrate exists to demonstrate that the protocols run unchanged under
 // true concurrency (and, via internal/transport/udp, on real sockets).
 // The deterministic simulator remains the tool for experiments and
-// counter-examples.
+// counter-examples. See DESIGN.md §7.
 package runtime
 
 import (
@@ -32,7 +44,7 @@ import (
 // Option configures an Engine.
 type Option func(*Engine)
 
-// WithCapacity sets the per-link channel capacity (default 1).
+// WithCapacity sets the per-link capacity bound (default 1).
 func WithCapacity(c int) Option {
 	return func(e *Engine) { e.capacity = c }
 }
@@ -43,21 +55,30 @@ func WithLossRate(p float64) Option {
 	return func(e *Engine) { e.loss = p }
 }
 
-// WithObserver subscribes a thread-safe event observer.
+// WithObserver subscribes an event observer. Callbacks arrive
+// concurrently from every process goroutine, so the observer must be
+// goroutine-safe.
 func WithObserver(o core.Observer) Option {
 	return func(e *Engine) { e.observers = append(e.observers, o) }
 }
 
-// WithTick sets the pacing of process activations (default 50µs). Shorter
-// ticks run hotter and faster.
+// WithTick sets the pacing of internal protocol actions (default 50µs).
+// Deliveries are event-driven and do not wait for the tick; the tick is
+// the retransmission cadence of actions like PIF's A2.
 func WithTick(d time.Duration) Option {
 	return func(e *Engine) { e.tick = d }
 }
 
-// linkKey identifies a directed per-instance link.
-type linkKey struct {
-	from, to core.ProcID
-	instance string
+// linkTable is the precomputed delivery state for one receiver: its
+// instances in stack order and one in-flight counter per directed
+// (sender, instance) link. The slot for a link is
+// int(sender)*len(instances) + instance index, so sender and instance
+// recover from a slot with one division — envelopes carry only the slot.
+type linkTable struct {
+	instances []string
+	instIdx   map[string]int
+	machines  []core.Machine
+	inflight  []atomic.Int32
 }
 
 // Engine is a running concurrent deployment.
@@ -67,19 +88,20 @@ type Engine struct {
 	loss      float64
 	tick      time.Duration
 	stacks    []core.Stack
-	routes    []map[string]core.Machine
 	observers core.MultiObserver
 
-	mu    sync.Mutex // guards links map creation
-	links map[linkKey]chan core.Message
+	tables []*linkTable         // per-receiver link state, built at New
+	inbox  []chan core.Envelope // per-receiver fan-in delivery channel
 
 	procMu []sync.Mutex // one per process: atomic guarded actions
 
-	step    atomic.Int64
-	dropped atomic.Int64
-	started bool
-	stop    chan struct{}
-	wg      sync.WaitGroup
+	step     atomic.Int64
+	dropped  atomic.Int64
+	started  atomic.Bool
+	launched atomic.Bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
 }
 
 // New assembles an engine from one stack per process.
@@ -92,7 +114,6 @@ func New(stacks []core.Stack, opts ...Option) *Engine {
 		capacity: 1,
 		tick:     50 * time.Microsecond,
 		stacks:   stacks,
-		links:    make(map[linkKey]chan core.Message),
 		procMu:   make([]sync.Mutex, len(stacks)),
 		stop:     make(chan struct{}),
 	}
@@ -105,23 +126,27 @@ func New(stacks []core.Stack, opts ...Option) *Engine {
 	if e.loss < 0 || e.loss >= 1 {
 		panic(fmt.Sprintf("runtime: loss rate %v outside [0,1)", e.loss))
 	}
-	e.routes = make([]map[string]core.Machine, e.n)
+	e.tables = make([]*linkTable, e.n)
+	e.inbox = make([]chan core.Envelope, e.n)
 	for i, s := range stacks {
-		e.routes[i] = s.ByInstance()
+		t := &linkTable{instIdx: make(map[string]int, len(s))}
+		for _, mach := range s {
+			id := mach.Instance()
+			if _, dup := t.instIdx[id]; dup {
+				panic("runtime: duplicate machine instance " + id)
+			}
+			t.instIdx[id] = len(t.instances)
+			t.instances = append(t.instances, id)
+			t.machines = append(t.machines, mach)
+		}
+		t.inflight = make([]atomic.Int32, e.n*len(t.instances))
+		e.tables[i] = t
+		// Sized to the total in-flight bound across all of this
+		// receiver's links, so a send that passed the capacity check can
+		// never block on the channel.
+		e.inbox[i] = make(chan core.Envelope, e.n*len(t.instances)*e.capacity)
 	}
 	return e
-}
-
-// link returns (creating on demand) the Go channel for k.
-func (e *Engine) link(k linkKey) chan core.Message {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	ch, ok := e.links[k]
-	if !ok {
-		ch = make(chan core.Message, e.capacity)
-		e.links[k] = ch
-	}
-	return ch
 }
 
 // env implements core.Env for one process. It must only be used while the
@@ -135,15 +160,28 @@ func (v env) Self() core.ProcID { return v.self }
 func (v env) N() int            { return v.e.n }
 
 func (v env) Send(to core.ProcID, m core.Message) {
-	ch := v.e.link(linkKey{from: v.self, to: to, instance: m.Instance})
-	select {
-	case ch <- m:
-		v.e.emit(core.Event{Kind: core.EvSend, Proc: v.self, Peer: to, Instance: m.Instance, Msg: m})
-	default:
-		// Channel full: the message is lost, per the model.
-		v.e.dropped.Add(1)
-		v.e.emit(core.Event{Kind: core.EvSendLost, Proc: v.self, Peer: to, Instance: m.Instance, Msg: m})
+	e := v.e
+	t := e.tables[to]
+	idx, ok := t.instIdx[m.Instance]
+	if !ok {
+		// The destination runs no machine for this instance, so the
+		// message could never be delivered: a send into a zero-capacity
+		// channel, lost immediately.
+		e.dropped.Add(1)
+		e.emit(core.Event{Kind: core.EvSendLost, Proc: v.self, Peer: to, Instance: m.Instance, Msg: m})
+		return
 	}
+	slot := int(v.self)*len(t.instances) + idx
+	ctr := &t.inflight[slot]
+	if in := ctr.Add(1); in > int32(e.capacity) {
+		// Link full: the message is lost, per the model.
+		ctr.Add(-1)
+		e.dropped.Add(1)
+		e.emit(core.Event{Kind: core.EvSendLost, Proc: v.self, Peer: to, Instance: m.Instance, Msg: m})
+		return
+	}
+	e.inbox[to] <- core.Envelope{From: v.self, Link: int32(slot), Msg: m}
+	e.emit(core.Event{Kind: core.EvSend, Proc: v.self, Peer: to, Instance: m.Instance, Msg: m})
 }
 
 func (v env) Emit(ev core.Event) {
@@ -158,60 +196,73 @@ func (e *Engine) emit(ev core.Event) {
 	}
 }
 
-// Start launches the process goroutines. It may be called once.
+// Start launches the process goroutines. It may be called once; a second
+// call panics. Safe to race with Stop.
 func (e *Engine) Start() {
-	if e.started {
+	if !e.started.CompareAndSwap(false, true) {
 		panic("runtime: Start called twice")
 	}
-	e.started = true
+	e.wg.Add(e.n)
+	e.launched.Store(true)
 	for p := 0; p < e.n; p++ {
-		p := core.ProcID(p)
-		e.wg.Add(1)
-		go e.run(p)
+		go e.run(core.ProcID(p))
 	}
 }
 
-// run is the main loop of one process: activate the stack, then drain
-// every incoming link once, forever.
+// run is the main loop of one process: block on the fan-in channel (a
+// delivery) or the step timer (internal actions), forever.
 func (e *Engine) run(p core.ProcID) {
 	defer e.wg.Done()
 	r := rng.New(uint64(p) + 0x9E3779B9)
+	t := e.tables[p]
+	in := e.inbox[p]
+	// Deliver at most one full inbox per lock hold, so a continuous
+	// message storm cannot starve the step timer (weak fairness).
+	batch := cap(in)
 	ticker := time.NewTicker(e.tick)
 	defer ticker.Stop()
+	ev := env{e: e, self: p}
 	for {
 		select {
 		case <-e.stop:
 			return
-		case <-ticker.C:
-		}
-
-		e.procMu[p].Lock()
-		ev := env{e: e, self: p}
-		for _, m := range e.stacks[p] {
-			m.Step(ev)
-		}
-		// Drain each incoming link non-blockingly.
-		for from := 0; from < e.n; from++ {
-			if from == int(p) {
-				continue
-			}
-			for inst, mach := range e.routes[p] {
-				ch := e.link(linkKey{from: core.ProcID(from), to: p, instance: inst})
+		case first := <-in:
+			e.procMu[p].Lock()
+			e.deliver(ev, t, first, r)
+		drain:
+			for k := 1; k < batch; k++ {
 				select {
-				case m := <-ch:
-					if e.loss > 0 && r.Float64() < e.loss {
-						e.dropped.Add(1)
-						e.emit(core.Event{Kind: core.EvLose, Proc: p, Peer: core.ProcID(from), Instance: inst, Msg: m})
-						continue
-					}
-					e.emit(core.Event{Kind: core.EvDeliver, Proc: p, Peer: core.ProcID(from), Instance: inst, Msg: m})
-					mach.Deliver(ev, core.ProcID(from), m)
+				case next := <-in:
+					e.deliver(ev, t, next, r)
 				default:
+					break drain
 				}
 			}
+			e.procMu[p].Unlock()
+		case <-ticker.C:
+			e.procMu[p].Lock()
+			for _, m := range e.stacks[p] {
+				m.Step(ev)
+			}
+			e.procMu[p].Unlock()
 		}
-		e.procMu[p].Unlock()
 	}
+}
+
+// deliver removes one envelope from the link (freeing its capacity slot),
+// applies injected loss, and runs the receive action. Caller holds the
+// process mutex.
+func (e *Engine) deliver(ev env, t *linkTable, in core.Envelope, r *rng.Source) {
+	t.inflight[in.Link].Add(-1)
+	idx := int(in.Link) % len(t.instances)
+	inst := t.instances[idx]
+	if e.loss > 0 && r.Float64() < e.loss {
+		e.dropped.Add(1)
+		e.emit(core.Event{Kind: core.EvLose, Proc: ev.self, Peer: in.From, Instance: inst, Msg: in.Msg})
+		return
+	}
+	e.emit(core.Event{Kind: core.EvDeliver, Proc: ev.self, Peer: in.From, Instance: inst, Msg: in.Msg})
+	t.machines[idx].Deliver(ev, in.From, in.Msg)
 }
 
 // Do runs f under process p's action mutex, with p's environment. Use it
@@ -223,17 +274,17 @@ func (e *Engine) Do(p core.ProcID, f func(env core.Env)) {
 	f(env{e: e, self: p})
 }
 
-// Dropped returns the number of messages lost so far (full channels plus
+// Dropped returns the number of messages lost so far (full links plus
 // injected loss).
 func (e *Engine) Dropped() int64 { return e.dropped.Load() }
 
-// Stop terminates all process goroutines and waits for them to exit.
+// Stop terminates all process goroutines and waits for them to exit. It
+// is idempotent and safe to call from multiple goroutines concurrently
+// (and concurrently with Start: the goroutines observe the closed stop
+// channel and exit immediately).
 func (e *Engine) Stop() {
-	select {
-	case <-e.stop:
-		return // already stopped
-	default:
+	e.stopOnce.Do(func() { close(e.stop) })
+	if e.launched.Load() {
+		e.wg.Wait()
 	}
-	close(e.stop)
-	e.wg.Wait()
 }

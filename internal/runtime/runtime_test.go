@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -222,6 +223,86 @@ func TestStopIsIdempotentAndTerminates(t *testing.T) {
 	e.Start()
 	e.Stop()
 	e.Stop() // second call must not panic or hang
+}
+
+// TestStartStopConcurrent pins the liveness and memory safety of the
+// Start/Stop paths under -race: Start racing many concurrent Stops must
+// neither panic, nor leak goroutines, nor trip the race detector (the
+// old plain-bool `started` and the drained-select Stop did).
+func TestStartStopConcurrent(t *testing.T) {
+	t.Parallel()
+	for i := 0; i < 20; i++ {
+		stacks, _ := pifStacks(3)
+		e := New(stacks)
+		var wg sync.WaitGroup
+		wg.Add(5)
+		go func() {
+			defer wg.Done()
+			e.Start()
+		}()
+		for s := 0; s < 4; s++ {
+			go func() {
+				defer wg.Done()
+				e.Stop()
+			}()
+		}
+		wg.Wait()
+		e.Stop() // final Stop must wait out every goroutine
+	}
+}
+
+// TestStartTwicePanics pins the documented single-Start contract.
+func TestStartTwicePanics(t *testing.T) {
+	t.Parallel()
+	stacks, _ := pifStacks(2)
+	e := New(stacks)
+	e.Start()
+	defer e.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Start did not panic")
+		}
+	}()
+	e.Start()
+}
+
+// TestCapacityDoesNotBacklog pins the drain-to-empty behavior: with
+// capacity c > 1, a burst of c messages on one link is delivered in full
+// (the old one-message-per-link-per-tick drain backlogged them).
+func TestCapacityDoesNotBacklog(t *testing.T) {
+	t.Parallel()
+	const c = 8
+	var delivered atomic.Int64
+	stacks := []core.Stack{
+		{&flooder{inst: "flood", self: 0, n: 2, delivered: &delivered}},
+		{&countSink{inst: "flood", delivered: &delivered}},
+	}
+	e := New(stacks, WithCapacity(c), WithTick(time.Hour)) // no step-driven traffic
+	e.Start()
+	defer e.Stop()
+	e.Do(0, func(env core.Env) {
+		for i := 0; i < c; i++ {
+			env.Send(1, core.Message{Instance: "flood", Kind: "burst"})
+		}
+	})
+	if !waitFor(t, 10*time.Second, func() bool { return delivered.Load() >= c }) {
+		t.Fatalf("delivered %d of %d burst messages", delivered.Load(), c)
+	}
+	if e.Dropped() != 0 {
+		t.Fatalf("%d messages dropped inside a burst within capacity", e.Dropped())
+	}
+}
+
+// countSink counts deliveries and never sends.
+type countSink struct {
+	inst      string
+	delivered *atomic.Int64
+}
+
+func (s *countSink) Instance() string   { return s.inst }
+func (s *countSink) Step(core.Env) bool { return false }
+func (s *countSink) Deliver(_ core.Env, _ core.ProcID, _ core.Message) {
+	s.delivered.Add(1)
 }
 
 func TestConstructorValidation(t *testing.T) {

@@ -61,6 +61,11 @@ type Stats struct {
 	// Rounds counts completed rounds: a round completes when every
 	// process has been activated at least once since the previous round.
 	Rounds int
+	// ProbeActivations counts activations executed by Quiescent's
+	// termination probe. The probe sweep is a legal execution fragment,
+	// but it is observation, not scheduled work, so it is accounted here
+	// instead of inflating Activations and Rounds.
+	ProbeActivations int
 }
 
 // Option configures a Network.
@@ -128,6 +133,7 @@ type Network struct {
 	activatedSet []bool
 	activatedN   int
 	crashed      []bool
+	probing      bool // inside Quiescent's sweep: divert activation counters
 }
 
 // New assembles a network from one protocol stack per process. The stacks
@@ -311,15 +317,19 @@ func (net *Network) Crashed(p core.ProcID) bool { return net.crashed[p] }
 // Activate runs every enabled internal action of process p once, in text
 // order. It reports whether any action fired.
 func (net *Network) Activate(p core.ProcID) bool {
-	net.stats.Activations++
-	if !net.activatedSet[p] {
-		net.activatedSet[p] = true
-		net.activatedN++
-		if net.activatedN == net.n {
-			net.stats.Rounds++
-			net.activatedN = 0
-			for i := range net.activatedSet {
-				net.activatedSet[i] = false
+	if net.probing {
+		net.stats.ProbeActivations++
+	} else {
+		net.stats.Activations++
+		if !net.activatedSet[p] {
+			net.activatedSet[p] = true
+			net.activatedN++
+			if net.activatedN == net.n {
+				net.stats.Rounds++
+				net.activatedN = 0
+				for i := range net.activatedSet {
+					net.activatedSet[i] = false
+				}
 			}
 		}
 	}
@@ -435,14 +445,32 @@ func (net *Network) SyncRound() bool {
 	return changed
 }
 
-// ErrBudget is returned by RunUntil when the predicate did not hold within
-// the step budget — either a liveness violation or an undersized budget.
+// ErrBudget is returned by RunUntil and RunRoundsUntil when the predicate
+// did not hold within the budget — either a liveness violation or an
+// undersized budget. The exhausted budget's unit is explicit: RunUntil
+// budgets are counted in scheduler steps, RunRoundsUntil budgets in
+// synchronous rounds (an earlier revision reported rounds through the
+// Steps field, mis-labelling round budgets in E-runner error messages).
 type ErrBudget struct {
+	// Steps is the number of random-scheduler steps executed (RunUntil);
+	// 0 for round-budgeted runs.
 	Steps int
+	// Rounds is the number of synchronous rounds executed
+	// (RunRoundsUntil); 0 for step-budgeted runs.
+	Rounds int
+	// Unit names the exhausted budget's unit: "steps" or "rounds".
+	Unit string
 }
 
 func (e *ErrBudget) Error() string {
-	return fmt.Sprintf("sim: predicate still false after %d steps", e.Steps)
+	n, unit := e.Steps, e.Unit
+	if unit == "" {
+		unit = "steps"
+	}
+	if unit == "rounds" {
+		n = e.Rounds
+	}
+	return fmt.Sprintf("sim: predicate still false after %d %s", n, unit)
 }
 
 // RunUntil executes random scheduler steps until pred() holds, returning
@@ -462,7 +490,7 @@ func (net *Network) RunUntil(pred func() bool, maxSteps int) error {
 			return nil
 		}
 	}
-	return &ErrBudget{Steps: executed}
+	return &ErrBudget{Steps: executed, Unit: "steps"}
 }
 
 // RunRoundsUntil is RunUntil with the synchronous-round scheduler; the
@@ -478,17 +506,21 @@ func (net *Network) RunRoundsUntil(pred func() bool, maxRounds int) error {
 			return nil
 		}
 	}
-	return &ErrBudget{Steps: executed}
+	return &ErrBudget{Rounds: executed, Unit: "rounds"}
 }
 
 // Quiescent reports whether the system has terminated: every channel is
 // empty and no process has an enabled internal action. Probing executes
-// one activation sweep, which is itself a legal execution fragment. The
-// channel check is O(1) via the pending index.
+// one activation sweep, which is itself a legal execution fragment, but
+// the sweep is accounted in Stats.ProbeActivations rather than
+// Activations/Rounds: it is observation, and must not inflate the run's
+// liveness metrics. The channel check is O(1) via the pending index.
 func (net *Network) Quiescent() bool {
 	if len(net.pending) > 0 {
 		return false
 	}
+	net.probing = true
+	defer func() { net.probing = false }()
 	for p := 0; p < net.n; p++ {
 		if net.Activate(core.ProcID(p)) {
 			return false

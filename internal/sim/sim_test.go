@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	"github.com/snapstab/snapstab/internal/core"
@@ -307,6 +308,76 @@ func TestRunUntilBudgetError(t *testing.T) {
 	}
 	if budget.Steps != 10 {
 		t.Fatalf("budget.Steps = %d, want 10", budget.Steps)
+	}
+	if budget.Unit != "steps" {
+		t.Fatalf("budget.Unit = %q, want %q", budget.Unit, "steps")
+	}
+	if !strings.Contains(budget.Error(), "10 steps") {
+		t.Fatalf("error %q does not report the step budget", budget.Error())
+	}
+}
+
+// TestRunRoundsUntilBudgetReportsRounds pins the ErrBudget unit: a
+// round-budgeted run must report rounds (an earlier revision stuffed the
+// round count into Steps, so E-runner messages mis-labelled budgets).
+func TestRunRoundsUntilBudgetReportsRounds(t *testing.T) {
+	t.Parallel()
+	stacks, _ := pingerStacks(2)
+	net := New(stacks)
+	err := net.RunRoundsUntil(func() bool { return false }, 7)
+	var budget *ErrBudget
+	if !errors.As(err, &budget) {
+		t.Fatalf("got %v, want *ErrBudget", err)
+	}
+	if budget.Rounds != 7 {
+		t.Fatalf("budget.Rounds = %d, want 7", budget.Rounds)
+	}
+	if budget.Steps != 0 {
+		t.Fatalf("budget.Steps = %d for a round-budgeted run, want 0", budget.Steps)
+	}
+	if budget.Unit != "rounds" {
+		t.Fatalf("budget.Unit = %q, want %q", budget.Unit, "rounds")
+	}
+	if !strings.Contains(budget.Error(), "7 rounds") {
+		t.Fatalf("error %q does not report the round budget", budget.Error())
+	}
+}
+
+// TestQuiescentProbeDoesNotPerturbStats pins the probe accounting:
+// Quiescent's activation sweep must not inflate Activations or Rounds —
+// it lands in ProbeActivations instead.
+func TestQuiescentProbeDoesNotPerturbStats(t *testing.T) {
+	t.Parallel()
+	stacks, machines := pingerStacks(3)
+	net := New(stacks, WithSeed(5))
+	if err := net.RunRoundsUntil(func() bool {
+		for _, m := range machines {
+			if !m.Done() {
+				return false
+			}
+		}
+		return true
+	}, 1000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		net.SyncRound() // drain in-flight replies
+	}
+	before := net.Stats()
+	for i := 0; i < 5; i++ {
+		if !net.Quiescent() {
+			t.Fatalf("network not quiescent on probe %d", i)
+		}
+	}
+	after := net.Stats()
+	if after.Activations != before.Activations {
+		t.Fatalf("Quiescent inflated Activations: %d -> %d", before.Activations, after.Activations)
+	}
+	if after.Rounds != before.Rounds {
+		t.Fatalf("Quiescent inflated Rounds: %d -> %d", before.Rounds, after.Rounds)
+	}
+	if got := after.ProbeActivations - before.ProbeActivations; got != 5*net.N() {
+		t.Fatalf("ProbeActivations advanced by %d, want %d", got, 5*net.N())
 	}
 }
 

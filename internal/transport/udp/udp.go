@@ -12,12 +12,24 @@
 //
 //   - each (sender, instance) pair gets a bounded mailbox at the
 //     receiver; a datagram arriving at a full mailbox is dropped
-//     (lose-on-full, the model's rule);
+//     (lose-on-full, the model's rule) and reported as core.EvLose — a
+//     receive-side loss, distinct from the sender-side core.EvSendLost;
 //   - the socket receive buffer is capped, bounding the kernel-queued
 //     backlog; the protocol stacks must be built with a capacity bound
 //     covering mailbox + kernel backlog. AssumedCapacity reports the
 //     bound a stack should use (the flag domain grows linearly in it, so
 //     being conservative is cheap: 2c+2 flag values for bound c).
+//
+// # Concurrency structure
+//
+// Two goroutines per node, coupled only through the double-buffered
+// mailboxes (DESIGN.md §7): the receive loop appends decoded datagrams
+// under the mailbox lock and signals a wakeup channel; the activation
+// loop swaps the whole mailbox map out under that lock, then delivers
+// the batch — and performs any resulting sendto calls — under the action
+// mutex only. A blocking sendto therefore never stalls the receive loop,
+// and mailbox handoff costs one pointer swap per batch regardless of how
+// many datagrams arrived.
 //
 // Malformed datagrams fail wire.Decode and are dropped — in the model,
 // that is just message loss, which the protocols tolerate by design.
@@ -26,6 +38,7 @@ package udp
 import (
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,7 +60,10 @@ func WithMailbox(slots int) Option {
 	return func(n *Node) { n.mailboxSlots = slots }
 }
 
-// WithTick sets the mailbox drain pacing (default 200µs).
+// WithTick sets the fallback mailbox sweep interval (default 1ms).
+// Mailbox drains are notification-driven — the receive loop wakes the
+// activation loop as soon as a datagram is boxed — so the periodic sweep
+// is only a safety net; it no longer paces delivery.
 func WithTick(d time.Duration) Option {
 	return func(n *Node) { n.tick = d }
 }
@@ -56,12 +72,15 @@ func WithTick(d time.Duration) Option {
 // 2ms). Action A2 retransmits on every activation, so this is the
 // retransmission interval; unpaced retransmission floods the path and the
 // queueing delay stalls the handshake (deliveries, by contrast, are
-// drained at the faster tick).
+// event-driven and unpaced).
 func WithStepInterval(d time.Duration) Option {
 	return func(n *Node) { n.stepInterval = d }
 }
 
-// WithObserver subscribes a thread-safe event observer.
+// WithObserver subscribes an event observer. Callbacks arrive
+// concurrently from the receive loop (mailbox-full EvLose) and the
+// activation loop (everything else), so the observer must be
+// goroutine-safe.
 func WithObserver(o core.Observer) Option {
 	return func(n *Node) { n.observers = append(n.observers, o) }
 }
@@ -73,20 +92,33 @@ type Node struct {
 	routes       map[string]core.Machine
 	conn         *net.UDPConn
 	peers        []*net.UDPAddr
+	senders      map[netip.AddrPort]core.ProcID // canonical ip:port -> peer, built at Start
 	mailboxSlots int
 	tick         time.Duration
 	stepInterval time.Duration
 	observers    core.MultiObserver
 
-	mu        sync.Mutex // guards machines and mailboxes (atomic actions)
-	mailboxes map[mailKey][]core.Message
+	// mu is the action mutex: it makes stack actions (Step, Deliver, Do)
+	// atomic. Socket writes happen under it — never under mbMu — so a
+	// blocking sendto cannot stall the receive loop.
+	mu     sync.Mutex
+	encBuf []byte // send-path scratch, guarded by mu
+
+	// mbMu guards the double-buffered mailboxes and is never held across
+	// socket operations or protocol actions.
+	mbMu      sync.Mutex
+	mailboxes map[mailKey][]core.Message // filled by recvLoop
+	spare     map[mailKey][]core.Message // drained buffer, swapped in by actLoop
+	boxed     int                        // messages currently in mailboxes
+	mail      chan struct{}              // capacity 1: drain wakeup
 
 	sends        atomic.Int64
 	sendDrops    atomic.Int64
 	mailboxDrops atomic.Int64
 
-	stop chan struct{}
-	wg   sync.WaitGroup
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
 }
 
 // Stats counts transport-level events, mirroring sim.Stats where the model
@@ -101,7 +133,8 @@ type Stats struct {
 	// saturated transport is indistinguishable from fair loss.
 	SendDrops int64
 	// MailboxDrops counts datagrams dropped at a full receive mailbox,
-	// the transport's lose-on-full rule.
+	// the transport's lose-on-full rule (reported as core.EvLose: the
+	// message was in transit and was lost at the receiver).
 	MailboxDrops int64
 }
 
@@ -144,9 +177,11 @@ func NewNode(self core.ProcID, stack core.Stack, laddr string, peers []string, o
 		conn:         conn,
 		peers:        make([]*net.UDPAddr, len(peers)),
 		mailboxSlots: 8,
-		tick:         200 * time.Microsecond,
+		tick:         time.Millisecond,
 		stepInterval: 2 * time.Millisecond,
 		mailboxes:    make(map[mailKey][]core.Message),
+		spare:        make(map[mailKey][]core.Message),
+		mail:         make(chan struct{}, 1),
 		stop:         make(chan struct{}),
 	}
 	for i, p := range peers {
@@ -185,25 +220,27 @@ func (v env) Self() core.ProcID { return v.n.self }
 func (v env) N() int            { return len(v.n.peers) }
 
 func (v env) Send(to core.ProcID, m core.Message) {
-	peer := v.n.peers[to]
+	n := v.n
+	peer := n.peers[to]
 	if peer == nil {
 		return
 	}
-	data, err := wire.Encode(m)
+	data, err := wire.AppendEncode(n.encBuf[:0], m)
 	if err != nil {
 		// Unencodable payloads are dropped: message loss, but counted so
 		// the loss is observable.
-		v.n.sendDrops.Add(1)
-		v.n.emit(core.Event{Kind: core.EvSendLost, Proc: v.n.self, Peer: to, Instance: m.Instance, Msg: m})
+		n.sendDrops.Add(1)
+		n.emit(core.Event{Kind: core.EvSendLost, Proc: n.self, Peer: to, Instance: m.Instance, Msg: m})
 		return
 	}
-	if _, err := v.n.conn.WriteToUDP(data, peer); err != nil {
-		v.n.sendDrops.Add(1)
-		v.n.emit(core.Event{Kind: core.EvSendLost, Proc: v.n.self, Peer: to, Instance: m.Instance, Msg: m})
+	n.encBuf = data[:0]
+	if _, err := n.conn.WriteToUDP(data, peer); err != nil {
+		n.sendDrops.Add(1)
+		n.emit(core.Event{Kind: core.EvSendLost, Proc: n.self, Peer: to, Instance: m.Instance, Msg: m})
 		return
 	}
-	v.n.sends.Add(1)
-	v.n.emit(core.Event{Kind: core.EvSend, Proc: v.n.self, Peer: to, Instance: m.Instance, Msg: m})
+	n.sends.Add(1)
+	n.emit(core.Event{Kind: core.EvSend, Proc: n.self, Peer: to, Instance: m.Instance, Msg: m})
 }
 
 func (v env) Emit(ev core.Event) {
@@ -217,14 +254,32 @@ func (n *Node) emit(ev core.Event) {
 	}
 }
 
-// Start launches the receive and activation loops.
+// canonical normalizes an address for sender lookup: 4-in-6 mapped
+// addresses (as dual-stack sockets report v4 sources) compare equal to
+// their plain IPv4 form.
+func canonical(ap netip.AddrPort) netip.AddrPort {
+	return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+}
+
+// Start builds the sender lookup table from the wired peers and launches
+// the receive and activation loops. Peers must not change after Start.
 func (n *Node) Start() {
+	n.senders = make(map[netip.AddrPort]core.ProcID, len(n.peers))
+	for i, p := range n.peers {
+		if p == nil || core.ProcID(i) == n.self {
+			continue
+		}
+		n.senders[canonical(p.AddrPort())] = core.ProcID(i)
+	}
 	n.wg.Add(2)
 	go n.recvLoop()
 	go n.actLoop()
 }
 
-// recvLoop moves datagrams from the socket into the bounded mailboxes.
+// recvLoop moves datagrams from the socket into the bounded mailboxes and
+// wakes the activation loop. It takes only the mailbox lock, so a stalled
+// activation loop (slow actions, blocking sendto) cannot back it up into
+// kernel-buffer drops.
 func (n *Node) recvLoop() {
 	defer n.wg.Done()
 	buf := make([]byte, 64*1024)
@@ -235,7 +290,7 @@ func (n *Node) recvLoop() {
 		default:
 		}
 		_ = n.conn.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
-		sz, from, err := n.conn.ReadFromUDP(buf)
+		sz, from, err := n.conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			continue // timeout or transient error: try again
 		}
@@ -243,71 +298,92 @@ func (n *Node) recvLoop() {
 		if err != nil {
 			continue // malformed datagram: dropped (message loss)
 		}
-		sender := n.senderOf(from)
-		if sender < 0 {
+		sender, ok := n.senders[canonical(from)]
+		if !ok {
 			continue // not a known peer: dropped
 		}
 		key := mailKey{from: sender, instance: m.Instance}
-		n.mu.Lock()
+		n.mbMu.Lock()
 		box := n.mailboxes[key]
-		if len(box) < n.mailboxSlots {
+		full := len(box) >= n.mailboxSlots
+		if !full {
 			n.mailboxes[key] = append(box, m)
-		} else {
+			n.boxed++
+		}
+		n.mbMu.Unlock()
+		if full {
+			// Lose-on-full: the message was in transit and is dropped at
+			// the receiver — the model's link loss, not a send failure.
 			n.mailboxDrops.Add(1)
-			n.emit(core.Event{Kind: core.EvSendLost, Proc: n.self, Peer: sender, Instance: m.Instance, Msg: m})
+			n.emit(core.Event{Kind: core.EvLose, Proc: n.self, Peer: sender, Instance: m.Instance, Msg: m})
+			continue
 		}
-		n.mu.Unlock()
+		select {
+		case n.mail <- struct{}{}:
+		default: // a wakeup is already pending
+		}
 	}
 }
 
-// senderOf maps a source address to a peer ID.
-func (n *Node) senderOf(addr *net.UDPAddr) core.ProcID {
-	for i, p := range n.peers {
-		if p != nil && p.Port == addr.Port && p.IP.Equal(addr.IP) {
-			return core.ProcID(i)
-		}
-	}
-	return -1
-}
-
-// actLoop drains the mailboxes at every tick and runs the stack's
-// internal actions at the (slower) step interval.
+// actLoop delivers mailbox batches as soon as the receive loop signals
+// them and runs the stack's internal actions at the step interval. The
+// tick timer is only a fallback sweep.
 func (n *Node) actLoop() {
 	defer n.wg.Done()
-	ticker := time.NewTicker(n.tick)
-	defer ticker.Stop()
-	var lastStep time.Time
+	stepTimer := time.NewTicker(n.stepInterval)
+	defer stepTimer.Stop()
+	sweep := time.NewTicker(n.tick)
+	defer sweep.Stop()
 	for {
 		select {
 		case <-n.stop:
 			return
-		case <-ticker.C:
-		}
-		n.mu.Lock()
-		ev := env{n: n}
-		if now := time.Now(); now.Sub(lastStep) >= n.stepInterval {
-			lastStep = now
+		case <-n.mail:
+			n.drainMail()
+		case <-sweep.C:
+			n.drainMail()
+		case <-stepTimer.C:
+			n.mu.Lock()
+			ev := env{n: n}
 			for _, m := range n.stack {
 				m.Step(ev)
 			}
+			n.mu.Unlock()
 		}
-		for key, box := range n.mailboxes {
-			if len(box) == 0 {
-				continue
-			}
-			mach, ok := n.routes[key.instance]
-			if !ok {
-				n.mailboxes[key] = box[:0]
-				continue
-			}
+	}
+}
+
+// drainMail swaps the filled mailbox buffer out (one pointer swap under
+// the mailbox lock, batching the handoff) and delivers its contents
+// under the action mutex.
+func (n *Node) drainMail() {
+	n.mbMu.Lock()
+	if n.boxed == 0 {
+		n.mbMu.Unlock()
+		return
+	}
+	batch := n.mailboxes
+	n.mailboxes, n.spare = n.spare, n.mailboxes
+	n.boxed = 0
+	n.mbMu.Unlock()
+
+	n.mu.Lock()
+	ev := env{n: n}
+	for key, box := range batch {
+		if len(box) == 0 {
+			continue
+		}
+		if mach, ok := n.routes[key.instance]; ok {
 			for _, m := range box {
 				n.emit(core.Event{Kind: core.EvDeliver, Proc: n.self, Peer: key.from, Instance: key.instance, Msg: m})
 				mach.Deliver(ev, key.from, m)
 			}
-			n.mailboxes[key] = box[:0]
 		}
-		n.mu.Unlock()
+		// A message addressed to an unknown instance is consumed with no
+		// effect, like a receive action with a false guard.
+		batch[key] = box[:0]
 	}
+	n.mu.Unlock()
 }
 
 // Do runs f under the node's action mutex with its environment.
@@ -317,14 +393,12 @@ func (n *Node) Do(f func(env core.Env)) {
 	f(env{n: n})
 }
 
-// Stop terminates the loops and closes the socket.
+// Stop terminates the loops and closes the socket. It is idempotent and
+// safe to call from multiple goroutines concurrently.
 func (n *Node) Stop() {
-	select {
-	case <-n.stop:
-		return
-	default:
-	}
-	close(n.stop)
-	n.wg.Wait()
-	n.conn.Close()
+	n.stopOnce.Do(func() {
+		close(n.stop)
+		n.wg.Wait()
+		n.conn.Close()
+	})
 }

@@ -2,6 +2,7 @@ package udp
 
 import (
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -199,10 +200,10 @@ func TestMailboxBoundsBacklog(t *testing.T) {
 	time.Sleep(300 * time.Millisecond) // let the receive loop drain the socket
 	close(release)
 	nodes[1].Do(func(core.Env) {}) // synchronize
-	nodes[1].mu.Lock()
+	nodes[1].mbMu.Lock()
 	box := nodes[1].mailboxes[mailKey{from: 0, instance: "pif"}]
 	over := len(box) > nodes[1].mailboxSlots
-	nodes[1].mu.Unlock()
+	nodes[1].mbMu.Unlock()
 	if over {
 		t.Fatalf("mailbox holds %d messages, above the bound", len(box))
 	}
@@ -255,13 +256,23 @@ func TestStatsCountDroppedSends(t *testing.T) {
 
 func TestStatsCountMailboxDrops(t *testing.T) {
 	// Not parallel: shares the loopback path with the cluster tests.
-	// A receiver with a 1-slot mailbox that (effectively) never drains
-	// must count every overflowing datagram.
+	// A receiver with a 1-slot mailbox whose activation loop is frozen
+	// (its action mutex is held) must count every overflowing datagram —
+	// and report each as a receive-side EvLose, never as the sender-side
+	// EvSendLost.
 	mk := func(self core.ProcID) core.Stack {
 		return core.Stack{pif.New("pif", self, 2, pif.Callbacks{}, pif.WithCapacityBound(DefaultAssumedCapacity))}
 	}
+	var losses, sendLost atomic.Int64
 	recv, err := NewNode(1, mk(1), "127.0.0.1:0", make([]string, 2),
-		WithMailbox(1), WithTick(time.Hour))
+		WithMailbox(1), WithObserver(core.ObserverFunc(func(e core.Event) {
+			switch e.Kind {
+			case core.EvLose:
+				losses.Add(1)
+			case core.EvSendLost:
+				sendLost.Add(1)
+			}
+		})))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,13 +293,32 @@ func TestStatsCountMailboxDrops(t *testing.T) {
 	recv.Start() // the sender's loops stay off: Do drives its socket directly
 	t.Cleanup(func() { recv.Stop(); send.Stop() })
 
+	// Freeze the receiver's activation loop by holding its action mutex:
+	// drains stop, but the receive loop keeps boxing (and dropping).
+	release := make(chan struct{})
+	frozen := make(chan struct{})
+	go func() {
+		recv.Do(func(core.Env) {
+			close(frozen)
+			<-release
+		})
+	}()
+	<-frozen
+	defer close(release)
+
 	send.Do(func(env core.Env) {
 		for i := 0; i < 50; i++ {
 			env.Send(1, core.Message{Instance: "pif", Kind: pif.Kind})
 		}
 	})
 	if !waitFor(t, 5*time.Second, func() bool { return recv.Stats().MailboxDrops > 0 }) {
-		t.Fatal("flooding a 1-slot mailbox produced no MailboxDrops")
+		t.Fatal("flooding a 1-slot mailbox on a frozen receiver produced no MailboxDrops")
+	}
+	if losses.Load() == 0 {
+		t.Fatal("mailbox-full drops emitted no EvLose events")
+	}
+	if got := sendLost.Load(); got != 0 {
+		t.Fatalf("mailbox-full drops emitted %d EvSendLost events; receive-side loss must be EvLose", got)
 	}
 }
 

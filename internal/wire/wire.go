@@ -44,13 +44,21 @@ var (
 // Encode serializes m. It returns an error if a string field exceeds
 // MaxStringLen.
 func Encode(m core.Message) ([]byte, error) {
+	buf := make([]byte, 0, 5+4+len(m.Instance)+len(m.Kind)+len(m.B.Tag)+len(m.F.Tag)+16)
+	return AppendEncode(buf, m)
+}
+
+// AppendEncode serializes m into dst and returns the extended slice,
+// reusing dst's capacity. Hot send paths (the UDP transport encodes one
+// datagram per Send under its action mutex) call this with a per-sender
+// scratch buffer so steady-state sending performs no heap allocation.
+func AppendEncode(dst []byte, m core.Message) ([]byte, error) {
 	for _, s := range []string{m.Instance, m.Kind, m.B.Tag, m.F.Tag} {
 		if len(s) > MaxStringLen {
 			return nil, fmt.Errorf("wire: field %q exceeds %d bytes", s[:16]+"...", MaxStringLen)
 		}
 	}
-	buf := make([]byte, 0, 5+4+len(m.Instance)+len(m.Kind)+len(m.B.Tag)+len(m.F.Tag)+16)
-	buf = append(buf, magic0, magic1, version, m.State, m.Echo)
+	buf := append(dst, magic0, magic1, version, m.State, m.Echo)
 	appendStr := func(s string) {
 		buf = append(buf, byte(len(s)))
 		buf = append(buf, s...)

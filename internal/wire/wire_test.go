@@ -32,6 +32,45 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+// TestAppendEncodeReusesBuffer pins the zero-alloc contract of the hot
+// send path: encoding into a pre-grown scratch buffer must produce the
+// same bytes as Encode without allocating.
+func TestAppendEncodeReusesBuffer(t *testing.T) {
+	t.Parallel()
+	m := core.Message{
+		Instance: "pif", Kind: "PIF",
+		B: core.Payload{Tag: "ASK", Num: 12}, F: core.Payload{Tag: "YES", Num: -3},
+		State: 1, Echo: 2,
+	}
+	want, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf, err := AppendEncode(scratch, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(buf) != string(want) {
+			t.Fatalf("AppendEncode = %x, want %x", buf, want)
+		}
+	})
+	// One allocation per run is the string conversion in the comparison
+	// above; AppendEncode itself must not allocate into a sized buffer.
+	if allocs > 1 {
+		t.Fatalf("AppendEncode allocated %.0f times per run into a sized buffer", allocs)
+	}
+	// Appending after a prefix must keep the prefix intact.
+	prefixed, err := AppendEncode([]byte("hdr"), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(prefixed[:3]) != "hdr" || string(prefixed[3:]) != string(want) {
+		t.Fatal("AppendEncode clobbered the destination prefix")
+	}
+}
+
 func TestRoundTripProperty(t *testing.T) {
 	t.Parallel()
 	f := func(inst, kind, bTag, fTag string, bNum, fNum int64, state, echo uint8) bool {
