@@ -1,0 +1,59 @@
+package snapstab
+
+// White-box tests for aborted-request cleanup: a request the caller was
+// told failed must not leave its per-request state installed on the
+// machine, or its effects would surface in a later, unrelated request.
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/snapstab/snapstab/internal/core"
+)
+
+// TestAbortedAcquireClearsBody verifies a budget-aborted acquire
+// uninstalls its critical-section body: the machine may keep the pending
+// request (the model's business), but the failed caller's body must
+// never run when that request is eventually served.
+func TestAbortedAcquireClearsBody(t *testing.T) {
+	t.Parallel()
+	c := NewMutexCluster([]int64{4, 2}, WithStepBudget(40))
+	defer c.Close()
+	err := c.Acquire(0, func() { t.Error("body of a failed acquire ran") })
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("got %v, want ErrBudget (budget 40 is far below an acquire)", err)
+	}
+	var body func()
+	c.sub.Do(core.ProcID(0), func(core.Env) { body = c.machines[0].CSBody })
+	if body != nil {
+		t.Fatal("CSBody still installed after the aborted acquire")
+	}
+}
+
+// TestAbortedBroadcastClearsSink verifies a budget-aborted broadcast
+// uninstalls its feedback sink.
+func TestAbortedBroadcastClearsSink(t *testing.T) {
+	t.Parallel()
+	c := NewPIFCluster(2, WithStepBudget(2))
+	defer c.Close()
+	if _, err := c.Broadcast(0, "x", 1); !errors.Is(err, ErrBudget) {
+		t.Fatalf("got %v, want ErrBudget", err)
+	}
+	var sink *feedbackSink
+	c.sub.Do(core.ProcID(0), func(core.Env) { sink = c.active[0] })
+	if sink != nil {
+		t.Fatal("feedback sink still installed after the aborted broadcast")
+	}
+}
+
+// TestZeroStepBudget verifies a degenerate WithStepBudget(0) keeps the
+// pre-substrate behavior: the cluster constructs fine and the request
+// reports ErrBudget instead of panicking.
+func TestZeroStepBudget(t *testing.T) {
+	t.Parallel()
+	c := NewPIFCluster(2, WithStepBudget(0))
+	defer c.Close()
+	if _, err := c.Broadcast(0, "x", 1); !errors.Is(err, ErrBudget) {
+		t.Fatalf("got %v, want ErrBudget", err)
+	}
+}

@@ -1,0 +1,214 @@
+package snapstab
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/snapstab/snapstab/internal/config"
+	"github.com/snapstab/snapstab/internal/core"
+	"github.com/snapstab/snapstab/internal/rng"
+	"github.com/snapstab/snapstab/internal/runtime"
+	"github.com/snapstab/snapstab/internal/sim"
+	udp "github.com/snapstab/snapstab/internal/transport/udp"
+)
+
+// ErrClosed is returned by requests that were aborted because the
+// cluster was closed.
+var ErrClosed = errors.New("snapstab: cluster closed")
+
+// clusterCore is the substrate-facing half shared by every cluster type:
+// it owns the built substrate, the cluster lifetime context, and the
+// request plumbing. The concrete cluster types embed it, so N, Close,
+// Stats, and TransportStats are uniform across all five.
+type clusterCore struct {
+	opt    options
+	stacks []core.Stack
+	sub    core.Substrate
+	simNet *sim.Network // non-nil on the deterministic substrate
+	udpNet *udp.Cluster // non-nil on the UDP substrate
+
+	ctx       context.Context
+	cancel    context.CancelFunc
+	closeOnce sync.Once
+	closeErr  error
+
+	// reqMu[p] serializes requests issued at process p. The machine
+	// itself admits one computation at a time (Invoke is rejected until
+	// the previous decision), but on the polling substrates two pending
+	// conditions at one process would race for the decision window: the
+	// loser's Invoke consumes the machine's Done state before the winner
+	// observes it, and the winner's completion condition could then never
+	// hold. Holding the per-process gate for the whole request makes
+	// "requests at one process serialize" true on every substrate.
+	reqMu []sync.Mutex
+}
+
+// init builds the substrate selected in o from the assembled stacks.
+// obs are event observers to subscribe (nil entries are skipped); they
+// must be goroutine-safe on the concurrent substrates.
+func (c *clusterCore) init(o options, stacks []core.Stack, obs ...core.Observer) {
+	c.opt = o
+	c.stacks = stacks
+	kept := make([]core.Observer, 0, len(obs))
+	for _, ob := range obs {
+		if ob != nil {
+			kept = append(kept, ob)
+		}
+	}
+	sub, err := o.substrate.build(o, stacks, kept)
+	if err != nil {
+		panic("snapstab: substrate construction failed: " + err.Error())
+	}
+	c.sub = sub
+	c.simNet, _ = sub.(*sim.Network)
+	c.udpNet, _ = sub.(*udp.Cluster)
+	c.reqMu = make([]sync.Mutex, sub.N())
+	c.ctx, c.cancel = context.WithCancel(context.Background())
+}
+
+// N returns the number of processes.
+func (c *clusterCore) N() int { return c.sub.N() }
+
+// Close shuts the cluster down: in-flight requests are aborted with
+// ErrClosed and the substrate releases its goroutines and sockets.
+// Idempotent and safe to call concurrently.
+func (c *clusterCore) Close() error {
+	c.closeOnce.Do(func() {
+		c.cancel()
+		c.closeErr = c.sub.Close()
+	})
+	return c.closeErr
+}
+
+// Stats returns the deterministic scheduler's counters for the whole
+// cluster lifetime. On the concurrent substrates — which count different
+// things — it returns the zero value; see TransportStats for UDP.
+func (c *clusterCore) Stats() sim.Stats {
+	var s sim.Stats
+	if c.simNet != nil {
+		c.simNet.Sync(func() { s = c.simNet.Stats() })
+	}
+	return s
+}
+
+// TransportStats holds one UDP node's transport counters.
+type TransportStats struct {
+	// Addr is the node's bound local address.
+	Addr string
+	// Sends counts datagrams handed to the socket.
+	Sends int64
+	// SendDrops counts messages lost at the sender (failed sendto,
+	// unencodable payloads).
+	SendDrops int64
+	// MailboxDrops counts datagrams dropped at a full receive mailbox
+	// (the model's lose-on-full rule).
+	MailboxDrops int64
+}
+
+// TransportStats returns per-node transport counters when the cluster
+// runs on the UDP substrate, and nil otherwise.
+func (c *clusterCore) TransportStats() []TransportStats {
+	if c.udpNet == nil {
+		return nil
+	}
+	addrs := c.udpNet.Addrs()
+	stats := c.udpNet.NodeStats()
+	out := make([]TransportStats, len(stats))
+	for i, s := range stats {
+		out[i] = TransportStats{
+			Addr:         addrs[i],
+			Sends:        s.Sends,
+			SendDrops:    s.SendDrops,
+			MailboxDrops: s.MailboxDrops,
+		}
+	}
+	return out
+}
+
+// newRequest returns an unstarted request handle. Typed wrappers are
+// assembled around it BEFORE start is called, so the completion
+// condition may safely write result fields through the wrapper.
+func (c *clusterCore) newRequest() *Request {
+	return &Request{done: make(chan struct{})}
+}
+
+// start launches the request: a goroutine takes process p's request
+// gate, awaits cond on the substrate, and completes r with the mapped
+// terminal error. label names the operation in error messages. onAbort,
+// when non-nil, runs in p's atomic context if the await failed — while
+// the gate is still held, so it can undo per-request machine state
+// (e.g. an installed critical-section body) before the next request at
+// p proceeds.
+func (c *clusterCore) start(r *Request, p int, label string, cond func(env core.Env) bool, onAbort func(env core.Env)) {
+	if p < 0 || p >= c.sub.N() {
+		r.err = fmt.Errorf("snapstab: %s at invalid process %d (cluster has %d)", label, p, c.sub.N())
+		close(r.done)
+		return
+	}
+	go func() {
+		c.reqMu[p].Lock()
+		err := c.sub.Await(c.ctx, core.ProcID(p), cond)
+		if err != nil && onAbort != nil {
+			// Do keeps working after substrate Close (the mutexes
+			// outlive the engine), so abort cleanup always runs.
+			c.sub.Do(core.ProcID(p), onAbort)
+		}
+		c.reqMu[p].Unlock()
+		if err == nil {
+			err = r.fail
+		}
+		r.err = c.describeErr(err, label, p)
+		close(r.done)
+	}()
+}
+
+// describeErr maps substrate errors onto the façade's sentinel errors.
+func (c *clusterCore) describeErr(err error, label string, p int) error {
+	var budget *sim.ErrBudget
+	switch {
+	case err == nil:
+		return nil
+	case errors.As(err, &budget):
+		return fmt.Errorf("%w: %s at %d", ErrBudget, label, p)
+	case errors.Is(err, sim.ErrClosed), errors.Is(err, runtime.ErrStopped),
+		errors.Is(err, udp.ErrStopped), c.ctx.Err() != nil:
+		return fmt.Errorf("%w: %s at %d", ErrClosed, label, p)
+	}
+	return fmt.Errorf("snapstab: %s at %d: %w", label, p, err)
+}
+
+// corruptMachines randomizes every machine's protocol state: in one
+// scheduler-paused critical section on the deterministic substrate
+// (preserving the exact per-seed corruption of earlier revisions), and
+// process by process under each substrate-atomic context on the
+// concurrent engines.
+func (c *clusterCore) corruptMachines(r *rng.Source) {
+	if net := c.simNet; net != nil {
+		net.Sync(func() { config.CorruptMachines(net, r) })
+		return
+	}
+	for p := 0; p < c.sub.N(); p++ {
+		stack := c.stacks[p]
+		c.sub.Do(core.ProcID(p), func(core.Env) { stack.Corrupt(r) })
+	}
+}
+
+// fillChannelGarbage loads random well-formed messages into every
+// channel of the listed instances. Preloading channels needs scheduler
+// cooperation, so it exists only on the deterministic substrate; on the
+// concurrent engines channels start empty, which the model permits (the
+// arbitrary state is the machines').
+func (c *clusterCore) fillChannelGarbage(r *rng.Source, specs []config.InstanceSpec) {
+	if net := c.simNet; net != nil {
+		net.Sync(func() { config.FillChannels(net, r, specs, config.Options{}) })
+	}
+}
+
+// corrupt is the shared CorruptEverything implementation: randomize all
+// machine state, then garbage every listed instance's channels.
+func (c *clusterCore) corrupt(r *rng.Source, specs []config.InstanceSpec) {
+	c.corruptMachines(r)
+	c.fillChannelGarbage(r, specs)
+}

@@ -3,29 +3,30 @@
 // challenge" demonstrated end to end: n nodes, each with its own socket,
 // exchanging wire-encoded datagrams, surviving corrupted initial states.
 //
+// It is a thin driver over the public façade: the cluster code is the
+// same code that runs on the deterministic simulator, pointed at the UDP
+// substrate with one option.
+//
 // Usage:
 //
 //	snapnet -protocol pif -n 3 -corrupt
-//	snapnet -protocol idl -n 4
+//	snapnet -protocol mutex -n 4
+//	snapnet -protocol idl|reset|snap ...
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"net"
 	"os"
 	"time"
 
-	"github.com/snapstab/snapstab/internal/core"
-	"github.com/snapstab/snapstab/internal/idl"
-	"github.com/snapstab/snapstab/internal/pif"
-	"github.com/snapstab/snapstab/internal/rng"
-	udp "github.com/snapstab/snapstab/internal/transport/udp"
+	snapstab "github.com/snapstab/snapstab"
 )
 
 func main() {
 	var (
-		protocol = flag.String("protocol", "pif", "protocol to run: pif or idl")
+		protocol = flag.String("protocol", "pif", "protocol to run: pif, idl, mutex, reset, or snap")
 		n        = flag.Int("n", 3, "number of nodes (>= 2)")
 		corrupt  = flag.Bool("corrupt", false, "randomize every node's protocol state first")
 		seed     = flag.Uint64("seed", 1, "corruption seed")
@@ -38,150 +39,134 @@ func main() {
 	}
 }
 
+// statser is the slice of the façade every cluster type shares that
+// snapnet needs beyond the protocol calls themselves.
+type statser interface {
+	TransportStats() []snapstab.TransportStats
+	Close() error
+}
+
 func run(protocol string, n int, corrupt bool, seed uint64, timeout time.Duration) error {
 	if n < 2 {
 		return fmt.Errorf("need n >= 2, got %d", n)
 	}
-	r := rng.New(seed)
-
-	// Build one machine per node; bind sockets first, then wire peers.
-	var pifs []*pif.PIF
-	var idls []*idl.IDL
-	stacks := make([]core.Stack, n)
-	for i := 0; i < n; i++ {
-		self := core.ProcID(i)
-		switch protocol {
-		case "pif":
-			m := pif.New("pif", self, n, pif.Callbacks{
-				OnBroadcast: func(_ core.Env, _ core.ProcID, b core.Payload) core.Payload {
-					return core.Payload{Tag: "ack", Num: b.Num*1000 + int64(self)}
-				},
-			}, pif.WithCapacityBound(udp.DefaultAssumedCapacity))
-			if corrupt {
-				m.Corrupt(r)
-			}
-			pifs = append(pifs, m)
-			stacks[i] = core.Stack{m}
-		case "idl":
-			d := idl.New("idl", self, n, int64(i*13+5), pif.WithCapacityBound(udp.DefaultAssumedCapacity))
-			if corrupt {
-				d.Corrupt(r)
-				d.PIF.Corrupt(r)
-			}
-			idls = append(idls, d)
-			stacks[i] = d.Machines()
-		default:
-			return fmt.Errorf("unknown protocol %q (want pif or idl)", protocol)
-		}
+	ids := make([]int64, n)
+	for i := range ids {
+		ids[i] = int64(i*13 + 5)
 	}
+	opts := []snapstab.Option{snapstab.WithSubstrate(snapstab.UDP()), snapstab.WithSeed(seed)}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
 
-	nodes := make([]*udp.Node, n)
-	addrs := make([]string, n)
-	for i := 0; i < n; i++ {
-		node, err := udp.NewNode(core.ProcID(i), stacks[i], "127.0.0.1:0", make([]string, n))
-		if err != nil {
-			return err
-		}
-		nodes[i] = node
-		addrs[i] = node.Addr()
-	}
-	for i, node := range nodes {
-		for j, a := range addrs {
-			if i == j {
-				continue
-			}
-			ra, err := net.ResolveUDPAddr("udp", a)
-			if err != nil {
+	var (
+		cluster statser
+		request func() error
+	)
+	switch protocol {
+	case "pif":
+		c := snapstab.NewPIFCluster(n, opts...)
+		cluster = c
+		request = func() error {
+			fmt.Println("node 0 broadcasting hello(42)...")
+			req := c.BroadcastAsync(0, "hello", 42)
+			if err := req.Wait(ctx); err != nil {
 				return err
 			}
-			node.SetPeer(core.ProcID(j), ra)
+			fmt.Printf("decision: %d nodes received the broadcast and acknowledged it\n", len(req.Feedbacks()))
+			return nil
 		}
-		fmt.Printf("node %d listening on %s\n", i, addrs[i])
-	}
-	for _, node := range nodes {
-		node.Start()
-	}
-	defer func() {
-		for _, node := range nodes {
-			node.Stop()
+	case "idl":
+		c := snapstab.NewIDCluster(ids, opts...)
+		cluster = c
+		request = func() error {
+			fmt.Println("node 0 learning identifiers...")
+			req := c.LearnAsync(0)
+			if err := req.Wait(ctx); err != nil {
+				return err
+			}
+			fmt.Printf("learned: minID=%d table=%v\n", req.MinID(), req.Table()[1:])
+			return nil
 		}
-	}()
+	case "mutex":
+		c := snapstab.NewMutexCluster(ids, opts...)
+		cluster = c
+		request = func() error {
+			fmt.Printf("all %d nodes requesting the critical section concurrently...\n", n)
+			reqs := make([]*snapstab.Request, n)
+			for p := 0; p < n; p++ {
+				p := p
+				reqs[p] = c.AcquireAsync(p, func() { fmt.Printf("node %d in the critical section\n", p) })
+			}
+			for p, req := range reqs {
+				if err := req.Wait(ctx); err != nil {
+					return fmt.Errorf("node %d: %w", p, err)
+				}
+			}
+			if v := c.Violations(); len(v) > 0 {
+				return fmt.Errorf("mutual exclusion violated: %v", v)
+			}
+			fmt.Printf("all served: %d exclusive entries, 0 violations\n", c.Entries())
+			return nil
+		}
+	case "reset":
+		c := snapstab.NewResetCluster(n, func(p int, epoch int64) {
+			fmt.Printf("node %d reinitialized under epoch %d\n", p, epoch)
+		}, opts...)
+		cluster = c
+		request = func() error {
+			fmt.Println("node 0 requesting a global reset...")
+			req := c.ResetAsync(0)
+			if err := req.Wait(ctx); err != nil {
+				return err
+			}
+			fmt.Printf("decision: every node acknowledged epoch %d\n", req.Epoch())
+			return nil
+		}
+	case "snap":
+		c := snapstab.NewSnapshotCluster(n, func(p int) snapstab.Payload {
+			return snapstab.Payload{Tag: "state", Num: int64(p) * 111}
+		}, opts...)
+		cluster = c
+		request = func() error {
+			fmt.Println("node 0 collecting a global snapshot...")
+			req := c.CollectAsync(0)
+			if err := req.Wait(ctx); err != nil {
+				return err
+			}
+			fmt.Printf("collected: %v\n", req.Views())
+			return nil
+		}
+	default:
+		return fmt.Errorf("unknown protocol %q (want pif, idl, mutex, reset, or snap)", protocol)
+	}
+	defer cluster.Close()
+
+	for i, s := range cluster.TransportStats() {
+		fmt.Printf("node %d listening on %s\n", i, s.Addr)
+	}
 	if corrupt {
+		type corrupter interface{ CorruptEverything(seed uint64) }
+		cluster.(corrupter).CorruptEverything(seed)
 		fmt.Println("initial protocol states: corrupted")
 	}
 
-	var err error
-	switch protocol {
-	case "pif":
-		err = runPIF(nodes, pifs, timeout)
-	case "idl":
-		err = runIDL(nodes, idls, timeout)
+	start := time.Now()
+	err := request()
+	if err == nil {
+		fmt.Printf("completed in %v\n", time.Since(start).Round(time.Millisecond))
 	}
 	// Print the counters even (especially) on failure: the drop columns
 	// are the first diagnostic for a timed-out run.
-	printStats(nodes)
+	printStats(cluster)
 	return err
 }
 
 // printStats reports the transport counters per node: sender-side drops
 // (failed sendto) and receiver-side drops (full mailboxes, the model's
 // lose-on-full rule) are distinguished, mirroring EvSendLost vs EvLose.
-func printStats(nodes []*udp.Node) {
-	for i, node := range nodes {
-		s := node.Stats()
+func printStats(cluster statser) {
+	for i, s := range cluster.TransportStats() {
 		fmt.Printf("node %d: sent=%d send-drops=%d mailbox-drops=%d\n",
 			i, s.Sends, s.SendDrops, s.MailboxDrops)
 	}
-}
-
-func runPIF(nodes []*udp.Node, machines []*pif.PIF, timeout time.Duration) error {
-	token := core.Payload{Tag: "hello", Num: 42}
-	deadline := time.Now().Add(timeout)
-	invoked := false
-	for time.Now().Before(deadline) && !invoked {
-		nodes[0].Do(func(env core.Env) { invoked = machines[0].Invoke(env, token) })
-		time.Sleep(time.Millisecond)
-	}
-	if !invoked {
-		return fmt.Errorf("node 0 never accepted the request (corrupted computation did not terminate)")
-	}
-	fmt.Println("node 0 broadcasting hello(42)...")
-	start := time.Now()
-	for time.Now().Before(deadline) {
-		var done bool
-		nodes[0].Do(func(core.Env) { done = machines[0].Done() && machines[0].BMes == token })
-		if done {
-			fmt.Printf("decision reached in %v: every node received the broadcast and acknowledged it\n",
-				time.Since(start).Round(time.Millisecond))
-			return nil
-		}
-		time.Sleep(time.Millisecond)
-	}
-	return fmt.Errorf("broadcast did not complete within %v", timeout)
-}
-
-func runIDL(nodes []*udp.Node, machines []*idl.IDL, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	invoked := false
-	for time.Now().Before(deadline) && !invoked {
-		nodes[0].Do(func(env core.Env) { invoked = machines[0].Invoke(env) })
-		time.Sleep(time.Millisecond)
-	}
-	if !invoked {
-		return fmt.Errorf("node 0 never accepted the request")
-	}
-	fmt.Println("node 0 learning identifiers...")
-	for time.Now().Before(deadline) {
-		var done bool
-		nodes[0].Do(func(core.Env) { done = machines[0].Done() })
-		if done {
-			var min int64
-			var tab []int64
-			nodes[0].Do(func(core.Env) { min, tab = machines[0].MinID, append([]int64(nil), machines[0].IDTab...) })
-			fmt.Printf("learned: minID=%d table=%v\n", min, tab[1:])
-			return nil
-		}
-		time.Sleep(time.Millisecond)
-	}
-	return fmt.Errorf("learning did not complete within %v", timeout)
 }

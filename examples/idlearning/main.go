@@ -21,6 +21,7 @@ func main() {
 		snapstab.WithSeed(5),
 		snapstab.WithLossRate(0.1),
 	)
+	defer cluster.Close()
 	cluster.CorruptEverything(44)
 	fmt.Println("4 processes with identifiers", ids, "- tables corrupted, channels garbaged")
 

@@ -23,6 +23,7 @@ func main() {
 		snapstab.WithSeed(99),
 		snapstab.WithCSLength(3),
 	)
+	defer cluster.Close()
 	cluster.CorruptEverything(123)
 	fmt.Println("5 processes, corrupted start (zombie occupants possible), leader = id 8")
 

@@ -1,10 +1,16 @@
-// Quickstart: a snap-stabilizing broadcast with feedback.
+// Quickstart: a snap-stabilizing broadcast with feedback — on two
+// substrates.
 //
 // Four processes; everything — process memories AND channel contents — is
 // corrupted first. A single call then broadcasts a message and collects
 // every acknowledgment, correctly, with no stabilization period:
 // snap-stabilization means the FIRST request already enjoys the full
 // guarantee.
+//
+// The same cluster code then runs again on the concurrent goroutine
+// substrate (one goroutine per process, event-driven delivery) by
+// changing one construction option — the guarantee is
+// substrate-independent.
 //
 //	go run ./examples/quickstart
 package main
@@ -16,16 +22,13 @@ import (
 	snapstab "github.com/snapstab/snapstab"
 )
 
-func main() {
-	cluster := snapstab.NewPIFCluster(4,
-		snapstab.WithSeed(2024),
-		snapstab.WithLossRate(0.2), // links drop a fifth of all messages
-	)
-
+// broadcastOnce corrupts the cluster and completes one broadcast with
+// feedback: identical application code for every substrate.
+func broadcastOnce(cluster *snapstab.PIFCluster) {
 	// Drive the system into an arbitrary configuration: every protocol
-	// variable randomized, every channel preloaded with garbage.
+	// variable randomized (and, on the simulator, every channel preloaded
+	// with garbage).
 	cluster.CorruptEverything(7)
-	fmt.Println("cluster of 4 processes: state and channels corrupted, links lossy")
 
 	// One call: process 0 broadcasts, everyone acknowledges.
 	feedback, err := cluster.Broadcast(0, "how-old-are-you", 1)
@@ -36,8 +39,26 @@ func main() {
 	for _, fb := range feedback {
 		fmt.Printf("  process %d answered %s(%d)\n", fb.From, fb.Value.Tag, fb.Value.Num)
 	}
+}
 
-	stats := cluster.Stats()
-	fmt.Printf("\n(%d scheduler steps, %d messages sent, %d lost — and still exact)\n",
+func main() {
+	fmt.Println("--- deterministic simulator (seeded, replayable) ---")
+	sim := snapstab.NewPIFCluster(4,
+		snapstab.WithSeed(2024),
+		snapstab.WithLossRate(0.2), // links drop a fifth of all messages
+	)
+	broadcastOnce(sim)
+	stats := sim.Stats()
+	sim.Close()
+	fmt.Printf("(%d scheduler steps, %d messages sent, %d lost — and still exact)\n\n",
 		stats.Steps, stats.Sends, stats.LinkLosses+stats.SendLosses)
+
+	fmt.Println("--- concurrent runtime (one goroutine per process) ---")
+	rt := snapstab.NewPIFCluster(4,
+		snapstab.WithSubstrate(snapstab.Runtime()),
+		snapstab.WithLossRate(0.2),
+	)
+	broadcastOnce(rt)
+	rt.Close()
+	fmt.Println("(same cluster code, real concurrency — still exact)")
 }

@@ -31,6 +31,7 @@ func main() {
 		caches[p] = map[string]int{} // wipe
 		epochs[p] = epoch
 	}, snapstab.WithSeed(17), snapstab.WithLossRate(0.15))
+	defer cluster.Close()
 
 	cluster.CorruptEverything(66)
 	fmt.Println("4 processes with dirty caches; protocol state and channels corrupted")

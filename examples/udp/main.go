@@ -6,90 +6,47 @@
 // known capacity bound — corrupts their protocol state, and completes a
 // broadcast with feedback anyway.
 //
+// Since the substrate redesign this is the same façade code as the
+// simulator examples: the socket wiring that used to fill this file is
+// one construction option.
+//
 //	go run ./examples/udp
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"net"
 	"time"
 
-	"github.com/snapstab/snapstab/internal/core"
-	"github.com/snapstab/snapstab/internal/pif"
-	"github.com/snapstab/snapstab/internal/rng"
-	udp "github.com/snapstab/snapstab/internal/transport/udp"
+	snapstab "github.com/snapstab/snapstab"
 )
 
 func main() {
-	const n = 3
-	r := rng.New(2008) // the paper's year, why not
+	cluster := snapstab.NewPIFCluster(3,
+		snapstab.WithSubstrate(snapstab.UDP()),
+		snapstab.WithSeed(2008), // the paper's year, why not
+	)
+	defer cluster.Close()
+	for i, s := range cluster.TransportStats() {
+		fmt.Printf("node %d on %s\n", i, s.Addr)
+	}
 
-	machines := make([]*pif.PIF, n)
-	nodes := make([]*udp.Node, n)
-	addrs := make([]string, n)
-	for i := 0; i < n; i++ {
-		self := core.ProcID(i)
-		machines[i] = pif.New("pif", self, n, pif.Callbacks{
-			OnBroadcast: func(_ core.Env, _ core.ProcID, b core.Payload) core.Payload {
-				return core.Payload{Tag: "ack", Num: b.Num*10 + int64(self)}
-			},
-		}, pif.WithCapacityBound(udp.DefaultAssumedCapacity))
-		machines[i].Corrupt(r) // arbitrary initial protocol state
+	cluster.CorruptEverything(2008) // arbitrary initial protocol state
+	fmt.Println("all protocol states corrupted")
 
-		node, err := udp.NewNode(self, core.Stack{machines[i]}, "127.0.0.1:0", make([]string, n))
-		if err != nil {
-			log.Fatal(err)
-		}
-		nodes[i] = node
-		addrs[i] = node.Addr()
-		fmt.Printf("node %d on %s (state corrupted)\n", i, addrs[i])
-	}
-	for i, node := range nodes {
-		for j, a := range addrs {
-			if i == j {
-				continue
-			}
-			ra, err := net.ResolveUDPAddr("udp", a)
-			if err != nil {
-				log.Fatal(err)
-			}
-			node.SetPeer(core.ProcID(j), ra)
-		}
-	}
-	for _, node := range nodes {
-		node.Start()
-	}
-	defer func() {
-		for _, node := range nodes {
-			node.Stop()
-		}
-	}()
-
-	// Wait out any corrupted in-flight computation, then broadcast.
-	token := core.Payload{Tag: "hello", Num: 7}
-	deadline := time.Now().Add(30 * time.Second)
-	for invoked := false; !invoked; {
-		if time.Now().After(deadline) {
-			log.Fatal("request never accepted")
-		}
-		nodes[0].Do(func(env core.Env) { invoked = machines[0].Invoke(env, token) })
-		time.Sleep(time.Millisecond)
-	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
 	fmt.Println("node 0 broadcasting hello(7) over real sockets...")
-
 	start := time.Now()
-	for {
-		if time.Now().After(deadline) {
-			log.Fatal("broadcast did not complete")
-		}
-		var done bool
-		nodes[0].Do(func(core.Env) { done = machines[0].Done() && machines[0].BMes == token })
-		if done {
-			break
-		}
-		time.Sleep(time.Millisecond)
+	req := cluster.BroadcastAsync(0, "hello", 7)
+	if err := req.Wait(ctx); err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("decision in %v: all nodes received the broadcast and acknowledged\n",
-		time.Since(start).Round(time.Millisecond))
+	fmt.Printf("decision in %v: %d nodes received the broadcast and acknowledged\n",
+		time.Since(start).Round(time.Millisecond), len(req.Feedbacks()))
+	for _, s := range cluster.TransportStats() {
+		fmt.Printf("  %s: sent=%d send-drops=%d mailbox-drops=%d\n",
+			s.Addr, s.Sends, s.SendDrops, s.MailboxDrops)
+	}
 }

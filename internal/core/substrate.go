@@ -1,0 +1,48 @@
+package core
+
+import "context"
+
+// Substrate is a running execution substrate: a set of protocol stacks
+// being executed under some scheduling discipline, with channels between
+// them. The three substrates of the repository implement it — the
+// deterministic simulator (internal/sim), the goroutine runtime
+// (internal/runtime), and the UDP transport (internal/transport/udp) — so
+// the high-level façade can assemble and drive a cluster without knowing
+// which engine runs it.
+//
+// The interface deliberately exposes no scheduling detail. Its unit of
+// interaction is the atomic external action: Do and Await run caller code
+// atomically with respect to every protocol action of one process, which
+// is exactly the power the paper's model grants the external application
+// (submitting a request, reading the Request variable). How atomicity is
+// realized — the simulator's single-threaded driver, the runtime's
+// per-process mutex, the UDP node's action mutex — is the substrate's
+// business.
+type Substrate interface {
+	// N returns the number of processes.
+	N() int
+
+	// Do runs f atomically with respect to every protocol action of
+	// process p, passing p's environment. Use it to inject requests and
+	// read protocol state while the substrate runs. f must not block and
+	// must not call back into the substrate.
+	Do(p ProcID, f func(env Env))
+
+	// Await drives or observes the execution until cond holds, then
+	// returns nil. cond is evaluated in process p's atomic context,
+	// exactly like a Do body, and is re-evaluated as the execution
+	// advances; it may carry side effects — issuing the request under
+	// test on its first successful evaluation is the idiomatic use.
+	//
+	// Await returns ctx.Err() when the context is cancelled first (the
+	// execution itself keeps running), or a substrate-specific error when
+	// the substrate gives up (deterministic-simulator step budget
+	// exhausted, substrate closed). Await is safe to call from many
+	// goroutines concurrently; each call waits for its own condition.
+	Await(ctx context.Context, p ProcID, cond func(env Env) bool) error
+
+	// Close permanently shuts the substrate down, releasing any
+	// goroutines and sockets it holds and failing pending Awaits. It is
+	// idempotent and safe to call concurrently.
+	Close() error
+}

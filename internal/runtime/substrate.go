@@ -1,0 +1,57 @@
+// Substrate-mode driving: Engine implements core.Substrate. Do already
+// gives external code atomic actions under the per-process mutex; Await
+// adds condition waiting by polling the condition at the engine's tick
+// cadence (deliveries are event-driven, so the tick bounds only how
+// quickly an external observer notices a state change, not how quickly
+// the protocols progress).
+package runtime
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"github.com/snapstab/snapstab/internal/core"
+)
+
+// ErrStopped is returned by Await when the engine was stopped before the
+// condition held.
+var ErrStopped = errors.New("runtime: engine stopped")
+
+var _ core.Substrate = (*Engine)(nil)
+
+// N returns the number of processes.
+func (e *Engine) N() int { return e.n }
+
+// Await evaluates cond under process p's mutex at the tick cadence until
+// it holds; see core.Substrate for the contract. It returns nil,
+// ctx.Err(), or ErrStopped.
+func (e *Engine) Await(ctx context.Context, p core.ProcID, cond func(env core.Env) bool) error {
+	poll := e.tick
+	if poll <= 0 {
+		poll = 50 * time.Microsecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		ok := false
+		e.Do(p, func(env core.Env) { ok = cond(env) })
+		if ok {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-e.stop:
+			return ErrStopped
+		case <-ticker.C:
+		}
+	}
+}
+
+// Close stops the engine; idempotent. Part of the core.Substrate
+// interface.
+func (e *Engine) Close() error {
+	e.Stop()
+	return nil
+}

@@ -1,0 +1,75 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/snapstab/snapstab/internal/core"
+	"github.com/snapstab/snapstab/internal/pif"
+)
+
+// TestEngineAwait completes a corrupted broadcast through the substrate
+// interface alone.
+func TestEngineAwait(t *testing.T) {
+	t.Parallel()
+	const n = 3
+	stacks := make([]core.Stack, n)
+	machines := make([]*pif.PIF, n)
+	for i := 0; i < n; i++ {
+		machines[i] = pif.New("pif", core.ProcID(i), n, pif.Callbacks{})
+		stacks[i] = core.Stack{machines[i]}
+	}
+	var sub core.Substrate = New(stacks)
+	sub.(*Engine).Start()
+	defer sub.Close()
+	if sub.N() != n {
+		t.Fatalf("N = %d, want %d", sub.N(), n)
+	}
+	token := core.Payload{Tag: "t", Num: 9}
+	requested := false
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	err := sub.Await(ctx, 0, func(env core.Env) bool {
+		if !requested {
+			requested = machines[0].Invoke(env, token)
+			return false
+		}
+		return machines[0].Done() && machines[0].BMes == token
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineAwaitStopped verifies Await unblocks with ErrStopped when
+// the engine is closed underneath it, and that Close is idempotent.
+func TestEngineAwaitStopped(t *testing.T) {
+	t.Parallel()
+	stacks := make([]core.Stack, 2)
+	for i := range stacks {
+		stacks[i] = core.Stack{pif.New("pif", core.ProcID(i), 2, pif.Callbacks{})}
+	}
+	e := New(stacks)
+	e.Start()
+	done := make(chan error, 1)
+	go func() {
+		done <- e.Await(context.Background(), 0, func(core.Env) bool { return false })
+	}()
+	time.Sleep(2 * time.Millisecond)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrStopped) {
+			t.Fatalf("got %v, want ErrStopped", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Await never unblocked after Close")
+	}
+}

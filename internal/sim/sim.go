@@ -23,6 +23,7 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/snapstab/snapstab/internal/channel"
 	"github.com/snapstab/snapstab/internal/core"
@@ -134,6 +135,16 @@ type Network struct {
 	activatedN   int
 	crashed      []bool
 	probing      bool // inside Quiescent's sweep: divert activation counters
+
+	// Substrate-mode state (substrate.go). Deterministic single-threaded
+	// use — experiments, the model checker, the adversary — never touches
+	// any of it: the driver goroutine is spawned lazily by the first
+	// Await, so the scheduler hot path stays lock-free.
+	subMu       sync.Mutex // guards the network while the driver runs
+	subWaiters  []*awaitWaiter
+	subDriver   bool
+	subClosed   bool
+	awaitBudget int
 }
 
 // New assembles a network from one protocol stack per process. The stacks
@@ -150,6 +161,7 @@ func New(stacks []core.Stack, opts ...Option) *Network {
 		links:        make(map[LinkKey]channel.Queue[core.Message]),
 		activatedSet: make([]bool, len(stacks)),
 		crashed:      make([]bool, len(stacks)),
+		awaitBudget:  DefaultAwaitBudget,
 	}
 	for _, opt := range opts {
 		opt(net)

@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/snapstab/snapstab/internal/core"
+	"github.com/snapstab/snapstab/internal/pif"
+)
+
+func pifStacks(n int) ([]core.Stack, []*pif.PIF) {
+	stacks := make([]core.Stack, n)
+	machines := make([]*pif.PIF, n)
+	for i := 0; i < n; i++ {
+		machines[i] = pif.New("pif", core.ProcID(i), n, pif.Callbacks{})
+		stacks[i] = core.Stack{machines[i]}
+	}
+	return stacks, machines
+}
+
+// TestAwaitMatchesRunUntil pins the driver's core determinism property:
+// a single sequential request through Await replays the exact step
+// sequence of RunUntil with the same predicate discipline.
+func TestAwaitMatchesRunUntil(t *testing.T) {
+	t.Parallel()
+	run := func(useAwait bool) int {
+		stacks, machines := pifStacks(3)
+		net := New(stacks, WithSeed(99), WithLossRate(0.1))
+		token := core.Payload{Tag: "t", Num: 1}
+		requested := false
+		pred := func(env core.Env) bool {
+			if !requested {
+				requested = machines[0].Invoke(env, token)
+				return false
+			}
+			return machines[0].Done() && machines[0].BMes == token
+		}
+		if useAwait {
+			if err := net.Await(context.Background(), 0, pred); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			env := net.Env(0)
+			if err := net.RunUntil(func() bool { return pred(env) }, 1_000_000); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return net.StepCount()
+	}
+	if a, b := run(true), run(false); a != b {
+		t.Fatalf("Await executed %d steps, RunUntil %d", a, b)
+	}
+}
+
+// TestAwaitBudget verifies the per-Await step accounting.
+func TestAwaitBudget(t *testing.T) {
+	t.Parallel()
+	stacks, _ := pifStacks(2)
+	net := New(stacks, WithAwaitBudget(7))
+	err := net.Await(context.Background(), 0, func(core.Env) bool { return false })
+	var budget *ErrBudget
+	if !errors.As(err, &budget) {
+		t.Fatalf("got %v, want *ErrBudget", err)
+	}
+	if budget.Steps != 7 || budget.Unit != "steps" {
+		t.Fatalf("budget error = %+v, want 7 steps", budget)
+	}
+}
+
+// TestAwaitConcurrent drives many conditions at once: the driver must
+// satisfy all of them from one scheduler.
+func TestAwaitConcurrent(t *testing.T) {
+	t.Parallel()
+	const n = 4
+	stacks, machines := pifStacks(n)
+	net := New(stacks, WithSeed(5))
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := machines[p]
+			token := core.Payload{Tag: "c", Num: int64(p)}
+			requested := false
+			errs[p] = net.Await(context.Background(), core.ProcID(p), func(env core.Env) bool {
+				if !requested {
+					requested = m.Invoke(env, token)
+					return false
+				}
+				return m.Done() && m.BMes == token
+			})
+		}()
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			t.Fatalf("await %d: %v", p, err)
+		}
+	}
+}
+
+// TestAwaitContextCancel verifies cancellation deregisters the waiter
+// and leaves the network usable.
+func TestAwaitContextCancel(t *testing.T) {
+	t.Parallel()
+	stacks, machines := pifStacks(2)
+	net := New(stacks, WithSeed(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- net.Await(ctx, 0, func(core.Env) bool { return false })
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled Await never returned")
+	}
+	// The network still serves new Awaits.
+	requested := false
+	err := net.Await(context.Background(), 0, func(env core.Env) bool {
+		if !requested {
+			requested = machines[0].Invoke(env, core.Payload{Tag: "after"})
+			return false
+		}
+		return machines[0].Done()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAwaitClose verifies Close fails pending and future Awaits and is
+// idempotent.
+func TestAwaitClose(t *testing.T) {
+	t.Parallel()
+	stacks, _ := pifStacks(2)
+	net := New(stacks)
+	done := make(chan error, 1)
+	go func() {
+		done <- net.Await(context.Background(), 0, func(core.Env) bool { return false })
+	}()
+	time.Sleep(2 * time.Millisecond)
+	if err := net.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("pending await got %v, want ErrClosed", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("pending Await never failed after Close")
+	}
+	if err := net.Await(context.Background(), 0, func(core.Env) bool { return true }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("await after close got %v, want ErrClosed", err)
+	}
+}
+
+// TestAwaitZeroBudget pins RunUntil-compatible semantics for degenerate
+// budgets: no panic, one condition evaluation, immediate *ErrBudget when
+// it is false (and success when it is true).
+func TestAwaitZeroBudget(t *testing.T) {
+	t.Parallel()
+	stacks, _ := pifStacks(2)
+	net := New(stacks, WithAwaitBudget(0))
+	var budget *ErrBudget
+	if err := net.Await(context.Background(), 0, func(core.Env) bool { return false }); !errors.As(err, &budget) {
+		t.Fatalf("got %v, want *ErrBudget", err)
+	}
+	if err := net.Await(context.Background(), 0, func(core.Env) bool { return true }); err != nil {
+		t.Fatalf("already-true condition failed under zero budget: %v", err)
+	}
+}
+
+// TestDriverExitsWhenIdle verifies the driver goroutine is released as
+// soon as no request is pending, so clusters that are never Closed leak
+// nothing.
+func TestDriverExitsWhenIdle(t *testing.T) {
+	t.Parallel()
+	stacks, machines := pifStacks(2)
+	net := New(stacks, WithSeed(3))
+	for i := 0; i < 3; i++ {
+		requested := false
+		token := core.Payload{Tag: "idle", Num: int64(i)}
+		err := net.Await(context.Background(), 0, func(env core.Env) bool {
+			if !requested {
+				requested = machines[0].Invoke(env, token)
+				return false
+			}
+			return machines[0].Done() && machines[0].BMes == token
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		net.subMu.Lock()
+		running := net.subDriver
+		net.subMu.Unlock()
+		if !running {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("driver still running with no pending requests")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,51 @@
+package snapstab
+
+import "context"
+
+// Request is the handle of one asynchronous protocol request. It is
+// created by the *Async methods, completes exactly once, and is safe to
+// share across goroutines. The request keeps running on the cluster's
+// substrate even if nobody waits on it; Close on the cluster aborts it.
+//
+// The typed request wrappers (BroadcastRequest, LearnRequest, ...) embed
+// Request and add result accessors that are valid once the request has
+// completed successfully.
+type Request struct {
+	done chan struct{}
+	err  error // terminal error; written exactly once before done closes
+	fail error // protocol-level failure recorded by the completion condition
+}
+
+// Done returns a channel that is closed when the request has completed
+// (successfully or not). It is the select-friendly form of Wait.
+func (r *Request) Done() <-chan struct{} { return r.done }
+
+// Wait blocks until the request completes, returning its terminal error,
+// or until ctx is done, returning ctx.Err(). A context cancellation
+// abandons only this Wait: the request itself keeps running and can be
+// waited on again.
+func (r *Request) Wait(ctx context.Context) error {
+	select {
+	case <-r.done:
+		return r.err
+	case <-ctx.Done():
+		// Completion wins over a racing cancellation.
+		select {
+		case <-r.done:
+			return r.err
+		default:
+			return ctx.Err()
+		}
+	}
+}
+
+// Err returns the request's terminal error once it has completed, and
+// nil while it is still in flight (and after a successful completion).
+func (r *Request) Err() error {
+	select {
+	case <-r.done:
+		return r.err
+	default:
+		return nil
+	}
+}

@@ -1,83 +1,104 @@
 package snapstab
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/snapstab/snapstab/internal/config"
 	"github.com/snapstab/snapstab/internal/core"
-	"github.com/snapstab/snapstab/internal/pif"
 	"github.com/snapstab/snapstab/internal/reset"
 	"github.com/snapstab/snapstab/internal/rng"
-	"github.com/snapstab/snapstab/internal/sim"
 )
 
-// ResetCluster is a simulated system running the snap-stabilizing global
-// reset protocol — the first application the paper names for PIF. A reset
+// ResetCluster is a system running the snap-stabilizing global reset
+// protocol — the first application the paper names for PIF. A reset
 // requested anywhere drives every process through its reinitialization
 // handler under a common epoch and completes only after every process
 // acknowledged.
 type ResetCluster struct {
-	opt      options
-	net      *sim.Network
+	clusterCore
 	machines []*reset.Reset
 }
 
 // NewResetCluster builds an n-process reset deployment. handler runs at
-// process p whenever it adopts a reset epoch; it may be nil.
+// process p whenever it adopts a reset epoch; it may be nil. On the
+// concurrent substrates the handler runs on process goroutines and must
+// be goroutine-safe.
 func NewResetCluster(n int, handler func(p int, epoch int64), opts ...Option) *ResetCluster {
 	o := buildOptions(opts)
-	c := &ResetCluster{opt: o}
+	c := &ResetCluster{}
 	c.machines = make([]*reset.Reset, n)
 	stacks := make([]core.Stack, n)
 	for i := 0; i < n; i++ {
 		i := i
-		c.machines[i] = reset.New("reset", core.ProcID(i), n, pif.WithCapacityBound(o.capacity))
+		c.machines[i] = reset.New("reset", core.ProcID(i), n, capacityBound(o))
 		if handler != nil {
 			c.machines[i].OnReset = func(epoch int64) { handler(i, epoch) }
 		}
 		stacks[i] = c.machines[i].Machines()
 	}
-	c.net = sim.New(stacks,
-		sim.WithSeed(o.seed),
-		sim.WithLossRate(o.lossRate),
-		sim.WithCapacity(o.capacity),
-	)
+	c.init(o, stacks)
 	return c
 }
 
-// CorruptEverything randomizes every variable and channel.
+// CorruptEverything randomizes every variable and, on the deterministic
+// substrate, every channel.
 func (c *ResetCluster) CorruptEverything(seed uint64) {
-	r := rng.New(seed)
-	config.Corrupt(c.net, r,
-		config.PIFSpecs("reset/pif", c.machines[0].PIF.FlagTop()), config.Options{})
+	c.corrupt(rng.New(seed), config.PIFSpecs("reset/pif", c.machines[0].PIF.FlagTop()))
+}
+
+// ResetRequest is the handle of an asynchronous Reset.
+type ResetRequest struct {
+	*Request
+	epoch int64
+}
+
+// Epoch returns the epoch every process adopted and acknowledged, valid
+// after the request completed successfully.
+func (r *ResetRequest) Epoch() int64 { return r.epoch }
+
+// ResetAsync submits a global reset request at process p and returns
+// immediately.
+func (c *ResetCluster) ResetAsync(p int) *ResetRequest {
+	req := &ResetRequest{Request: c.newRequest()}
+	var machine *reset.Reset
+	if p >= 0 && p < len(c.machines) {
+		machine = c.machines[p]
+	}
+	injected := false
+	c.start(req.Request, p, "reset", func(env core.Env) bool {
+		if !injected {
+			injected = machine.Invoke(env)
+			return false
+		}
+		if !machine.Done() {
+			return false
+		}
+		// The condition keys only on absorbing states (Invoke accepted,
+		// then Request back at Done), never on the transient In — a
+		// polling substrate could miss a transient state entirely. The
+		// epoch OUR computation broadcast is the child PIF's broadcast
+		// payload: written by our start action and by nothing else until
+		// the next request (the per-process gate holds until we finish).
+		// machine.Epoch would be wrong here: a concurrent reset launched
+		// by a corrupted peer may have been adopted over it mid-flight.
+		req.epoch = machine.PIF.BMes.Num
+		if !machine.AllAcked(req.epoch) {
+			// Unreachable for a correct protocol; surfaced rather than
+			// silently returning a half-acknowledged epoch.
+			req.fail = fmt.Errorf("snapstab: reset decision without full acknowledgment of epoch %d", req.epoch)
+		}
+		return true
+	}, nil)
+	return req
 }
 
 // Reset requests a global reset at process p and runs the cluster to the
 // decision, returning the epoch every process adopted and acknowledged.
 func (c *ResetCluster) Reset(p int) (epoch int64, err error) {
-	machine := c.machines[p]
-	requested, started := false, false
-	runErr := c.net.RunUntil(func() bool {
-		if !requested {
-			requested = machine.Invoke(c.net.Env(core.ProcID(p)))
-			return false
-		}
-		if !started {
-			if machine.Request == core.In {
-				started = true
-				epoch = machine.Epoch
-			}
-			return false
-		}
-		return machine.Done()
-	}, c.opt.maxSteps)
-	if runErr != nil {
-		return 0, fmt.Errorf("%w: reset at %d", ErrBudget, p)
+	req := c.ResetAsync(p)
+	if err := req.Wait(context.Background()); err != nil {
+		return 0, err
 	}
-	if !machine.AllAcked(epoch) {
-		// Unreachable for a correct protocol; surfaced rather than
-		// silently returning a half-acknowledged epoch.
-		return 0, fmt.Errorf("snapstab: reset decision without full acknowledgment of epoch %d", epoch)
-	}
-	return epoch, nil
+	return req.Epoch(), nil
 }

@@ -1,75 +1,92 @@
 package snapstab
 
 import (
-	"fmt"
+	"context"
 
 	"github.com/snapstab/snapstab/internal/config"
 	"github.com/snapstab/snapstab/internal/core"
-	"github.com/snapstab/snapstab/internal/pif"
 	"github.com/snapstab/snapstab/internal/rng"
-	"github.com/snapstab/snapstab/internal/sim"
 	"github.com/snapstab/snapstab/internal/snapshot"
 )
 
-// SnapshotCluster is a simulated system running the snap-stabilizing
-// global state collection protocol: any process can gather, in one
-// computation, the application state of every process — and the gathered
-// values are certified to have been produced for this very collection,
-// never stale channel garbage.
+// SnapshotCluster is a system running the snap-stabilizing global state
+// collection protocol: any process can gather, in one computation, the
+// application state of every process — and the gathered values are
+// certified to have been produced for this very collection, never stale
+// channel garbage.
 type SnapshotCluster struct {
-	opt      options
-	net      *sim.Network
+	clusterCore
 	machines []*snapshot.Snapshot
 }
 
 // NewSnapshotCluster builds an n-process collection deployment. provider
-// reads process p's application state when probed.
+// reads process p's application state when probed; on the concurrent
+// substrates it runs on process goroutines and must be goroutine-safe.
 func NewSnapshotCluster(n int, provider func(p int) Payload, opts ...Option) *SnapshotCluster {
 	o := buildOptions(opts)
-	c := &SnapshotCluster{opt: o}
+	c := &SnapshotCluster{}
 	c.machines = make([]*snapshot.Snapshot, n)
 	stacks := make([]core.Stack, n)
 	for i := 0; i < n; i++ {
 		i := i
-		c.machines[i] = snapshot.New("snap", core.ProcID(i), n, pif.WithCapacityBound(o.capacity))
+		c.machines[i] = snapshot.New("snap", core.ProcID(i), n, capacityBound(o))
 		if provider != nil {
 			c.machines[i].Provide = func() core.Payload { return provider(i).internal() }
 		}
 		stacks[i] = c.machines[i].Machines()
 	}
-	c.net = sim.New(stacks,
-		sim.WithSeed(o.seed),
-		sim.WithLossRate(o.lossRate),
-		sim.WithCapacity(o.capacity),
-	)
+	c.init(o, stacks)
 	return c
 }
 
-// CorruptEverything randomizes every variable and channel.
+// CorruptEverything randomizes every variable and, on the deterministic
+// substrate, every channel.
 func (c *SnapshotCluster) CorruptEverything(seed uint64) {
-	r := rng.New(seed)
-	config.Corrupt(c.net, r,
-		config.PIFSpecs("snap/pif", c.machines[0].PIF.FlagTop()), config.Options{})
+	c.corrupt(rng.New(seed), config.PIFSpecs("snap/pif", c.machines[0].PIF.FlagTop()))
+}
+
+// CollectRequest is the handle of an asynchronous Collect.
+type CollectRequest struct {
+	*Request
+	views []Payload
+}
+
+// Views returns every process's state as reported for this probe
+// (indexed by process), valid after the request completed successfully.
+func (r *CollectRequest) Views() []Payload { return r.views }
+
+// CollectAsync submits a collection request at process p and returns
+// immediately.
+func (c *SnapshotCluster) CollectAsync(p int) *CollectRequest {
+	req := &CollectRequest{Request: c.newRequest()}
+	var machine *snapshot.Snapshot
+	if p >= 0 && p < len(c.machines) {
+		machine = c.machines[p]
+	}
+	injected := false
+	c.start(req.Request, p, "collect", func(env core.Env) bool {
+		if !injected {
+			injected = machine.Invoke(env)
+			return false
+		}
+		if !machine.Done() {
+			return false
+		}
+		req.views = make([]Payload, len(machine.Views))
+		for q, v := range machine.Views {
+			req.views[q] = Payload{Tag: v.Tag, Num: v.Num}
+		}
+		return true
+	}, nil)
+	return req
 }
 
 // Collect runs a collection at process p and returns every process's
 // state as reported for this probe (indexed by process).
 func (c *SnapshotCluster) Collect(p int) ([]Payload, error) {
-	machine := c.machines[p]
-	requested := false
-	err := c.net.RunUntil(func() bool {
-		if !requested {
-			requested = machine.Invoke(c.net.Env(core.ProcID(p)))
-			return false
-		}
-		return machine.Done()
-	}, c.opt.maxSteps)
-	if err != nil {
-		return nil, fmt.Errorf("%w: collect at %d", ErrBudget, p)
+	req := c.CollectAsync(p)
+	if err := req.Wait(context.Background()); err != nil {
+		return nil, err
 	}
-	out := make([]Payload, len(machine.Views))
-	for q, v := range machine.Views {
-		out[q] = Payload{Tag: v.Tag, Num: v.Num}
-	}
-	return out, nil
+	return req.Views(), nil
 }

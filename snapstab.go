@@ -11,20 +11,33 @@
 // convergence period during which requests may be served incorrectly
 // (that weaker guarantee is self-stabilization).
 //
-// This package is the high-level façade: it assembles simulated clusters,
-// optionally corrupts them, and exposes one-call request APIs. The
+// This package is the high-level façade: it assembles clusters on a
+// chosen execution substrate, optionally corrupts them, and exposes
+// request APIs in two forms. The synchronous calls (Broadcast, Learn,
+// Acquire, Reset, Collect) submit one request and block to its decision.
+// Their *Async twins return a *Request handle immediately and are safe to
+// issue concurrently from many initiator processes — the natural shape on
+// the concurrent substrates:
+//
+//	cluster := snapstab.NewPIFCluster(5, snapstab.WithSubstrate(snapstab.Runtime()))
+//	defer cluster.Close()
+//	cluster.CorruptEverything(42) // adversarial initial configuration
+//	req := cluster.BroadcastAsync(0, "hello", 7)
+//	if err := req.Wait(ctx); err == nil {
+//		_ = req.Feedbacks() // every process's acknowledgment of THIS broadcast
+//	}
+//
+// The default substrate is the deterministic simulator (Sim()), under
+// which the synchronous calls behave exactly as in earlier revisions. The
 // underlying machines, substrates, checkers, model checker, and adversary
 // constructions live in the internal packages and are exercised by
 // cmd/snapsim, cmd/snapcheck, cmd/snapbench, and cmd/snapnet.
-//
-//	cluster := snapstab.NewPIFCluster(5, snapstab.WithLossRate(0.2))
-//	cluster.CorruptEverything(42) // adversarial initial configuration
-//	fb, err := cluster.Broadcast(0, "hello", 7)
-//	// fb holds every other process's acknowledgment of THIS broadcast.
 package snapstab
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"github.com/snapstab/snapstab/internal/config"
 	"github.com/snapstab/snapstab/internal/core"
@@ -32,7 +45,6 @@ import (
 	"github.com/snapstab/snapstab/internal/mutex"
 	"github.com/snapstab/snapstab/internal/pif"
 	"github.com/snapstab/snapstab/internal/rng"
-	"github.com/snapstab/snapstab/internal/sim"
 	"github.com/snapstab/snapstab/internal/spec"
 )
 
@@ -54,25 +66,31 @@ type options struct {
 	maxSteps  int
 	csLength  int
 	onReceive func(proc int, from int, b Payload) Payload
+	substrate Substrate
 }
 
 // Option configures a cluster.
 type Option func(*options)
 
 // WithLossRate makes links drop in-transit messages with probability p
-// (0 <= p < 1).
+// (0 <= p < 1). Applies to the Sim and Runtime substrates; UDP loses
+// messages naturally.
 func WithLossRate(p float64) Option { return func(o *options) { o.lossRate = p } }
 
-// WithSeed seeds the deterministic scheduler (default 1). Two clusters
-// built with identical options replay identical executions.
+// WithSeed seeds the deterministic scheduler (default 1). Two Sim
+// clusters built with identical options replay identical executions; on
+// the concurrent substrates only corruption derives from the seed.
 func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
 
 // WithCapacity sets the known per-channel capacity bound c >= 1 (default
 // 1, the paper's setting). The protocols size their handshake flag domain
-// to {0..2c+2} automatically.
+// to {0..2c+2} automatically. The UDP substrate enforces its own larger
+// conservative bound when this one is smaller.
 func WithCapacity(c int) Option { return func(o *options) { o.capacity = c } }
 
-// WithStepBudget bounds each request's simulation steps (default 50M).
+// WithStepBudget bounds each request's simulation steps on the Sim
+// substrate (default 50M). The concurrent substrates have no step
+// notion; bound their requests with Request.Wait contexts.
 func WithStepBudget(steps int) Option { return func(o *options) { o.maxSteps = steps } }
 
 // WithCSLength sets how many activations the critical section occupies in
@@ -88,7 +106,7 @@ func WithReceiver(f func(proc, from int, b Payload) Payload) Option {
 }
 
 func buildOptions(opts []Option) options {
-	o := options{seed: 1, capacity: 1, maxSteps: 50_000_000, csLength: 2}
+	o := options{seed: 1, capacity: 1, maxSteps: 50_000_000, csLength: 2, substrate: Sim()}
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -104,21 +122,33 @@ var ErrBudget = fmt.Errorf("snapstab: step budget exhausted")
 // PIF
 // ---------------------------------------------------------------------
 
-// PIFCluster is a simulated fully-connected system running Protocol PIF.
+// PIFCluster is a fully-connected system running Protocol PIF on the
+// selected substrate.
 type PIFCluster struct {
-	opt      options
-	net      *sim.Network
+	clusterCore
 	machines []*pif.PIF
 	checker  *spec.PIFChecker
+	// active[p] is the feedback sink of process p's in-flight broadcast
+	// request. Written inside completion conditions and read inside
+	// OnFeedback — both in process p's substrate-atomic context, so no
+	// extra locking is needed and callbacks are never swapped per call.
+	active []*feedbackSink
+}
+
+// feedbackSink collects one computation's acknowledgments.
+type feedbackSink struct {
+	fb map[core.ProcID]core.Payload
 }
 
 // NewPIFCluster builds an n-process PIF deployment (n >= 2).
 func NewPIFCluster(n int, opts ...Option) *PIFCluster {
 	o := buildOptions(opts)
-	c := &PIFCluster{opt: o}
+	c := &PIFCluster{}
 	c.machines = make([]*pif.PIF, n)
+	c.active = make([]*feedbackSink, n)
 	stacks := make([]core.Stack, n)
 	for i := 0; i < n; i++ {
+		i := i
 		id := core.ProcID(i)
 		c.machines[i] = pif.New("pif", id, n, pif.Callbacks{
 			OnBroadcast: func(_ core.Env, from core.ProcID, b core.Payload) core.Payload {
@@ -127,26 +157,29 @@ func NewPIFCluster(n int, opts ...Option) *PIFCluster {
 				}
 				return core.Payload{Tag: "ack", Num: b.Num*1000 + int64(id)}
 			},
-		}, pif.WithCapacityBound(o.capacity))
+			OnFeedback: func(_ core.Env, from core.ProcID, f core.Payload) {
+				if sink := c.active[i]; sink != nil {
+					sink.fb[from] = f
+				}
+			},
+		}, capacityBound(o))
 		stacks[i] = core.Stack{c.machines[i]}
 	}
+	// The checker stays dormant (never armed) in the façade; it is wired
+	// so tools can arm it on the deterministic substrate.
 	c.checker = &spec.PIFChecker{N: n, Initiator: 0, Instance: "pif"}
-	c.net = sim.New(stacks,
-		sim.WithSeed(o.seed),
-		sim.WithLossRate(o.lossRate),
-		sim.WithCapacity(o.capacity),
-		sim.WithObserver(c.checker),
-	)
+	c.init(o, stacks, c.checker)
 	return c
 }
 
 // CorruptEverything drives the cluster into an arbitrary initial
-// configuration: every protocol variable randomized, every channel filled
-// with garbage. Reproducible from the seed.
+// configuration: every protocol variable randomized and — on the
+// deterministic substrate — every channel filled with garbage (the
+// concurrent substrates start with empty channels, which the model
+// permits: their arbitrary state is the machines'). Reproducible from
+// the seed.
 func (c *PIFCluster) CorruptEverything(seed uint64) {
-	r := rng.New(seed)
-	config.Corrupt(c.net, r,
-		config.PIFSpecs("pif", c.machines[0].FlagTop()), config.Options{})
+	c.corrupt(rng.New(seed), config.PIFSpecs("pif", c.machines[0].FlagTop()))
 }
 
 // Feedback is one process's acknowledgment.
@@ -157,54 +190,81 @@ type Feedback struct {
 	Value Payload
 }
 
-// Broadcast requests a PIF computation at process p and runs the cluster
-// until the decision, returning the feedback collected from every other
-// process. The guarantee (Theorem 2) holds no matter how corrupted the
-// cluster was when the request was submitted.
-func (c *PIFCluster) Broadcast(p int, tag string, num int64) ([]Feedback, error) {
-	token := core.Payload{Tag: tag, Num: num}
-	machine := c.machines[p]
-	feedbacks := make(map[core.ProcID]core.Payload)
-	cb := machine.Callbacks()
-	cb.OnFeedback = func(_ core.Env, from core.ProcID, f core.Payload) {
-		feedbacks[from] = f
-	}
-	machine.SetCallbacks(cb)
-
-	requested := false
-	err := c.net.RunUntil(func() bool {
-		if !requested {
-			requested = machine.Invoke(c.net.Env(core.ProcID(p)), token)
-			return false
-		}
-		return machine.Done() && machine.BMes == token
-	}, c.opt.maxSteps)
-	if err != nil {
-		return nil, fmt.Errorf("%w: broadcast at %d", ErrBudget, p)
-	}
-	out := make([]Feedback, 0, len(feedbacks))
-	for q := 0; q < c.net.N(); q++ {
-		if f, ok := feedbacks[core.ProcID(q)]; ok {
-			out = append(out, Feedback{From: q, Value: Payload{Tag: f.Tag, Num: f.Num}})
-		}
-	}
-	return out, nil
+// BroadcastRequest is the handle of an asynchronous Broadcast.
+type BroadcastRequest struct {
+	*Request
+	fb []Feedback
 }
 
-// N returns the number of processes.
-func (c *PIFCluster) N() int { return c.net.N() }
+// Feedbacks returns the acknowledgments collected from every other
+// process, valid after the request completed successfully.
+func (r *BroadcastRequest) Feedbacks() []Feedback { return r.fb }
 
-// Stats returns scheduler counters for the whole cluster lifetime.
-func (c *PIFCluster) Stats() sim.Stats { return c.net.Stats() }
+// BroadcastAsync submits a PIF computation request at process p and
+// returns immediately. The request is accepted as soon as the machine's
+// previous computation (if any — possibly fabricated by corruption) has
+// decided; requests issued concurrently at the same process serialize,
+// one request owning the process at a time. The guarantee (Theorem 2)
+// holds no matter how corrupted the cluster was when the request was
+// submitted.
+func (c *PIFCluster) BroadcastAsync(p int, tag string, num int64) *BroadcastRequest {
+	token := core.Payload{Tag: tag, Num: num}
+	req := &BroadcastRequest{Request: c.newRequest()}
+	// An out-of-range p fails the request in start before the condition
+	// can ever run, so the nil machine is never dereferenced.
+	var machine *pif.PIF
+	if p >= 0 && p < len(c.machines) {
+		machine = c.machines[p]
+	}
+	sink := &feedbackSink{fb: make(map[core.ProcID]core.Payload)}
+	injected := false
+	abort := func(core.Env) {
+		if injected && c.active[p] == sink {
+			c.active[p] = nil
+		}
+	}
+	c.start(req.Request, p, "broadcast", func(env core.Env) bool {
+		if !injected {
+			if !machine.Invoke(env, token) {
+				return false
+			}
+			injected = true
+			c.active[p] = sink
+			return false
+		}
+		if !machine.Done() || machine.BMes != token {
+			return false
+		}
+		c.active[p] = nil
+		req.fb = make([]Feedback, 0, len(sink.fb))
+		for q := 0; q < env.N(); q++ {
+			if f, ok := sink.fb[core.ProcID(q)]; ok {
+				req.fb = append(req.fb, Feedback{From: q, Value: Payload{Tag: f.Tag, Num: f.Num}})
+			}
+		}
+		return true
+	}, abort)
+	return req
+}
+
+// Broadcast requests a PIF computation at process p and runs the cluster
+// until the decision, returning the feedback collected from every other
+// process.
+func (c *PIFCluster) Broadcast(p int, tag string, num int64) ([]Feedback, error) {
+	req := c.BroadcastAsync(p, tag, num)
+	if err := req.Wait(context.Background()); err != nil {
+		return nil, err
+	}
+	return req.Feedbacks(), nil
+}
 
 // ---------------------------------------------------------------------
 // IDs-Learning
 // ---------------------------------------------------------------------
 
-// IDCluster is a simulated system running Protocol IDL.
+// IDCluster is a system running Protocol IDL on the selected substrate.
 type IDCluster struct {
-	opt      options
-	net      *sim.Network
+	clusterCore
 	machines []*idl.IDL
 	ids      []int64
 }
@@ -214,58 +274,84 @@ type IDCluster struct {
 func NewIDCluster(ids []int64, opts ...Option) *IDCluster {
 	o := buildOptions(opts)
 	n := len(ids)
-	c := &IDCluster{opt: o, ids: append([]int64(nil), ids...)}
+	c := &IDCluster{ids: append([]int64(nil), ids...)}
 	c.machines = make([]*idl.IDL, n)
 	stacks := make([]core.Stack, n)
 	for i := 0; i < n; i++ {
-		c.machines[i] = idl.New("idl", core.ProcID(i), n, ids[i], pif.WithCapacityBound(o.capacity))
+		c.machines[i] = idl.New("idl", core.ProcID(i), n, ids[i], capacityBound(o))
 		stacks[i] = c.machines[i].Machines()
 	}
-	c.net = sim.New(stacks,
-		sim.WithSeed(o.seed),
-		sim.WithLossRate(o.lossRate),
-		sim.WithCapacity(o.capacity),
-	)
+	c.init(o, stacks)
 	return c
 }
 
-// CorruptEverything randomizes every variable and channel.
+// CorruptEverything randomizes every variable and, on the deterministic
+// substrate, every channel.
 func (c *IDCluster) CorruptEverything(seed uint64) {
-	r := rng.New(seed)
-	config.Corrupt(c.net, r,
-		config.PIFSpecs("idl/pif", c.machines[0].PIF.FlagTop()), config.Options{})
+	c.corrupt(rng.New(seed), config.PIFSpecs("idl/pif", c.machines[0].PIF.FlagTop()))
+}
+
+// LearnRequest is the handle of an asynchronous Learn.
+type LearnRequest struct {
+	*Request
+	minID int64
+	table []int64
+}
+
+// MinID returns the minimum identifier learned, valid after the request
+// completed successfully.
+func (r *LearnRequest) MinID() int64 { return r.minID }
+
+// Table returns the learned identifier table (indexed by process; the
+// initiator's own entry is its own identifier), valid after the request
+// completed successfully.
+func (r *LearnRequest) Table() []int64 { return r.table }
+
+// LearnAsync submits an IDs-Learning request at process p and returns
+// immediately.
+func (c *IDCluster) LearnAsync(p int) *LearnRequest {
+	req := &LearnRequest{Request: c.newRequest()}
+	var machine *idl.IDL
+	if p >= 0 && p < len(c.machines) {
+		machine = c.machines[p]
+	}
+	injected := false
+	c.start(req.Request, p, "learn", func(env core.Env) bool {
+		if !injected {
+			injected = machine.Invoke(env)
+			return false
+		}
+		if !machine.Done() {
+			return false
+		}
+		req.minID = machine.MinID
+		req.table = append([]int64(nil), machine.IDTab...)
+		req.table[p] = machine.ID()
+		return true
+	}, nil)
+	return req
 }
 
 // Learn runs an IDs-Learning computation at process p and returns the
 // minimum identifier in the system and p's learned identifier table
 // (indexed by process; entry p is p's own identifier).
 func (c *IDCluster) Learn(p int) (minID int64, table []int64, err error) {
-	machine := c.machines[p]
-	requested := false
-	runErr := c.net.RunUntil(func() bool {
-		if !requested {
-			requested = machine.Invoke(c.net.Env(core.ProcID(p)))
-			return false
-		}
-		return machine.Done()
-	}, c.opt.maxSteps)
-	if runErr != nil {
-		return 0, nil, fmt.Errorf("%w: learn at %d", ErrBudget, p)
+	req := c.LearnAsync(p)
+	if err := req.Wait(context.Background()); err != nil {
+		return 0, nil, err
 	}
-	table = append([]int64(nil), machine.IDTab...)
-	table[p] = machine.ID()
-	return machine.MinID, table, nil
+	return req.MinID(), req.Table(), nil
 }
 
 // ---------------------------------------------------------------------
 // Mutual exclusion
 // ---------------------------------------------------------------------
 
-// MutexCluster is a simulated system running Protocol ME.
+// MutexCluster is a system running Protocol ME on the selected substrate.
 type MutexCluster struct {
-	opt      options
-	net      *sim.Network
+	clusterCore
 	machines []*mutex.ME
+	chkMu    sync.Mutex // serializes checker access across process goroutines
 	checker  *spec.MutexChecker
 }
 
@@ -274,93 +360,132 @@ type MutexCluster struct {
 func NewMutexCluster(ids []int64, opts ...Option) *MutexCluster {
 	o := buildOptions(opts)
 	n := len(ids)
-	c := &MutexCluster{opt: o}
+	c := &MutexCluster{}
 	c.machines = make([]*mutex.ME, n)
 	stacks := make([]core.Stack, n)
 	for i := 0; i < n; i++ {
 		c.machines[i] = mutex.New("me", core.ProcID(i), n, ids[i],
 			mutex.WithCSLength(o.csLength),
-			mutex.WithPIFOptions(pif.WithCapacityBound(o.capacity)))
+			mutex.WithPIFOptions(capacityBound(o)))
 		stacks[i] = c.machines[i].Machines()
 	}
 	c.checker = spec.NewMutexChecker()
-	c.net = sim.New(stacks,
-		sim.WithSeed(o.seed),
-		sim.WithLossRate(o.lossRate),
-		sim.WithCapacity(o.capacity),
-		sim.WithObserver(c.checker),
-	)
+	// Events arrive concurrently from every process goroutine on the
+	// concurrent substrates; the checker itself is not goroutine-safe.
+	locked := core.ObserverFunc(func(e core.Event) {
+		c.chkMu.Lock()
+		c.checker.OnEvent(e)
+		c.chkMu.Unlock()
+	})
+	c.init(o, stacks, locked)
 	return c
 }
 
-// CorruptEverything randomizes every variable and channel, possibly
-// placing processes inside the critical section (the paper's footnote 1).
+// CorruptEverything randomizes every variable (and every channel, on the
+// deterministic substrate), possibly placing processes inside the
+// critical section (the paper's footnote 1).
 func (c *MutexCluster) CorruptEverything(seed uint64) {
 	r := rng.New(seed)
-	config.CorruptMachines(c.net, r)
+	c.corruptMachines(r)
 	for i, m := range c.machines {
-		if m.InCS {
+		inCS := false
+		c.sub.Do(core.ProcID(i), func(core.Env) { inCS = m.InCS })
+		if inCS {
+			c.chkMu.Lock()
 			c.checker.PrimeZombie(core.ProcID(i))
+			c.chkMu.Unlock()
 		}
 	}
-	specs := []config.InstanceSpec{
+	c.fillChannelGarbage(r, []config.InstanceSpec{
 		{Instance: "me/idl/pif", FlagTop: c.machines[0].IDL.PIF.FlagTop()},
 		{Instance: "me/pif", FlagTop: c.machines[0].PIF.FlagTop()},
+	})
+}
+
+// AcquireAsync submits a critical-section request at process p and
+// returns immediately; body (when non-nil) runs inside the critical
+// section when the request is served. Safe to issue concurrently from
+// many initiators; requests at the same process serialize. The guarantee
+// (Theorem 4): every request is served in finite time, exclusively among
+// requesting processes.
+func (c *MutexCluster) AcquireAsync(p int, body func()) *Request {
+	req := c.newRequest()
+	var machine *mutex.ME
+	if p >= 0 && p < len(c.machines) {
+		machine = c.machines[p]
 	}
-	config.FillChannels(c.net, r, specs, config.Options{})
+	injected := false
+	abort := func(core.Env) {
+		// An aborted request (budget, Close) may leave the machine with a
+		// pending computation; that is the model's business. Its body is
+		// ours: it must never run for a request the caller was told
+		// failed.
+		if injected {
+			machine.CSBody = nil
+		}
+	}
+	c.start(req, p, "acquire", func(env core.Env) bool {
+		if !injected {
+			if !machine.Invoke(env) {
+				return false
+			}
+			injected = true
+			// The machine serves one request at a time, so the body
+			// installed here is unambiguously this request's: it is set
+			// only after the machine accepted the request, and cleared at
+			// its decision, both in p's atomic context.
+			machine.CSBody = body
+			return false
+		}
+		if machine.Requested() {
+			return false
+		}
+		machine.CSBody = nil
+		return true
+	}, abort)
+	return req
 }
 
 // Acquire requests the critical section at process p, runs the cluster
 // until the request is served (critical section entered and exited), and
-// executes body inside it. The guarantee (Theorem 4): the request is
-// served in finite time, exclusively among requesting processes.
+// executes body inside it.
 func (c *MutexCluster) Acquire(p int, body func()) error {
-	machine := c.machines[p]
-	machine.CSBody = body
-	defer func() { machine.CSBody = nil }()
-	requested := false
-	err := c.net.RunUntil(func() bool {
-		if !requested {
-			requested = machine.Invoke(c.net.Env(core.ProcID(p)))
-			return false
-		}
-		return !machine.Requested()
-	}, c.opt.maxSteps)
-	if err != nil {
-		return fmt.Errorf("%w: acquire at %d", ErrBudget, p)
-	}
-	return nil
+	return c.AcquireAsync(p, body).Wait(context.Background())
 }
 
-// AcquireAll submits requests at every listed process and runs until all
-// are served; bodies[i] (when non-nil) runs inside process procs[i]'s
-// critical section.
+// AcquireAll submits requests at every listed process concurrently and
+// waits until all are served; bodies[i] (when non-nil) runs inside
+// process procs[i]'s critical section. Each process may appear at most
+// once: a duplicate initiator is rejected up front (the machine serves
+// one request per process at a time, so a duplicate could only wait for
+// the first to finish — callers wanting that should issue sequential
+// AcquireAsync requests instead).
 func (c *MutexCluster) AcquireAll(procs []int, bodies []func()) error {
-	requested := make([]bool, len(procs))
-	for i, p := range procs {
-		if bodies != nil && bodies[i] != nil {
-			c.machines[p].CSBody = bodies[i]
-		}
+	if bodies != nil && len(bodies) != len(procs) {
+		return fmt.Errorf("snapstab: AcquireAll got %d bodies for %d processes", len(bodies), len(procs))
 	}
-	defer func() {
-		for _, p := range procs {
-			c.machines[p].CSBody = nil
+	seen := make(map[int]bool, len(procs))
+	for _, p := range procs {
+		if p < 0 || p >= len(c.machines) {
+			return fmt.Errorf("snapstab: AcquireAll at invalid process %d (cluster has %d)", p, len(c.machines))
 		}
-	}()
-	err := c.net.RunUntil(func() bool {
-		all := true
-		for i, p := range procs {
-			if !requested[i] {
-				requested[i] = c.machines[p].Invoke(c.net.Env(core.ProcID(p)))
-			}
-			if !requested[i] || c.machines[p].Requested() {
-				all = false
-			}
+		if seen[p] {
+			return fmt.Errorf("snapstab: AcquireAll got duplicate initiator %d", p)
 		}
-		return all
-	}, c.opt.maxSteps)
-	if err != nil {
-		return fmt.Errorf("%w: acquire-all", ErrBudget)
+		seen[p] = true
+	}
+	reqs := make([]*Request, len(procs))
+	for i, p := range procs {
+		var body func()
+		if bodies != nil {
+			body = bodies[i]
+		}
+		reqs[i] = c.AcquireAsync(p, body)
+	}
+	for i, req := range reqs {
+		if err := req.Wait(context.Background()); err != nil {
+			return fmt.Errorf("acquire-all (process %d): %w", procs[i], err)
+		}
 	}
 	return nil
 }
@@ -368,7 +493,9 @@ func (c *MutexCluster) AcquireAll(procs []int, bodies []func()) error {
 // Violations returns the mutual exclusion violations observed so far
 // (always empty for correct use; exposed so applications can assert it).
 func (c *MutexCluster) Violations() []string {
+	c.chkMu.Lock()
 	vs := c.checker.Violations()
+	c.chkMu.Unlock()
 	out := make([]string, len(vs))
 	for i, v := range vs {
 		out[i] = v.String()
@@ -377,4 +504,8 @@ func (c *MutexCluster) Violations() []string {
 }
 
 // Entries returns the number of served critical-section entries.
-func (c *MutexCluster) Entries() int { return c.checker.Entries() }
+func (c *MutexCluster) Entries() int {
+	c.chkMu.Lock()
+	defer c.chkMu.Unlock()
+	return c.checker.Entries()
+}

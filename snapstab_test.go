@@ -11,6 +11,7 @@ import (
 func TestPIFClusterCleanBroadcast(t *testing.T) {
 	t.Parallel()
 	c := snapstab.NewPIFCluster(4, snapstab.WithSeed(3))
+	defer c.Close()
 	fb, err := c.Broadcast(0, "hello", 7)
 	if err != nil {
 		t.Fatal(err)
@@ -29,6 +30,7 @@ func TestPIFClusterCorruptedBroadcast(t *testing.T) {
 	t.Parallel()
 	for seed := uint64(1); seed <= 20; seed++ {
 		c := snapstab.NewPIFCluster(3, snapstab.WithSeed(seed), snapstab.WithLossRate(0.2))
+		defer c.Close()
 		c.CorruptEverything(seed * 13)
 		fb, err := c.Broadcast(1, "fresh", int64(seed))
 		if err != nil {
@@ -50,6 +52,7 @@ func TestPIFClusterCustomReceiver(t *testing.T) {
 	c := snapstab.NewPIFCluster(2, snapstab.WithReceiver(func(proc, from int, b snapstab.Payload) snapstab.Payload {
 		return snapstab.Payload{Tag: "custom", Num: b.Num + int64(proc*100)}
 	}))
+	defer c.Close()
 	fb, err := c.Broadcast(0, "q", 5)
 	if err != nil {
 		t.Fatal(err)
@@ -62,6 +65,7 @@ func TestPIFClusterCustomReceiver(t *testing.T) {
 func TestPIFClusterRepeatedBroadcasts(t *testing.T) {
 	t.Parallel()
 	c := snapstab.NewPIFCluster(3, snapstab.WithSeed(11))
+	defer c.Close()
 	for i := int64(0); i < 5; i++ {
 		if _, err := c.Broadcast(int(i)%3, "round", i); err != nil {
 			t.Fatalf("round %d: %v", i, err)
@@ -72,6 +76,7 @@ func TestPIFClusterRepeatedBroadcasts(t *testing.T) {
 func TestPIFClusterBudgetError(t *testing.T) {
 	t.Parallel()
 	c := snapstab.NewPIFCluster(2, snapstab.WithStepBudget(3))
+	defer c.Close()
 	_, err := c.Broadcast(0, "x", 1)
 	if !errors.Is(err, snapstab.ErrBudget) {
 		t.Fatalf("got %v, want ErrBudget", err)
@@ -81,6 +86,7 @@ func TestPIFClusterBudgetError(t *testing.T) {
 func TestPIFClusterCapacityOption(t *testing.T) {
 	t.Parallel()
 	c := snapstab.NewPIFCluster(3, snapstab.WithCapacity(2), snapstab.WithSeed(5))
+	defer c.Close()
 	c.CorruptEverything(99)
 	if _, err := c.Broadcast(0, "m", 1); err != nil {
 		t.Fatal(err)
@@ -90,6 +96,7 @@ func TestPIFClusterCapacityOption(t *testing.T) {
 func TestIDClusterLearn(t *testing.T) {
 	t.Parallel()
 	c := snapstab.NewIDCluster([]int64{42, 7, 19}, snapstab.WithSeed(9))
+	defer c.Close()
 	c.CorruptEverything(4)
 	min, table, err := c.Learn(0)
 	if err != nil {
@@ -110,6 +117,7 @@ func TestMutexClusterSerializesCounter(t *testing.T) {
 	t.Parallel()
 	ids := []int64{5, 3, 9}
 	c := snapstab.NewMutexCluster(ids, snapstab.WithSeed(21))
+	defer c.Close()
 	c.CorruptEverything(8)
 	var counter atomic.Int64
 	procs := []int{0, 1, 2}
@@ -135,6 +143,7 @@ func TestMutexClusterSerializesCounter(t *testing.T) {
 func TestMutexClusterSequentialAcquires(t *testing.T) {
 	t.Parallel()
 	c := snapstab.NewMutexCluster([]int64{2, 8}, snapstab.WithSeed(33))
+	defer c.Close()
 	for round := 0; round < 3; round++ {
 		ran := false
 		if err := c.Acquire(round%2, func() { ran = true }); err != nil {
@@ -153,6 +162,7 @@ func TestDeterministicReplayAcrossClusters(t *testing.T) {
 	t.Parallel()
 	run := func() int {
 		c := snapstab.NewPIFCluster(3, snapstab.WithSeed(77), snapstab.WithLossRate(0.1))
+		defer c.Close()
 		c.CorruptEverything(5)
 		if _, err := c.Broadcast(0, "m", 1); err != nil {
 			t.Fatal(err)
@@ -171,6 +181,7 @@ func TestResetClusterWipesEverywhere(t *testing.T) {
 	c := snapstab.NewResetCluster(n, func(p int, epoch int64) {
 		wiped[p] = append(wiped[p], epoch)
 	}, snapstab.WithSeed(41))
+	defer c.Close()
 	c.CorruptEverything(3)
 	epoch, err := c.Reset(1)
 	if err != nil {
@@ -192,6 +203,7 @@ func TestResetClusterWipesEverywhere(t *testing.T) {
 func TestResetClusterRepeats(t *testing.T) {
 	t.Parallel()
 	c := snapstab.NewResetCluster(2, nil, snapstab.WithSeed(51))
+	defer c.Close()
 	var last int64
 	for i := 0; i < 3; i++ {
 		epoch, err := c.Reset(0)
@@ -211,6 +223,7 @@ func TestSnapshotClusterCollects(t *testing.T) {
 	c := snapstab.NewSnapshotCluster(3, func(p int) snapstab.Payload {
 		return snapstab.Payload{Tag: "state", Num: states[p]}
 	}, snapstab.WithSeed(61))
+	defer c.Close()
 	c.CorruptEverything(9)
 	views, err := c.Collect(1)
 	if err != nil {
@@ -229,6 +242,7 @@ func TestSnapshotClusterSeesUpdates(t *testing.T) {
 	c := snapstab.NewSnapshotCluster(2, func(int) snapstab.Payload {
 		return snapstab.Payload{Num: val}
 	}, snapstab.WithSeed(71))
+	defer c.Close()
 	v1, err := c.Collect(0)
 	if err != nil {
 		t.Fatal(err)

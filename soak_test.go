@@ -37,6 +37,7 @@ func TestSoak(t *testing.T) {
 					}
 				}
 			}
+			c.Close()
 		}
 	})
 
@@ -61,6 +62,7 @@ func TestSoak(t *testing.T) {
 			if got != min {
 				t.Fatalf("seed %d: minID %d, want %d (table %v)", seed, got, min, table)
 			}
+			c.Close()
 		}
 	})
 
@@ -84,6 +86,7 @@ func TestSoak(t *testing.T) {
 			if v := c.Violations(); len(v) != 0 {
 				t.Fatalf("seed %d: %v", seed, v)
 			}
+			c.Close()
 		}
 	})
 
@@ -96,6 +99,7 @@ func TestSoak(t *testing.T) {
 			if _, err := c.Reset(int(seed) % n); err != nil {
 				t.Fatalf("seed %d: %v", seed, err)
 			}
+			c.Close()
 		}
 	})
 }

@@ -1,0 +1,125 @@
+package snapstab
+
+import (
+	"github.com/snapstab/snapstab/internal/core"
+	"github.com/snapstab/snapstab/internal/pif"
+	"github.com/snapstab/snapstab/internal/runtime"
+	"github.com/snapstab/snapstab/internal/sim"
+	udp "github.com/snapstab/snapstab/internal/transport/udp"
+)
+
+// Substrate selects the execution engine a cluster runs on. The paper's
+// guarantee — every request satisfied from an arbitrary initial
+// configuration — is substrate-independent, and so is the cluster API:
+// the same cluster code runs on all three engines.
+//
+//   - Sim: the deterministic seeded simulator (default). Executions
+//     replay exactly from (topology, options); Stats reports scheduler
+//     counters; step budgets apply.
+//   - Runtime: one goroutine per process with event-driven in-memory
+//     delivery — real concurrency, not reproducible. Use context
+//     deadlines instead of step budgets.
+//   - UDP: one loopback socket per process exchanging wire-encoded
+//     datagrams — the paper's concluding "future challenge". Natural
+//     loss plus bounded mailboxes restoring the known capacity bound.
+//
+// A Substrate value is a specification; the engine itself is built when
+// the cluster is constructed and released by the cluster's Close.
+type Substrate struct {
+	name string
+	// capacity gives the channel-capacity bound the protocol machines
+	// must be built with; nil means the cluster's WithCapacity option.
+	capacity func(o options) int
+	// build constructs and starts the engine from one stack per process.
+	build func(o options, stacks []core.Stack, obs []core.Observer) (core.Substrate, error)
+}
+
+// machineCap returns the capacity bound machines should declare (the
+// flag domain is sized from it, see pif.WithCapacityBound).
+func (s Substrate) machineCap(o options) int {
+	if s.capacity != nil {
+		return s.capacity(o)
+	}
+	return o.capacity
+}
+
+// Sim selects the deterministic simulator: the substrate of the paper's
+// model in its purest form, and of every experiment. WithSeed,
+// WithLossRate, WithCapacity, and WithStepBudget all apply.
+func Sim() Substrate {
+	return Substrate{
+		name: "sim",
+		build: func(o options, stacks []core.Stack, obs []core.Observer) (core.Substrate, error) {
+			sopts := []sim.Option{
+				sim.WithSeed(o.seed),
+				sim.WithLossRate(o.lossRate),
+				sim.WithCapacity(o.capacity),
+				sim.WithAwaitBudget(o.maxSteps),
+			}
+			for _, ob := range obs {
+				sopts = append(sopts, sim.WithObserver(ob))
+			}
+			return sim.New(stacks, sopts...), nil
+		},
+	}
+}
+
+// Runtime selects the concurrent in-memory engine: one goroutine per
+// process, per-link bounded capacity, event-driven delivery. WithCapacity
+// and WithLossRate apply; WithSeed seeds only corruption (executions are
+// genuinely nondeterministic) and WithStepBudget is ignored — bound
+// requests with Request.Wait contexts instead.
+func Runtime() Substrate {
+	return Substrate{
+		name: "runtime",
+		build: func(o options, stacks []core.Stack, obs []core.Observer) (core.Substrate, error) {
+			ropts := []runtime.Option{
+				runtime.WithCapacity(o.capacity),
+				runtime.WithLossRate(o.lossRate),
+			}
+			for _, ob := range obs {
+				ropts = append(ropts, runtime.WithObserver(ob))
+			}
+			e := runtime.New(stacks, ropts...)
+			e.Start()
+			return e, nil
+		},
+	}
+}
+
+// UDP selects the loopback datagram transport: one socket per process,
+// wire-encoded messages, natural loss, bounded receive mailboxes. The
+// machines are built with the transport's conservative assumed capacity
+// bound (or WithCapacity, if larger); WithLossRate and WithStepBudget are
+// ignored — UDP loses messages on its own, and requests are bounded with
+// Request.Wait contexts. Socket binding happens at cluster construction
+// and panics on failure.
+func UDP() Substrate {
+	return Substrate{
+		name: "udp",
+		capacity: func(o options) int {
+			if o.capacity > udp.DefaultAssumedCapacity {
+				return o.capacity
+			}
+			return udp.DefaultAssumedCapacity
+		},
+		build: func(o options, stacks []core.Stack, obs []core.Observer) (core.Substrate, error) {
+			uopts := make([]udp.Option, 0, len(obs))
+			for _, ob := range obs {
+				uopts = append(uopts, udp.WithObserver(ob))
+			}
+			return udp.NewCluster(stacks, uopts...)
+		},
+	}
+}
+
+// WithSubstrate selects the execution substrate (default Sim()).
+func WithSubstrate(s Substrate) Option {
+	return func(o *options) { o.substrate = s }
+}
+
+// capacityBound is the pif option every cluster constructor derives from
+// the selected substrate.
+func capacityBound(o options) pif.Option {
+	return pif.WithCapacityBound(o.substrate.machineCap(o))
+}
