@@ -26,8 +26,9 @@ type clusterCore struct {
 	opt    options
 	stacks []core.Stack
 	sub    core.Substrate
-	simNet *sim.Network // non-nil on the deterministic substrate
-	udpNet *udp.Cluster // non-nil on the UDP substrate
+	simNet *sim.Network    // non-nil on the deterministic substrate
+	rtNet  *runtime.Engine // non-nil on the concurrent in-memory substrate
+	udpNet *udp.Cluster    // non-nil on the UDP substrate
 
 	ctx       context.Context
 	cancel    context.CancelFunc
@@ -63,6 +64,7 @@ func (c *clusterCore) init(o options, stacks []core.Stack, obs ...core.Observer)
 	}
 	c.sub = sub
 	c.simNet, _ = sub.(*sim.Network)
+	c.rtNet, _ = sub.(*runtime.Engine)
 	c.udpNet, _ = sub.(*udp.Cluster)
 	c.reqMu = make([]sync.Mutex, sub.N())
 	c.ctx, c.cancel = context.WithCancel(context.Background())
@@ -105,6 +107,9 @@ type TransportStats struct {
 	// MailboxDrops counts datagrams dropped at a full receive mailbox
 	// (the model's lose-on-full rule).
 	MailboxDrops int64
+	// Faults counts the faults injected at this node's mailbox boundary
+	// by the cluster's FaultPlan (zero without one).
+	Faults FaultStats
 }
 
 // TransportStats returns per-node transport counters when the cluster
@@ -122,6 +127,7 @@ func (c *clusterCore) TransportStats() []TransportStats {
 			Sends:        s.Sends,
 			SendDrops:    s.SendDrops,
 			MailboxDrops: s.MailboxDrops,
+			Faults:       publicFaultStats(s.Faults),
 		}
 	}
 	return out

@@ -1,0 +1,242 @@
+// Command benchgate is the CI benchmark regression gate: it parses two
+// raw `go test -bench` output files (base and head), groups samples per
+// benchmark, and fails — exit status 1 — when any benchmark shows a
+// statistically significant regression beyond the threshold.
+//
+// The human-readable comparison in CI comes from benchstat; benchgate is
+// the machine verdict behind it. It applies the Mann-Whitney U test (the
+// same rank test benchstat uses) on the ns/op samples of each benchmark
+// present in both files: a regression is flagged only when the head
+// median is more than -threshold above the base median AND the two-sided
+// p-value is below -alpha, so a noisy single run cannot fail a PR and a
+// real slowdown cannot hide behind the mean of a lucky run.
+//
+// Usage:
+//
+//	go test -bench . -count=10 > base.txt   # at the base commit
+//	go test -bench . -count=10 > head.txt   # at the head commit
+//	benchgate -base base.txt -head head.txt -threshold 0.10
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		baseF     = flag.String("base", "", "benchmark output of the base commit")
+		headF     = flag.String("head", "", "benchmark output of the head commit")
+		metric    = flag.String("metric", "ns/op", "metric to gate on (lower is better)")
+		threshold = flag.Float64("threshold", 0.10, "maximum tolerated median regression (0.10 = +10%)")
+		alpha     = flag.Float64("alpha", 0.05, "significance level for the Mann-Whitney test")
+		minN      = flag.Int("min-samples", 4, "minimum samples per side to attempt a verdict")
+	)
+	flag.Parse()
+	if *baseF == "" || *headF == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -base and -head are required")
+		os.Exit(2)
+	}
+	base, err := parseFile(*baseF, *metric)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	head, err := parseFile(*headF, *metric)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	report, regressed, compared := compare(base, head, *metric, *threshold, *alpha, *minN)
+	fmt.Print(report)
+	if compared == 0 {
+		// No benchmark exists in both files: a rename or a bench-regex
+		// drift would otherwise silently disable the gate. Hard error,
+		// like an unparsable input.
+		fmt.Fprintln(os.Stderr, "benchgate: nothing compared — base and head share no benchmark names")
+		os.Exit(2)
+	}
+	if regressed {
+		fmt.Printf("benchgate: FAIL — significant regression beyond %+.0f%%\n", *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: ok")
+}
+
+// parseFile extracts per-benchmark samples of the requested metric from
+// standard `go test -bench` output. Lines that are not benchmark results
+// are ignored.
+func parseFile(path, metric string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, val, ok := parseLine(sc.Text(), metric)
+		if ok {
+			out[name] = append(out[name], val)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark samples with metric %q", path, metric)
+	}
+	return out, nil
+}
+
+// parseLine extracts (benchmark name, metric value) from one output line:
+//
+//	BenchmarkFoo/n=8-4   100   12345 ns/op   3.3e6 msgs/sec
+//
+// The GOMAXPROCS suffix (-4) stays part of the name: samples only compare
+// within identical configurations.
+func parseLine(line, metric string) (string, float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return "", 0, false // second field must be the iteration count
+	}
+	for i := 3; i < len(fields); i += 2 {
+		if fields[i] != metric {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[i-1], 64)
+		if err != nil {
+			return "", 0, false
+		}
+		return fields[0], v, true
+	}
+	return "", 0, false
+}
+
+// compare renders a verdict table and reports whether any benchmark
+// regressed significantly, plus how many benchmarks were actually
+// compared (0 means the gate had nothing to say and must not pass).
+func compare(base, head map[string][]float64, metric string, threshold, alpha float64, minN int) (string, bool, int) {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if _, ok := head[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	regressed := false
+	if len(names) == 0 {
+		b.WriteString("benchgate: no benchmarks common to both files\n")
+		return b.String(), false, 0
+	}
+	for name := range base {
+		if _, ok := head[name]; !ok {
+			fmt.Fprintf(&b, "note: %s present in base only (renamed or removed?)\n", name)
+		}
+	}
+	fmt.Fprintf(&b, "%-44s %14s %14s %8s %8s  verdict\n", "benchmark ("+metric+")", "base median", "head median", "delta", "p")
+	for _, name := range names {
+		bs, hs := base[name], head[name]
+		mb, mh := median(bs), median(hs)
+		delta := (mh - mb) / mb
+		row := fmt.Sprintf("%-44s %14.1f %14.1f %+7.1f%% ", name, mb, mh, delta*100)
+		if len(bs) < minN || len(hs) < minN {
+			fmt.Fprintf(&b, "%s %8s  too few samples (%d vs %d)\n", row, "-", len(bs), len(hs))
+			continue
+		}
+		p := mannWhitneyP(bs, hs)
+		switch {
+		case delta > threshold && p < alpha:
+			regressed = true
+			fmt.Fprintf(&b, "%s %8.4f  REGRESSION\n", row, p)
+		case delta < -threshold && p < alpha:
+			fmt.Fprintf(&b, "%s %8.4f  improvement\n", row, p)
+		default:
+			fmt.Fprintf(&b, "%s %8.4f  ~\n", row, p)
+		}
+	}
+	return b.String(), regressed, len(names)
+}
+
+// median returns the sample median.
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// mannWhitneyP returns the two-sided p-value of the Mann-Whitney U test
+// under the normal approximation with tie correction — adequate for the
+// sample counts CI uses (count >= 4 per side) and dependency-free.
+func mannWhitneyP(xs, ys []float64) float64 {
+	type obs struct {
+		v    float64
+		side int // 0 = xs, 1 = ys
+	}
+	all := make([]obs, 0, len(xs)+len(ys))
+	for _, v := range xs {
+		all = append(all, obs{v, 0})
+	}
+	for _, v := range ys {
+		all = append(all, obs{v, 1})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	n1, n2 := float64(len(xs)), float64(len(ys))
+	n := n1 + n2
+	// Average ranks over ties; accumulate the tie correction term.
+	ranks := make([]float64, len(all))
+	tieTerm := 0.0
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // ranks are 1-based: positions i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+	r1 := 0.0
+	for i, o := range all {
+		if o.side == 0 {
+			r1 += ranks[i]
+		}
+	}
+	u1 := r1 - n1*(n1+1)/2
+	mu := n1 * n2 / 2
+	sigma2 := n1 * n2 / 12 * ((n + 1) - tieTerm/(n*(n-1)))
+	if sigma2 <= 0 {
+		return 1 // all samples identical
+	}
+	// Continuity correction toward the mean.
+	z := u1 - mu
+	switch {
+	case z > 0.5:
+		z -= 0.5
+	case z < -0.5:
+		z += 0.5
+	default:
+		z = 0
+	}
+	z /= math.Sqrt(sigma2)
+	return math.Erfc(math.Abs(z) / math.Sqrt2) // two-sided
+}

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// benchFile renders count samples per benchmark in go-test output format,
+// with values drawn around each benchmark's center.
+func benchFile(t *testing.T, name string, centers map[string]float64, count int, r *rand.Rand) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("goos: linux\ngoarch: amd64\npkg: example.com/x\n")
+	for bench, center := range centers {
+		for i := 0; i < count; i++ {
+			v := center * (1 + 0.02*(r.Float64()-0.5)) // ±1% noise
+			msgs := 1e9 / v
+			fmt.Fprintf(&b, "%s-8   \t     100\t  %.1f ns/op\t  %.0f msgs/sec\n", bench, v, msgs)
+		}
+	}
+	b.WriteString("PASS\n")
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runGate(t *testing.T, basePath, headPath string) (string, bool) {
+	t.Helper()
+	base, err := parseFile(basePath, "ns/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := parseFile(headPath, "ns/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, regressed, compared := compare(base, head, "ns/op", 0.10, 0.05, 4)
+	if compared == 0 {
+		t.Fatalf("nothing compared:\n%s", report)
+	}
+	return report, regressed
+}
+
+// TestDisjointBenchmarkSetsAreAnError pins the gate-bypass fix: a rename
+// that empties the base/head intersection must not silently pass.
+func TestDisjointBenchmarkSetsAreAnError(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	base := benchFile(t, "base.txt", map[string]float64{"BenchmarkOld": 1000}, 10, r)
+	head := benchFile(t, "head.txt", map[string]float64{"BenchmarkNew": 1000}, 10, r)
+	bs, err := parseFile(base, "ns/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := parseFile(head, "ns/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, compared := compare(bs, hs, "ns/op", 0.10, 0.05, 4); compared != 0 {
+		t.Fatalf("compared = %d for disjoint sets, want 0", compared)
+	}
+}
+
+func TestParseLine(t *testing.T) {
+	name, v, ok := parseLine("BenchmarkRuntimeThroughput/n=8-4   \t     100\t  12345.0 ns/op\t  3300000 msgs/sec", "ns/op")
+	if !ok || name != "BenchmarkRuntimeThroughput/n=8-4" || v != 12345.0 {
+		t.Fatalf("got (%q, %v, %v)", name, v, ok)
+	}
+	if _, mv, ok := parseLine("BenchmarkX-4 100 5 ns/op 42 msgs/sec", "msgs/sec"); !ok || mv != 42 {
+		t.Fatalf("custom metric: got (%v, %v)", mv, ok)
+	}
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok   pkg 1.2s",
+		"BenchmarkBroken notanumber 5 ns/op",
+		"--- BENCH: BenchmarkX",
+	} {
+		if _, _, ok := parseLine(line, "ns/op"); ok {
+			t.Errorf("parsed non-benchmark line %q", line)
+		}
+	}
+}
+
+func TestDetectsRegression(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	base := benchFile(t, "base.txt", map[string]float64{
+		"BenchmarkA": 1000,
+		"BenchmarkB": 500,
+	}, 10, r)
+	head := benchFile(t, "head.txt", map[string]float64{
+		"BenchmarkA": 1300, // +30%: regression
+		"BenchmarkB": 500,
+	}, 10, r)
+	report, regressed := runGate(t, base, head)
+	if !regressed {
+		t.Fatalf("+30%% slowdown not flagged:\n%s", report)
+	}
+	if !strings.Contains(report, "REGRESSION") || !strings.Contains(report, "BenchmarkA") {
+		t.Fatalf("report does not name the regression:\n%s", report)
+	}
+}
+
+func TestPassesWithinNoise(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	centers := map[string]float64{"BenchmarkA": 1000, "BenchmarkB": 500}
+	base := benchFile(t, "base.txt", centers, 10, r)
+	head := benchFile(t, "head.txt", centers, 10, r)
+	report, regressed := runGate(t, base, head)
+	if regressed {
+		t.Fatalf("noise flagged as regression:\n%s", report)
+	}
+}
+
+func TestImprovementDoesNotFail(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	base := benchFile(t, "base.txt", map[string]float64{"BenchmarkA": 1000}, 10, r)
+	head := benchFile(t, "head.txt", map[string]float64{"BenchmarkA": 600}, 10, r)
+	report, regressed := runGate(t, base, head)
+	if regressed {
+		t.Fatalf("-40%% speedup flagged as regression:\n%s", report)
+	}
+	if !strings.Contains(report, "improvement") {
+		t.Fatalf("report does not mark the improvement:\n%s", report)
+	}
+}
+
+func TestTooFewSamplesNeverFails(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	base := benchFile(t, "base.txt", map[string]float64{"BenchmarkA": 1000}, 2, r)
+	head := benchFile(t, "head.txt", map[string]float64{"BenchmarkA": 2000}, 2, r)
+	report, regressed := runGate(t, base, head)
+	if regressed {
+		t.Fatalf("verdict from 2 samples:\n%s", report)
+	}
+	if !strings.Contains(report, "too few samples") {
+		t.Fatalf("report does not flag the sample count:\n%s", report)
+	}
+}
+
+// TestThresholdRespected pins that a significant but small slowdown
+// passes: the gate fails on >10% only.
+func TestThresholdRespected(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	base := benchFile(t, "base.txt", map[string]float64{"BenchmarkA": 1000}, 10, r)
+	head := benchFile(t, "head.txt", map[string]float64{"BenchmarkA": 1050}, 10, r) // +5%
+	report, regressed := runGate(t, base, head)
+	if regressed {
+		t.Fatalf("+5%% slowdown failed the 10%% gate:\n%s", report)
+	}
+}
+
+func TestMannWhitneySanity(t *testing.T) {
+	same := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := mannWhitneyP(same, same); p < 0.9 {
+		t.Fatalf("identical samples: p = %v, want ~1", p)
+	}
+	lo := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	hi := []float64{101, 102, 103, 104, 105, 106, 107, 108, 109, 110}
+	if p := mannWhitneyP(lo, hi); p > 0.01 {
+		t.Fatalf("disjoint samples: p = %v, want < 0.01", p)
+	}
+}

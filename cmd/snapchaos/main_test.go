@@ -1,0 +1,97 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestGauntletOnSim runs the whole scenario library against every
+// cluster type on the deterministic substrate — fast, reproducible, and
+// exactly what the nightly workflow runs at larger scale.
+func TestGauntletOnSim(t *testing.T) {
+	var out strings.Builder
+	failed, err := run(&out, config{
+		Scenario:  "all",
+		Protocol:  "all",
+		Substrate: "sim",
+		N:         3,
+		Seed:      1,
+		Timeout:   time.Minute,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(failed) > 0 {
+		t.Fatalf("failed runs:\n%s\noutput:\n%s", strings.Join(failed, "\n"), out.String())
+	}
+	if !strings.Contains(out.String(), "25/25 runs passed") {
+		t.Fatalf("unexpected summary:\n%s", out.String())
+	}
+}
+
+// TestGauntletOneConcurrentRun smoke-tests the real-concurrency path the
+// nightly exercises in full: one scenario on the runtime substrate.
+func TestGauntletOneConcurrentRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrent gauntlet skipped in -short mode")
+	}
+	var out strings.Builder
+	failed, err := run(&out, config{
+		Scenario:  "flaky-links",
+		Protocol:  "pif",
+		Substrate: "runtime",
+		N:         3,
+		Seed:      2,
+		Timeout:   time.Minute,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(failed) > 0 {
+		t.Fatalf("failed runs:\n%s\noutput:\n%s", strings.Join(failed, "\n"), out.String())
+	}
+}
+
+func TestUnknownSelectorsRejected(t *testing.T) {
+	var out strings.Builder
+	for _, cfg := range []config{
+		{Scenario: "nope", Protocol: "all", Substrate: "all", N: 3, Seed: 1, Timeout: time.Second},
+		{Scenario: "all", Protocol: "nope", Substrate: "all", N: 3, Seed: 1, Timeout: time.Second},
+		{Scenario: "all", Protocol: "all", Substrate: "nope", N: 3, Seed: 1, Timeout: time.Second},
+		{Scenario: "all", Protocol: "all", Substrate: "all", N: 1, Seed: 1, Timeout: time.Second},
+	} {
+		if _, err := run(&out, cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+// TestFailureDescriptorsAreReproducible pins the failure-line format the
+// nightly uploads: a run with an impossible deadline must fail and
+// produce a seed-carrying descriptor.
+func TestFailureDescriptorsAreReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deadline-forcing run skipped in -short mode")
+	}
+	var out strings.Builder
+	failed, err := run(&out, config{
+		Scenario:  "flaky-links",
+		Protocol:  "pif",
+		Substrate: "runtime",
+		N:         3,
+		Seed:      3,
+		Timeout:   time.Nanosecond, // impossible deadline
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(failed) != 1 {
+		t.Fatalf("want 1 failure, got %v", failed)
+	}
+	for _, want := range []string{"scenario=flaky-links", "protocol=pif", "substrate=runtime", "seed=3"} {
+		if !strings.Contains(failed[0], want) {
+			t.Fatalf("descriptor %q missing %q", failed[0], want)
+		}
+	}
+}

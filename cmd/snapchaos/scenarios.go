@@ -1,0 +1,300 @@
+package main
+
+import (
+	"context"
+	"fmt"
+
+	snapstab "github.com/snapstab/snapstab"
+)
+
+var (
+	protocolNames  = []string{"pif", "idl", "mutex", "reset", "snap"}
+	substrateNames = []string{"sim", "runtime", "udp"}
+)
+
+// scenario is one named shape of network adversity.
+type scenario struct {
+	name string
+	desc string
+	// plan builds the fault plan for an n-process cluster on substrate
+	// sub ("sim" ticks are scheduler steps; "runtime"/"udp" ticks are
+	// milliseconds of wall time).
+	plan func(n int, sub string, seed uint64) snapstab.FaultPlan
+	// corrupt additionally drives the cluster into an arbitrary initial
+	// configuration before the first request.
+	corrupt bool
+}
+
+// ticks picks the window length for the substrate's tick base: the
+// simulator burns steps by the thousand where the real-time engines burn
+// milliseconds by the hundred.
+func ticks(sub string, steps, ms int64) int64 {
+	if sub == "sim" {
+		return steps
+	}
+	return ms
+}
+
+// scenarios is the library. Every plan is a pure function of (n,
+// substrate, seed), so a failing run reproduces from its descriptor line.
+var scenarios = []scenario{
+	{
+		name:    "flaky-links",
+		desc:    "moderate drop + duplicate + reorder + delay + corruption on every link, from a corrupted start",
+		corrupt: true,
+		plan: func(n int, sub string, seed uint64) snapstab.FaultPlan {
+			return snapstab.FaultPlan{
+				Seed: seed,
+				Default: snapstab.LinkFaults{
+					DropRate:    0.12,
+					DupRate:     0.08,
+					ReorderRate: 0.08,
+					DelayRate:   0.04,
+					DelayTicks:  ticks(sub, 50, 5),
+					CorruptRate: 0.03,
+				},
+			}
+		},
+	},
+	{
+		name: "split-brain",
+		desc: "the cluster is cut in half, requests stall across the cut, then the partition heals",
+		plan: func(n int, sub string, seed uint64) snapstab.FaultPlan {
+			groupA := make([]int, 0, n/2)
+			for p := 0; p < n/2; p++ {
+				groupA = append(groupA, p)
+			}
+			return snapstab.FaultPlan{
+				Seed:       seed,
+				Partitions: []snapstab.PartitionWindow{{From: 0, Until: ticks(sub, 5_000, 250), GroupA: groupA}},
+			}
+		},
+	},
+	{
+		name: "duplicate-storm",
+		desc: "nearly half of all deliveries are doubled and a fifth arrive out of order",
+		plan: func(n int, sub string, seed uint64) snapstab.FaultPlan {
+			return snapstab.FaultPlan{
+				Seed:    seed,
+				Default: snapstab.LinkFaults{DupRate: 0.45, ReorderRate: 0.20},
+			}
+		},
+	},
+	{
+		name:    "corrupt-then-reset",
+		desc:    "corrupted initial configuration plus heavy in-flight payload corruption",
+		corrupt: true,
+		plan: func(n int, sub string, seed uint64) snapstab.FaultPlan {
+			return snapstab.FaultPlan{
+				Seed:    seed,
+				Default: snapstab.LinkFaults{CorruptRate: 0.25, DropRate: 0.05},
+			}
+		},
+	},
+	{
+		name: "rolling-crash-restart",
+		desc: "every non-initiator process crashes and warm-restarts in turn while requests run",
+		plan: func(n int, sub string, seed uint64) snapstab.FaultPlan {
+			w := ticks(sub, 1_500, 120)
+			var crashes []snapstab.CrashWindow
+			for p := 1; p < n; p++ {
+				crashes = append(crashes, snapstab.CrashWindow{
+					Proc:  p,
+					From:  int64(p-1) * w,
+					Until: int64(p) * w,
+				})
+			}
+			return snapstab.FaultPlan{Seed: seed, Crashes: crashes}
+		},
+	},
+}
+
+func scenarioByName(name string) scenario {
+	for _, sc := range scenarios {
+		if sc.name == name {
+			return sc
+		}
+	}
+	panic("snapchaos: unknown scenario " + name)
+}
+
+// substrateOf maps the flag value to a substrate specification.
+func substrateOf(sub string) snapstab.Substrate {
+	switch sub {
+	case "sim":
+		return snapstab.Sim()
+	case "runtime":
+		return snapstab.Runtime()
+	case "udp":
+		return snapstab.UDP()
+	}
+	panic("snapchaos: unknown substrate " + sub)
+}
+
+// runOne builds one cluster under the scenario's plan and drives the
+// protocol's request script to its spec verdict.
+func runOne(sc scenario, protocol, sub string, cfg config) error {
+	plan := sc.plan(cfg.N, sub, cfg.Seed)
+	opts := []snapstab.Option{
+		snapstab.WithSubstrate(substrateOf(sub)),
+		snapstab.WithSeed(cfg.Seed),
+		snapstab.WithFaults(plan),
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+	defer cancel()
+	switch protocol {
+	case "pif":
+		return runPIF(ctx, sc, cfg, opts)
+	case "idl":
+		return runIDL(ctx, sc, cfg, opts)
+	case "mutex":
+		return runMutex(ctx, sc, cfg, opts)
+	case "reset":
+		return runReset(ctx, sc, cfg, opts)
+	case "snap":
+		return runSnap(ctx, sc, cfg, opts)
+	}
+	panic("snapchaos: unknown protocol " + protocol)
+}
+
+// ids returns the distinct identifier set used by the identifier-based
+// clusters.
+func ids(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i*13 + 5)
+	}
+	return out
+}
+
+func runPIF(ctx context.Context, sc scenario, cfg config, opts []snapstab.Option) error {
+	c := snapstab.NewPIFCluster(cfg.N, opts...)
+	defer c.Close()
+	if sc.corrupt {
+		c.CorruptEverything(cfg.Seed * 7)
+	}
+	for round := int64(0); round < 2; round++ {
+		token := 1000*(cfg.SeedToken()) + round
+		// On the deterministic substrate the internal Specification 1
+		// checker judges the computation event by event.
+		armed := c.ArmSpec(0, "chaos", token) == nil
+		req := c.BroadcastAsync(0, "chaos", token)
+		if err := req.Wait(ctx); err != nil {
+			return fmt.Errorf("broadcast round %d: %w", round, err)
+		}
+		fb := req.Feedbacks()
+		if len(fb) != cfg.N-1 {
+			return fmt.Errorf("broadcast round %d: %d feedbacks, want %d", round, len(fb), cfg.N-1)
+		}
+		for _, f := range fb {
+			if f.Value.Num != token*1000+int64(f.From) {
+				return fmt.Errorf("broadcast round %d: feedback %+v not derived from this broadcast", round, f)
+			}
+		}
+		if armed {
+			rep := c.SpecReport()
+			if !rep.Started || !rep.Decided {
+				return fmt.Errorf("spec checker: started=%v decided=%v", rep.Started, rep.Decided)
+			}
+			if len(rep.Violations) > 0 {
+				return fmt.Errorf("specification 1 violated: %v", rep.Violations)
+			}
+		}
+	}
+	return nil
+}
+
+// SeedToken derives a small per-config token base so payloads differ
+// across seeds without overflowing the feedback arithmetic.
+func (c config) SeedToken() int64 { return int64(c.Seed % 1000) }
+
+func runIDL(ctx context.Context, sc scenario, cfg config, opts []snapstab.Option) error {
+	idlist := ids(cfg.N)
+	c := snapstab.NewIDCluster(idlist, opts...)
+	defer c.Close()
+	if sc.corrupt {
+		c.CorruptEverything(cfg.Seed * 7)
+	}
+	req := c.LearnAsync(0)
+	if err := req.Wait(ctx); err != nil {
+		return fmt.Errorf("learn: %w", err)
+	}
+	if req.MinID() != idlist[0] {
+		return fmt.Errorf("learn: minID = %d, want %d", req.MinID(), idlist[0])
+	}
+	for q, id := range req.Table() {
+		if id != idlist[q] {
+			return fmt.Errorf("learn: table[%d] = %d, want %d", q, id, idlist[q])
+		}
+	}
+	return nil
+}
+
+func runMutex(ctx context.Context, sc scenario, cfg config, opts []snapstab.Option) error {
+	c := snapstab.NewMutexCluster(ids(cfg.N), opts...)
+	defer c.Close()
+	if sc.corrupt {
+		c.CorruptEverything(cfg.Seed * 7)
+	}
+	// Every process requests the critical section concurrently; the
+	// internal MutexChecker watches Specification 3 the whole time.
+	entered := make([]bool, cfg.N)
+	reqs := make([]*snapstab.Request, cfg.N)
+	for p := 0; p < cfg.N; p++ {
+		p := p
+		reqs[p] = c.AcquireAsync(p, func() { entered[p] = true })
+	}
+	for p, req := range reqs {
+		if err := req.Wait(ctx); err != nil {
+			return fmt.Errorf("acquire at %d: %w", p, err)
+		}
+	}
+	for p, ok := range entered {
+		if !ok {
+			return fmt.Errorf("process %d was served without executing its critical section", p)
+		}
+	}
+	if v := c.Violations(); len(v) > 0 {
+		return fmt.Errorf("mutual exclusion violated: %v", v)
+	}
+	return nil
+}
+
+func runReset(ctx context.Context, sc scenario, cfg config, opts []snapstab.Option) error {
+	c := snapstab.NewResetCluster(cfg.N, nil, opts...)
+	defer c.Close()
+	if sc.corrupt {
+		c.CorruptEverything(cfg.Seed * 7)
+	}
+	req := c.ResetAsync(0)
+	if err := req.Wait(ctx); err != nil {
+		return fmt.Errorf("reset: %w", err)
+	}
+	// ResetAsync itself verifies full acknowledgment of the epoch and
+	// fails the request otherwise; reaching here is the spec verdict.
+	return nil
+}
+
+func runSnap(ctx context.Context, sc scenario, cfg config, opts []snapstab.Option) error {
+	c := snapstab.NewSnapshotCluster(cfg.N, func(p int) snapstab.Payload {
+		return snapstab.Payload{Tag: "state", Num: int64(p) * 111}
+	}, opts...)
+	defer c.Close()
+	if sc.corrupt {
+		c.CorruptEverything(cfg.Seed * 7)
+	}
+	req := c.CollectAsync(0)
+	if err := req.Wait(ctx); err != nil {
+		return fmt.Errorf("collect: %w", err)
+	}
+	views := req.Views()
+	if len(views) != cfg.N {
+		return fmt.Errorf("collect: %d views, want %d", len(views), cfg.N)
+	}
+	for q, v := range views {
+		if v.Tag != "state" || v.Num != int64(q)*111 {
+			return fmt.Errorf("collect: view[%d] = %+v, want state(%d) — stale or fabricated", q, v, q*111)
+		}
+	}
+	return nil
+}

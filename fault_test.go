@@ -1,0 +1,182 @@
+package snapstab_test
+
+import (
+	"testing"
+	"time"
+
+	snapstab "github.com/snapstab/snapstab"
+)
+
+// chaosOptions returns a moderate all-faults plan suitable for every
+// substrate: link policies only, so the same plan value is meaningful
+// whether ticks are scheduler steps (Sim) or milliseconds (Runtime, UDP).
+func chaosFaults(seed uint64) snapstab.FaultPlan {
+	return snapstab.FaultPlan{
+		Seed: seed,
+		Default: snapstab.LinkFaults{
+			DropRate:    0.10,
+			DupRate:     0.08,
+			ReorderRate: 0.08,
+			DelayRate:   0.04,
+			DelayTicks:  20,
+			CorruptRate: 0.04,
+		},
+	}
+}
+
+// TestSameFaultPlanAcrossSubstrates is the tentpole's acceptance test:
+// one seeded FaultPlan drives a corrupted PIF cluster on all three
+// substrates through WithFaults, and on each the snap-stabilization
+// guarantee holds (the broadcast decides on exactly the feedback of this
+// computation) while the plan demonstrably injected faults.
+func TestSameFaultPlanAcrossSubstrates(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		sub  snapstab.Substrate
+	}{
+		{"sim", snapstab.Sim()},
+		{"runtime", snapstab.Runtime()},
+		{"udp", snapstab.UDP()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := snapstab.NewPIFCluster(3,
+				snapstab.WithSubstrate(tc.sub),
+				snapstab.WithSeed(11),
+				snapstab.WithFaults(chaosFaults(23)))
+			defer c.Close()
+			c.CorruptEverything(42)
+			for round := int64(0); round < 3; round++ {
+				fb, err := c.Broadcast(0, "chaos", 100+round)
+				if err != nil {
+					t.Fatalf("round %d: %v (faults: %+v)", round, err, c.FaultStats())
+				}
+				if len(fb) != 2 {
+					t.Fatalf("round %d: %d feedbacks, want 2", round, len(fb))
+				}
+				for _, f := range fb {
+					if f.Value.Num != (100+round)*1000+int64(f.From) {
+						t.Fatalf("round %d: feedback %+v not derived from this broadcast", round, f)
+					}
+				}
+			}
+			if c.FaultStats().Total() == 0 {
+				t.Fatal("fault plan injected nothing")
+			}
+		})
+	}
+}
+
+// TestEmptyFaultPlanIsFree pins the façade half of the free-when-off
+// contract: a zero-value FaultPlan produces the exact execution of a
+// cluster without one — same scheduler counters, same results — so the
+// experiment tables built on the deterministic substrate stay
+// byte-identical.
+func TestEmptyFaultPlanIsFree(t *testing.T) {
+	t.Parallel()
+	run := func(opts ...snapstab.Option) ([]snapstab.Feedback, interface{}) {
+		c := snapstab.NewPIFCluster(4, append([]snapstab.Option{snapstab.WithSeed(5)}, opts...)...)
+		defer c.Close()
+		c.CorruptEverything(9)
+		fb, err := c.Broadcast(0, "x", 1)
+		if err != nil {
+			t.Fatalf("broadcast: %v", err)
+		}
+		return fb, c.Stats()
+	}
+	fbNil, statsNil := run()
+	fbEmpty, statsEmpty := run(snapstab.WithFaults(snapstab.FaultPlan{}))
+	if len(fbNil) != len(fbEmpty) {
+		t.Fatalf("feedback counts differ: %d vs %d", len(fbNil), len(fbEmpty))
+	}
+	for i := range fbNil {
+		if fbNil[i] != fbEmpty[i] {
+			t.Fatalf("feedback %d differs: %+v vs %+v", i, fbNil[i], fbEmpty[i])
+		}
+	}
+	if statsNil != statsEmpty {
+		t.Fatalf("empty plan perturbed the scheduler: %+v vs %+v", statsNil, statsEmpty)
+	}
+}
+
+// TestArmSpecJudgesChaosBroadcast checks Specification 1 online while a
+// fault plan batters the network: the armed computation must start,
+// decide, and produce zero Correctness/Decision violations.
+func TestArmSpecJudgesChaosBroadcast(t *testing.T) {
+	t.Parallel()
+	c := snapstab.NewPIFCluster(4,
+		snapstab.WithSeed(3),
+		snapstab.WithFaults(chaosFaults(7)))
+	defer c.Close()
+	c.CorruptEverything(13)
+	for round := int64(0); round < 3; round++ {
+		if err := c.ArmSpec(0, "spec", 500+round); err != nil {
+			t.Fatalf("ArmSpec: %v", err)
+		}
+		if _, err := c.Broadcast(0, "spec", 500+round); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		rep := c.SpecReport()
+		if !rep.Started || !rep.Decided {
+			t.Fatalf("round %d: started=%v decided=%v", round, rep.Started, rep.Decided)
+		}
+		if len(rep.Violations) != 0 {
+			t.Fatalf("round %d: specification violated under faults: %v", round, rep.Violations)
+		}
+	}
+}
+
+// TestArmSpecRequiresSim pins the substrate restriction.
+func TestArmSpecRequiresSim(t *testing.T) {
+	t.Parallel()
+	c := snapstab.NewPIFCluster(2, snapstab.WithSubstrate(snapstab.Runtime()))
+	defer c.Close()
+	if err := c.ArmSpec(0, "x", 1); err == nil {
+		t.Fatal("ArmSpec accepted on the Runtime substrate")
+	}
+}
+
+// TestFaultStatsSurfaceInTransportStats checks the per-node UDP counter
+// surface.
+func TestFaultStatsSurfaceInTransportStats(t *testing.T) {
+	c := snapstab.NewPIFCluster(3,
+		snapstab.WithSubstrate(snapstab.UDP()),
+		snapstab.WithFaults(snapstab.FaultPlan{Seed: 2, Default: snapstab.LinkFaults{DupRate: 0.4}}))
+	defer c.Close()
+	if _, err := c.Broadcast(0, "x", 1); err != nil {
+		t.Fatalf("broadcast: %v", err)
+	}
+	var total int64
+	for _, s := range c.TransportStats() {
+		total += s.Faults.Total()
+	}
+	if total == 0 {
+		t.Fatal("no faults surfaced in TransportStats")
+	}
+}
+
+// TestCrashAndPartitionWindowsOnFacade exercises the scheduled faults
+// through the public API on the deterministic substrate, where the
+// outcome is exactly reproducible: a partition that cuts the initiator
+// off stalls its broadcast until the heal.
+func TestCrashAndPartitionWindowsOnFacade(t *testing.T) {
+	t.Parallel()
+	plan := snapstab.FaultPlan{
+		Seed:       1,
+		Partitions: []snapstab.PartitionWindow{{From: 0, Until: 4_000, GroupA: []int{0}}},
+		Crashes:    []snapstab.CrashWindow{{Proc: 1, From: 0, Until: 2_000}},
+		Unit:       time.Millisecond, // ignored by Sim; documents intent
+	}
+	c := snapstab.NewPIFCluster(3, snapstab.WithSeed(8), snapstab.WithFaults(plan))
+	defer c.Close()
+	fb, err := c.Broadcast(0, "after-heal", 9)
+	if err != nil {
+		t.Fatalf("broadcast: %v", err)
+	}
+	if len(fb) != 2 {
+		t.Fatalf("%d feedbacks, want 2", len(fb))
+	}
+	st := c.FaultStats()
+	if st.PartitionDrops == 0 {
+		t.Fatalf("partition never dropped anything: %+v", st)
+	}
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"testing"
+)
+
+// stubRand is a deterministic core.Rand whose Float64 stream is scripted
+// and whose other draws are fixed, so tests can force each policy branch.
+type stubRand struct {
+	floats []float64
+	i      int
+}
+
+func (s *stubRand) Float64() float64 {
+	if s.i >= len(s.floats) {
+		return 0.999999
+	}
+	v := s.floats[s.i]
+	s.i++
+	return v
+}
+func (s *stubRand) Intn(n int) int { return 0 }
+func (s *stubRand) Uint64() uint64 { return 7 }
+func (s *stubRand) Bool() bool     { return false }
+
+// panicRand fails the test on any draw: installed behind an empty plan to
+// pin that a zero-value plan consumes no randomness at all.
+type panicRand struct{ t *testing.T }
+
+func (p panicRand) Float64() float64 { p.t.Fatal("empty plan drew Float64"); return 0 }
+func (p panicRand) Intn(n int) int   { p.t.Fatal("empty plan drew Intn"); return 0 }
+func (p panicRand) Uint64() uint64   { p.t.Fatal("empty plan drew Uint64"); return 0 }
+func (p panicRand) Bool() bool       { p.t.Fatal("empty plan drew Bool"); return false }
+
+func msg(kind string) Message {
+	return Message{Instance: "pif", Kind: kind, B: Payload{Tag: "b", Num: 1}}
+}
+
+func TestEmptyPlanPassesEverythingWithoutRandomness(t *testing.T) {
+	inj := NewInjector(&FaultPlan{}, panicRand{t})
+	for i := 0; i < 10; i++ {
+		out, fate := inj.Filter(0, 1, msg("PIF"), int64(i))
+		if fate != FateDeliver || len(out) != 1 || out[0] != msg("PIF") {
+			t.Fatalf("empty plan altered delivery: fate=%v out=%v", fate, out)
+		}
+	}
+	if got := inj.Stats().Total(); got != 0 {
+		t.Fatalf("empty plan counted %d faults", got)
+	}
+	if rel := inj.Flush(100); rel != nil {
+		t.Fatalf("empty plan flushed %v", rel)
+	}
+}
+
+func TestDropAndDuplicate(t *testing.T) {
+	plan := &FaultPlan{Default: LinkFaults{DropRate: 0.5, DupRate: 0.5}}
+	// First message: drop roll hits (0.1 < 0.5). Second: drop misses
+	// (0.9), dup hits (0.1).
+	r := &stubRand{floats: []float64{0.1, 0.9, 0.1}}
+	inj := NewInjector(plan, r)
+
+	out, fate := inj.Filter(0, 1, msg("PIF"), 0)
+	if fate != FateDrop || len(out) != 0 {
+		t.Fatalf("want drop, got fate=%v out=%v", fate, out)
+	}
+	out, fate = inj.Filter(0, 1, msg("PIF"), 1)
+	if fate != FateDeliver || len(out) != 2 {
+		t.Fatalf("want duplicate pair, got fate=%v out=%v", fate, out)
+	}
+	st := inj.Stats()
+	if st.Drops != 1 || st.Duplicates != 1 {
+		t.Fatalf("stats = %+v, want 1 drop 1 duplicate", st)
+	}
+}
+
+func TestReorderSwapsAdjacentMessages(t *testing.T) {
+	plan := &FaultPlan{Default: LinkFaults{ReorderRate: 0.5}}
+	// First message: reorder hits (held). Second: reorder misses, so it
+	// delivers first and the held one is released behind it.
+	r := &stubRand{floats: []float64{0.1, 0.9}}
+	inj := NewInjector(plan, r)
+
+	m1, m2 := msg("ONE"), msg("TWO")
+	out, fate := inj.Filter(0, 1, m1, 0)
+	if fate != FateHold || len(out) != 0 {
+		t.Fatalf("first message not held: fate=%v out=%v", fate, out)
+	}
+	if inj.Held() != 1 {
+		t.Fatalf("Held() = %d, want 1", inj.Held())
+	}
+	out, fate = inj.Filter(0, 1, m2, 1)
+	if fate != FateDeliver || len(out) != 2 || out[0] != m2 || out[1] != m1 {
+		t.Fatalf("want [TWO ONE], got fate=%v out=%v", fate, out)
+	}
+	if inj.Held() != 0 {
+		t.Fatalf("Held() = %d after release, want 0", inj.Held())
+	}
+	if st := inj.Stats(); st.Reorders != 1 {
+		t.Fatalf("stats = %+v, want 1 reorder", st)
+	}
+}
+
+// TestReorderHoldSurvivesFlush pins the property that makes the swap
+// real on the substrates: the periodic Flush — which sim runs every step
+// and udp every receive iteration — must NOT release a reorder holdback
+// before the next message on the link has had a chance to overtake it.
+// Only after the grace period may Flush deliver it (a quiet link degrades
+// the reorder into a bounded delay, never a permanent loss).
+func TestReorderHoldSurvivesFlush(t *testing.T) {
+	plan := &FaultPlan{Default: LinkFaults{ReorderRate: 0.5}}
+	r := &stubRand{floats: []float64{0.1, 0.9}}
+	inj := NewInjector(plan, r)
+
+	m1, m2 := msg("ONE"), msg("TWO")
+	if _, fate := inj.Filter(0, 1, m1, 0); fate != FateHold {
+		t.Fatalf("first message not held: fate=%v", fate)
+	}
+	// Immediate flushes (the substrates' cadence) must not pre-empt the
+	// swap.
+	for now := int64(0); now < ReorderFlushGrace; now += 8 {
+		if rel := inj.Flush(now); len(rel) != 0 {
+			t.Fatalf("Flush(%d) pre-empted the reorder: %v", now, rel)
+		}
+	}
+	// The next message overtakes the held one: a genuine adjacent swap.
+	out, fate := inj.Filter(0, 1, m2, 10)
+	if fate != FateDeliver || len(out) != 2 || out[0] != m2 || out[1] != m1 {
+		t.Fatalf("want [TWO ONE], got fate=%v out=%v", fate, out)
+	}
+
+	// On a quiet link the grace period bounds the holdback.
+	r2 := &stubRand{floats: []float64{0.1}}
+	inj2 := NewInjector(plan, r2)
+	if _, fate := inj2.Filter(0, 1, m1, 0); fate != FateHold {
+		t.Fatal("message not held")
+	}
+	if rel := inj2.Flush(ReorderFlushGrace - 1); len(rel) != 0 {
+		t.Fatalf("released before the grace period: %v", rel)
+	}
+	if rel := inj2.Flush(ReorderFlushGrace); len(rel) != 1 || rel[0].Msg != m1 {
+		t.Fatalf("quiet-link holdback not released after grace: %v", rel)
+	}
+}
+
+func TestDelayReleasedByFlushAfterTicks(t *testing.T) {
+	plan := &FaultPlan{Default: LinkFaults{DelayRate: 0.5, DelayTicks: 10}}
+	r := &stubRand{floats: []float64{0.1}}
+	inj := NewInjector(plan, r)
+
+	m := msg("PIF")
+	if _, fate := inj.Filter(0, 1, m, 0); fate != FateHold {
+		t.Fatalf("message not held, fate=%v", fate)
+	}
+	if rel := inj.Flush(5); len(rel) != 0 {
+		t.Fatalf("released early: %v", rel)
+	}
+	rel := inj.Flush(10)
+	if len(rel) != 1 || rel[0].Msg != m || rel[0].From != 0 || rel[0].To != 1 {
+		t.Fatalf("Flush(10) = %v, want the delayed message", rel)
+	}
+	if st := inj.Stats(); st.Delays != 1 {
+		t.Fatalf("stats = %+v, want 1 delay", st)
+	}
+}
+
+func TestCorruptKeepsRoutingEnvelope(t *testing.T) {
+	plan := &FaultPlan{Default: LinkFaults{CorruptRate: 0.5}}
+	r := &stubRand{floats: []float64{0.1}}
+	inj := NewInjector(plan, r)
+
+	in := Message{Instance: "me/pif", Kind: "PIF", B: Payload{Tag: "real", Num: 42}, State: 3, Echo: 3}
+	out, fate := inj.Filter(0, 1, in, 0)
+	if fate != FateDeliver || len(out) != 1 {
+		t.Fatalf("corrupted message not delivered: fate=%v out=%v", fate, out)
+	}
+	got := out[0]
+	if got.Instance != in.Instance || got.Kind != in.Kind {
+		t.Fatalf("corruption touched the routing envelope: %v", got)
+	}
+	if got.B == in.B {
+		t.Fatalf("payload not corrupted: %v", got)
+	}
+	if st := inj.Stats(); st.Corrupts != 1 {
+		t.Fatalf("stats = %+v, want 1 corrupt", st)
+	}
+}
+
+func TestPartitionWindowCutsAndHeals(t *testing.T) {
+	plan := &FaultPlan{Partitions: []PartitionWindow{{From: 10, Until: 20, GroupA: []ProcID{0, 1}}}}
+	inj := NewInjector(plan, panicRand{t}) // window checks draw nothing
+
+	// Before the window: crossing traffic passes.
+	if _, fate := inj.Filter(0, 2, msg("PIF"), 5); fate != FateDeliver {
+		t.Fatal("message dropped before the window opened")
+	}
+	// Open: crossing traffic dropped, same-side traffic passes.
+	if _, fate := inj.Filter(0, 2, msg("PIF"), 15); fate != FateDrop {
+		t.Fatal("crossing message survived the open partition")
+	}
+	if _, fate := inj.Filter(2, 0, msg("PIF"), 15); fate != FateDrop {
+		t.Fatal("reverse crossing message survived the open partition")
+	}
+	if _, fate := inj.Filter(0, 1, msg("PIF"), 15); fate != FateDeliver {
+		t.Fatal("same-side message dropped")
+	}
+	// Healed.
+	if _, fate := inj.Filter(0, 2, msg("PIF"), 20); fate != FateDeliver {
+		t.Fatal("message dropped after the heal")
+	}
+	if st := inj.Stats(); st.PartitionDrops != 2 {
+		t.Fatalf("stats = %+v, want 2 partition drops", st)
+	}
+}
+
+func TestCrashWindowConsumesArrivalsAndEnds(t *testing.T) {
+	plan := &FaultPlan{Crashes: []CrashWindow{{Proc: 1, From: 0, Until: 10}}}
+	inj := NewInjector(plan, panicRand{t})
+
+	if !plan.Down(1, 5) || plan.Down(1, 10) || plan.Down(0, 5) {
+		t.Fatal("Down window arithmetic wrong")
+	}
+	if _, fate := inj.Filter(0, 1, msg("PIF"), 5); fate != FateDrop {
+		t.Fatal("arrival at a down process not consumed")
+	}
+	if _, fate := inj.Filter(0, 1, msg("PIF"), 10); fate != FateDeliver {
+		t.Fatal("arrival after restart dropped")
+	}
+	if st := inj.Stats(); st.CrashDrops != 1 {
+		t.Fatalf("stats = %+v, want 1 crash drop", st)
+	}
+}
+
+func TestHeldMessagesSurviveCrashAndPartition(t *testing.T) {
+	plan := &FaultPlan{
+		Default: LinkFaults{DelayRate: 0.5, DelayTicks: 1},
+		Crashes: []CrashWindow{{Proc: 1, From: 2, Until: 6}},
+	}
+	r := &stubRand{floats: []float64{0.1}}
+	inj := NewInjector(plan, r)
+	m := msg("PIF")
+	if _, fate := inj.Filter(0, 1, m, 0); fate != FateHold {
+		t.Fatal("message not held")
+	}
+	// Expired while the receiver is down: Flush must keep holding it.
+	if rel := inj.Flush(4); len(rel) != 0 {
+		t.Fatalf("flushed to a down process: %v", rel)
+	}
+	if rel := inj.Flush(6); len(rel) != 1 || rel[0].Msg != m {
+		t.Fatalf("held message lost across the crash window: %v", rel)
+	}
+}
+
+func TestPerLinkOverride(t *testing.T) {
+	plan := &FaultPlan{
+		Default: LinkFaults{},
+		Links:   map[LinkSel]LinkFaults{{From: 0, To: 1}: {DropRate: 0.5}},
+	}
+	r := &stubRand{floats: []float64{0.1}}
+	inj := NewInjector(plan, r)
+	if _, fate := inj.Filter(0, 1, msg("PIF"), 0); fate != FateDrop {
+		t.Fatal("override link did not drop")
+	}
+	// The reverse link has the (empty) default policy: no draw, no drop.
+	inj2 := NewInjector(plan, panicRand{t})
+	if _, fate := inj2.Filter(1, 0, msg("PIF"), 0); fate != FateDeliver {
+		t.Fatal("default link dropped")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*FaultPlan{
+		{Default: LinkFaults{DropRate: 1.0}},
+		{Default: LinkFaults{DupRate: -0.1}},
+		{Default: LinkFaults{DelayTicks: -1}},
+		{Links: map[LinkSel]LinkFaults{{0, 1}: {CorruptRate: 2}}},
+		{Partitions: []PartitionWindow{{From: 10, Until: 5}}},
+		{Crashes: []CrashWindow{{Proc: 0, From: 10, Until: 5}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad plan %d validated", i)
+		}
+	}
+	ok := &FaultPlan{
+		Default:    LinkFaults{DropRate: 0.2, DupRate: 0.1, ReorderRate: 0.1, DelayRate: 0.1, DelayTicks: 5, CorruptRate: 0.05},
+		Partitions: []PartitionWindow{{From: 0, Until: 10, GroupA: []ProcID{0}}},
+		Crashes:    []CrashWindow{{Proc: 1, From: 5, Until: 15}},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("good plan rejected: %v", err)
+	}
+}

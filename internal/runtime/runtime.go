@@ -69,6 +69,23 @@ func WithTick(d time.Duration) Option {
 	return func(e *Engine) { e.tick = d }
 }
 
+// runtimeFaultSalt namespaces this substrate's injector seeds within the
+// plan's rng.Mix hierarchy (sim and udp use their own salts).
+const runtimeFaultSalt = 0x52
+
+// WithFaults installs a fault-injection plan (see core.FaultPlan),
+// interposed at the per-receiver link table: every envelope leaving a
+// receiver's fan-in channel passes its process's injector, which may drop,
+// duplicate, corrupt, reorder, or delay it, honor partition windows, and
+// silence the process inside crash windows (no internal actions, arrivals
+// consumed). Each receiver owns one injector seeded
+// rng.Mix(plan.Seed, salt, receiver), so decision streams are reproducible
+// per process even though the engine's interleaving is not. Schedule
+// windows are measured in plan.Unit ticks of wall time from Start.
+func WithFaults(plan *core.FaultPlan) Option {
+	return func(e *Engine) { e.fault = plan }
+}
+
 // linkTable is the precomputed delivery state for one receiver: its
 // instances in stack order and one in-flight counter per directed
 // (sender, instance) link. The slot for a link is
@@ -92,6 +109,11 @@ type Engine struct {
 
 	tables []*linkTable         // per-receiver link state, built at New
 	inbox  []chan core.Envelope // per-receiver fan-in delivery channel
+
+	fault     *core.FaultPlan
+	injs      []*core.Injector // per-receiver, used only under that process's mutex
+	faultUnit time.Duration
+	epoch     time.Time // set by Start, before the goroutines launch
 
 	procMu []sync.Mutex // one per process: atomic guarded actions
 
@@ -125,6 +147,16 @@ func New(stacks []core.Stack, opts ...Option) *Engine {
 	}
 	if e.loss < 0 || e.loss >= 1 {
 		panic(fmt.Sprintf("runtime: loss rate %v outside [0,1)", e.loss))
+	}
+	if e.fault != nil {
+		if err := e.fault.Validate(); err != nil {
+			panic("runtime: " + err.Error())
+		}
+		e.faultUnit = e.fault.TickUnit()
+		e.injs = make([]*core.Injector, e.n)
+		for p := range e.injs {
+			e.injs[p] = core.NewInjector(e.fault, rng.New(rng.Mix(e.fault.Seed, runtimeFaultSalt, uint64(p))))
+		}
 	}
 	e.tables = make([]*linkTable, e.n)
 	e.inbox = make([]chan core.Envelope, e.n)
@@ -202,6 +234,7 @@ func (e *Engine) Start() {
 	if !e.started.CompareAndSwap(false, true) {
 		panic("runtime: Start called twice")
 	}
+	e.epoch = time.Now() // fault-schedule tick zero
 	e.wg.Add(e.n)
 	e.launched.Store(true)
 	for p := 0; p < e.n; p++ {
@@ -241,6 +274,15 @@ func (e *Engine) run(p core.ProcID) {
 			e.procMu[p].Unlock()
 		case <-ticker.C:
 			e.procMu[p].Lock()
+			if e.injs != nil {
+				now := e.faultNow()
+				e.flushFaults(ev, t, p, now)
+				if e.fault.Down(p, now) {
+					// Crash window: no internal actions until restart.
+					e.procMu[p].Unlock()
+					continue
+				}
+			}
 			for _, m := range e.stacks[p] {
 				m.Step(ev)
 			}
@@ -250,8 +292,8 @@ func (e *Engine) run(p core.ProcID) {
 }
 
 // deliver removes one envelope from the link (freeing its capacity slot),
-// applies injected loss, and runs the receive action. Caller holds the
-// process mutex.
+// applies injected loss and the fault plan, and runs the receive action.
+// Caller holds the process mutex.
 func (e *Engine) deliver(ev env, t *linkTable, in core.Envelope, r *rng.Source) {
 	t.inflight[in.Link].Add(-1)
 	idx := int(in.Link) % len(t.instances)
@@ -261,8 +303,54 @@ func (e *Engine) deliver(ev env, t *linkTable, in core.Envelope, r *rng.Source) 
 		e.emit(core.Event{Kind: core.EvLose, Proc: ev.self, Peer: in.From, Instance: inst, Msg: in.Msg})
 		return
 	}
+	if e.injs != nil {
+		out, fate := e.injs[ev.self].Filter(in.From, ev.self, in.Msg, e.faultNow())
+		if fate == core.FateDrop {
+			// Injected drops are counted in FaultStats only — Dropped()
+			// keeps measuring the engine's native losses (full links,
+			// WithLossRate), matching the sim/udp counter contract.
+			e.emit(core.Event{Kind: core.EvLose, Proc: ev.self, Peer: in.From, Instance: inst, Msg: in.Msg})
+		}
+		// Every surviving copy — the message, duplicates, and released
+		// holdbacks — shares the envelope's link, hence its machine.
+		for _, m := range out {
+			e.emit(core.Event{Kind: core.EvDeliver, Proc: ev.self, Peer: in.From, Instance: inst, Msg: m})
+			t.machines[idx].Deliver(ev, in.From, m)
+		}
+		return
+	}
 	e.emit(core.Event{Kind: core.EvDeliver, Proc: ev.self, Peer: in.From, Instance: inst, Msg: in.Msg})
 	t.machines[idx].Deliver(ev, in.From, in.Msg)
+}
+
+// faultNow returns the fault-schedule tick: wall time since Start in
+// plan.Unit ticks.
+func (e *Engine) faultNow() int64 {
+	return int64(time.Since(e.epoch) / e.faultUnit)
+}
+
+// flushFaults delivers every expired held-back message of receiver p.
+// Caller holds p's mutex.
+func (e *Engine) flushFaults(ev env, t *linkTable, p core.ProcID, now int64) {
+	for _, rel := range e.injs[p].Flush(now) {
+		idx, ok := t.instIdx[rel.Msg.Instance]
+		if !ok {
+			continue // unreachable: the message was admitted on this table
+		}
+		e.emit(core.Event{Kind: core.EvDeliver, Proc: p, Peer: rel.From, Instance: rel.Msg.Instance, Msg: rel.Msg})
+		t.machines[idx].Deliver(ev, rel.From, rel.Msg)
+	}
+}
+
+// FaultStats returns the engine-wide injected-fault counters, aggregated
+// over the per-receiver injectors. Zero when no plan is installed. Safe to
+// call while the engine runs.
+func (e *Engine) FaultStats() core.FaultStats {
+	var agg core.FaultStats
+	for _, inj := range e.injs {
+		agg.Add(inj.Stats())
+	}
+	return agg
 }
 
 // Do runs f under process p's action mutex, with p's environment. Use it
@@ -274,8 +362,10 @@ func (e *Engine) Do(p core.ProcID, f func(env core.Env)) {
 	f(env{e: e, self: p})
 }
 
-// Dropped returns the number of messages lost so far (full links plus
-// injected loss).
+// Dropped returns the number of messages lost so far to the engine's
+// native mechanisms: full links, unroutable instances, and WithLossRate.
+// Fault-plan drops are counted in FaultStats only, so injected adversity
+// never contaminates the loss measurement.
 func (e *Engine) Dropped() int64 { return e.dropped.Load() }
 
 // Stop terminates all process goroutines and waits for them to exit. It

@@ -67,6 +67,12 @@ type Stats struct {
 	// but it is observation, not scheduled work, so it is accounted here
 	// instead of inflating Activations and Rounds.
 	ProbeActivations int
+	// Faults counts the faults injected by the installed FaultPlan
+	// (WithFaults), by category. Zero when no plan is installed. Injected
+	// drops are NOT double-counted into LinkLosses: LinkLosses remains
+	// the WithLossRate/Lose accounting, so injected adversity stays
+	// distinguishable from the fair-loss link model.
+	Faults core.FaultStats
 }
 
 // Option configures a Network.
@@ -102,6 +108,24 @@ func WithObserver(o core.Observer) Option {
 	return func(n *Network) { n.observers = append(n.observers, o) }
 }
 
+// faultSeedSalt namespaces the simulator's injector seed within the
+// plan's rng.Mix-derived seed hierarchy (the runtime and udp substrates
+// use their own salts), so the same plan drives a distinct — but equally
+// reproducible — decision stream on each substrate.
+const faultSeedSalt = 0x51
+
+// WithFaults installs a fault-injection plan (see core.FaultPlan). The
+// plan is interposed at Step delivery: every message popped from a channel
+// passes through the plan's injector, which may drop, duplicate, corrupt,
+// reorder, or delay it, honor partition windows, and silence processes
+// inside crash windows. The injector draws from its own generator seeded
+// rng.Mix(plan.Seed, salt) — never from the scheduler PRNG — so a nil or
+// zero-value plan leaves every execution byte-identical to a network
+// without one, and a configured plan replays exactly from its seed.
+func WithFaults(plan *core.FaultPlan) Option {
+	return func(n *Network) { n.fault = plan }
+}
+
 // Network is a fully-connected system of n processes and the channels
 // between them.
 type Network struct {
@@ -110,6 +134,9 @@ type Network struct {
 	unbounded bool
 	loss      float64
 	seed      uint64
+
+	fault *core.FaultPlan
+	inj   *core.Injector
 
 	r         *rng.Source
 	stacks    []core.Stack
@@ -173,6 +200,12 @@ func New(stacks []core.Stack, opts ...Option) *Network {
 		panic(fmt.Sprintf("sim: invalid capacity %d", net.capacity))
 	}
 	net.r = rng.New(net.seed)
+	if net.fault != nil {
+		if err := net.fault.Validate(); err != nil {
+			panic("sim: " + err.Error())
+		}
+		net.inj = core.NewInjector(net.fault, rng.New(rng.Mix(net.fault.Seed, faultSeedSalt)))
+	}
 	net.routes = make([]map[string]core.Machine, net.n)
 	for i, s := range stacks {
 		net.routes[i] = s.ByInstance()
@@ -203,8 +236,14 @@ func (net *Network) Capacity() int {
 func (net *Network) Stats() Stats {
 	out := net.stats
 	out.Steps = net.step
+	if net.inj != nil {
+		out.Faults = net.inj.Stats()
+	}
 	return out
 }
+
+// FaultPlan returns the installed fault plan, or nil.
+func (net *Network) FaultPlan() *core.FaultPlan { return net.fault }
 
 // StepCount returns the number of scheduler steps executed so far.
 func (net *Network) StepCount() int { return net.step }
@@ -350,6 +389,11 @@ func (net *Network) Activate(p core.ProcID) bool {
 		// nothing with it (rounds keep advancing for liveness metrics).
 		return false
 	}
+	if net.fault != nil && net.fault.Down(p, int64(net.step)) {
+		// Inside a crash-restart window: silent, exactly like Crash, but
+		// the silence ends when the window closes.
+		return false
+	}
 	fired := false
 	e := net.envs[p]
 	for _, m := range net.stacks[p] {
@@ -361,7 +405,10 @@ func (net *Network) Activate(p core.ProcID) bool {
 }
 
 // Deliver pops the head message of link k and runs the destination's
-// receive action. It reports false when the link is empty.
+// receive action — routed through the installed fault plan, when one
+// exists, which may turn the delivery into a drop, a duplicate pair, a
+// corrupted message, or a holdback. It reports false when the link is
+// empty.
 func (net *Network) Deliver(k LinkKey) bool {
 	q, ok := net.links[k]
 	if !ok {
@@ -371,15 +418,44 @@ func (net *Network) Deliver(k LinkKey) bool {
 	if !ok {
 		return false
 	}
+	if net.inj != nil {
+		out, fate := net.inj.Filter(k.From, k.To, m, int64(net.step))
+		if fate == core.FateDrop {
+			// Injected loss is attributed to the receiver side like every
+			// in-transit loss; the category lives in Stats.Faults.
+			net.emit(core.Event{Kind: core.EvLose, Proc: k.To, Peer: k.From, Instance: m.Instance, Msg: m})
+		}
+		for _, dm := range out {
+			net.deliverMsg(k.From, k.To, dm)
+		}
+		return true
+	}
+	net.deliverMsg(k.From, k.To, m)
+	return true
+}
+
+// deliverMsg hands one in-transit message to the destination's receive
+// action: the delivery accounting shared by the plain path, the fault
+// plan's surviving copies, and flushed holdbacks.
+func (net *Network) deliverMsg(from, to core.ProcID, m core.Message) {
 	net.stats.Deliveries++
-	net.emit(core.Event{Kind: core.EvDeliver, Proc: k.To, Peer: k.From, Instance: m.Instance, Msg: m})
-	if mach, ok := net.routes[k.To][m.Instance]; ok && !net.crashed[k.To] {
-		mach.Deliver(net.envs[k.To], k.From, m)
+	net.emit(core.Event{Kind: core.EvDeliver, Proc: to, Peer: from, Instance: m.Instance, Msg: m})
+	if mach, ok := net.routes[to][m.Instance]; ok && !net.crashed[to] {
+		mach.Deliver(net.envs[to], from, m)
 	}
 	// A message addressed to an unknown instance (initial garbage) is
 	// consumed with no effect, exactly like a message whose receive
 	// action has a false guard.
-	return true
+}
+
+// flushFaults releases every expired held-back message into its
+// destination's receive action. Called once per scheduler step while a
+// fault plan is installed, so a delayed message on a quiet link still
+// surfaces on time.
+func (net *Network) flushFaults() {
+	for _, rel := range net.inj.Flush(int64(net.step)) {
+		net.deliverMsg(rel.From, rel.To, rel.Msg)
+	}
 }
 
 // Lose drops the head message of link k, modeling link-level loss. It
@@ -424,6 +500,9 @@ func (net *Network) pendingSnapshot() []int {
 // equally valid — execution than earlier revisions that scanned links.
 func (net *Network) Step() bool {
 	net.step++
+	if net.inj != nil {
+		net.flushFaults()
+	}
 	choice := net.r.Intn(net.n + len(net.pending))
 	if choice < net.n {
 		return net.Activate(core.ProcID(choice))
@@ -439,6 +518,9 @@ func (net *Network) Step() bool {
 // every channel head once. It reports whether anything changed.
 func (net *Network) SyncRound() bool {
 	net.step++
+	if net.inj != nil {
+		net.flushFaults()
+	}
 	changed := false
 	for p := 0; p < net.n; p++ {
 		if net.Activate(core.ProcID(p)) {
@@ -530,6 +612,22 @@ func (net *Network) RunRoundsUntil(pred func() bool, maxRounds int) error {
 func (net *Network) Quiescent() bool {
 	if len(net.pending) > 0 {
 		return false
+	}
+	if net.inj != nil && net.inj.Held() > 0 {
+		// Held-back messages are still in transit inside the injector.
+		return false
+	}
+	if net.fault != nil {
+		// A process inside a crash window cannot be probed — its guards
+		// are silenced, not disabled, and fire when the window closes —
+		// so quiescence is unknowable until then. (Permanently Crashed
+		// processes are different: they never act again, and the sweep
+		// below already treats them as contributing nothing.)
+		for p := 0; p < net.n; p++ {
+			if !net.crashed[p] && net.fault.Down(core.ProcID(p), int64(net.step)) {
+				return false
+			}
+		}
 	}
 	net.probing = true
 	defer func() { net.probing = false }()

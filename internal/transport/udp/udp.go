@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"github.com/snapstab/snapstab/internal/core"
+	"github.com/snapstab/snapstab/internal/rng"
 	"github.com/snapstab/snapstab/internal/wire"
 )
 
@@ -85,6 +86,24 @@ func WithObserver(o core.Observer) Option {
 	return func(n *Node) { n.observers = append(n.observers, o) }
 }
 
+// udpFaultSalt namespaces this substrate's injector seeds within the
+// plan's rng.Mix hierarchy (sim and runtime use their own salts).
+const udpFaultSalt = 0x53
+
+// WithFaults installs a fault-injection plan (see core.FaultPlan),
+// interposed at the mailbox boundary: every decoded datagram from a known
+// peer passes the node's injector before it is boxed, which may drop,
+// duplicate, corrupt, reorder, or delay it, honor partition windows, and
+// silence the node inside crash windows (no internal actions, no mailbox
+// drains, arrivals consumed). The injector is owned by the receive loop
+// and seeded rng.Mix(plan.Seed, salt, self); schedule windows are
+// measured in plan.Unit ticks of wall time from Start. UDP's natural
+// losses compose underneath the plan, exactly as on a real adversarial
+// network.
+func WithFaults(plan *core.FaultPlan) Option {
+	return func(n *Node) { n.fault = plan }
+}
+
 // Node is one process bound to a UDP socket.
 type Node struct {
 	self         core.ProcID
@@ -116,6 +135,11 @@ type Node struct {
 	sendDrops    atomic.Int64
 	mailboxDrops atomic.Int64
 
+	fault     *core.FaultPlan
+	inj       *core.Injector // owned by recvLoop; counters readable anywhere
+	faultUnit time.Duration
+	epoch     time.Time // set by Start, before the loops launch
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	wg       sync.WaitGroup
@@ -136,15 +160,24 @@ type Stats struct {
 	// the transport's lose-on-full rule (reported as core.EvLose: the
 	// message was in transit and was lost at the receiver).
 	MailboxDrops int64
+	// Faults counts the faults injected at this node's mailbox boundary
+	// by the installed FaultPlan (WithFaults); zero without one. Injected
+	// drops are not folded into MailboxDrops, so injected adversity stays
+	// distinguishable from genuine backpressure.
+	Faults core.FaultStats
 }
 
 // Stats returns a snapshot of the transport counters.
 func (n *Node) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Sends:        n.sends.Load(),
 		SendDrops:    n.sendDrops.Load(),
 		MailboxDrops: n.mailboxDrops.Load(),
 	}
+	if n.inj != nil {
+		s.Faults = n.inj.Stats()
+	}
+	return s
 }
 
 type mailKey struct {
@@ -201,6 +234,14 @@ func NewNode(self core.ProcID, stack core.Stack, laddr string, peers []string, o
 	if n.mailboxSlots < 1 {
 		conn.Close()
 		return nil, fmt.Errorf("udp: invalid mailbox size %d", n.mailboxSlots)
+	}
+	if n.fault != nil {
+		if err := n.fault.Validate(); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("udp: %w", err)
+		}
+		n.faultUnit = n.fault.TickUnit()
+		n.inj = core.NewInjector(n.fault, rng.New(rng.Mix(n.fault.Seed, udpFaultSalt, uint64(self))))
 	}
 	return n, nil
 }
@@ -264,6 +305,7 @@ func canonical(ap netip.AddrPort) netip.AddrPort {
 // Start builds the sender lookup table from the wired peers and launches
 // the receive and activation loops. Peers must not change after Start.
 func (n *Node) Start() {
+	n.epoch = time.Now() // fault-schedule tick zero
 	n.senders = make(map[netip.AddrPort]core.ProcID, len(n.peers))
 	for i, p := range n.peers {
 		if p == nil || core.ProcID(i) == n.self {
@@ -289,6 +331,13 @@ func (n *Node) recvLoop() {
 			return
 		default:
 		}
+		if n.inj != nil {
+			// Surface expired delayed messages even on quiet links; the
+			// read deadline below bounds the flush latency.
+			for _, rel := range n.inj.Flush(n.faultNow()) {
+				n.box(rel.From, rel.Msg)
+			}
+		}
 		_ = n.conn.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
 		sz, from, err := n.conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
@@ -302,26 +351,49 @@ func (n *Node) recvLoop() {
 		if !ok {
 			continue // not a known peer: dropped
 		}
-		key := mailKey{from: sender, instance: m.Instance}
-		n.mbMu.Lock()
-		box := n.mailboxes[key]
-		full := len(box) >= n.mailboxSlots
-		if !full {
-			n.mailboxes[key] = append(box, m)
-			n.boxed++
-		}
-		n.mbMu.Unlock()
-		if full {
-			// Lose-on-full: the message was in transit and is dropped at
-			// the receiver — the model's link loss, not a send failure.
-			n.mailboxDrops.Add(1)
-			n.emit(core.Event{Kind: core.EvLose, Proc: n.self, Peer: sender, Instance: m.Instance, Msg: m})
+		if n.inj != nil {
+			now := n.faultNow()
+			out, fate := n.inj.Filter(sender, n.self, m, now)
+			if fate == core.FateDrop {
+				n.emit(core.Event{Kind: core.EvLose, Proc: n.self, Peer: sender, Instance: m.Instance, Msg: m})
+			}
+			for _, dm := range out {
+				n.box(sender, dm)
+			}
 			continue
 		}
-		select {
-		case n.mail <- struct{}{}:
-		default: // a wakeup is already pending
-		}
+		n.box(sender, m)
+	}
+}
+
+// faultNow returns the fault-schedule tick: wall time since Start in
+// plan.Unit ticks.
+func (n *Node) faultNow() int64 {
+	return int64(time.Since(n.epoch) / n.faultUnit)
+}
+
+// box appends one in-transit message to its bounded mailbox (the model's
+// lose-on-full rule applies) and wakes the activation loop.
+func (n *Node) box(sender core.ProcID, m core.Message) {
+	key := mailKey{from: sender, instance: m.Instance}
+	n.mbMu.Lock()
+	b := n.mailboxes[key]
+	full := len(b) >= n.mailboxSlots
+	if !full {
+		n.mailboxes[key] = append(b, m)
+		n.boxed++
+	}
+	n.mbMu.Unlock()
+	if full {
+		// Lose-on-full: the message was in transit and is dropped at
+		// the receiver — the model's link loss, not a send failure.
+		n.mailboxDrops.Add(1)
+		n.emit(core.Event{Kind: core.EvLose, Proc: n.self, Peer: sender, Instance: m.Instance, Msg: m})
+		return
+	}
+	select {
+	case n.mail <- struct{}{}:
+	default: // a wakeup is already pending
 	}
 }
 
@@ -343,6 +415,9 @@ func (n *Node) actLoop() {
 		case <-sweep.C:
 			n.drainMail()
 		case <-stepTimer.C:
+			if n.fault != nil && n.fault.Down(n.self, n.faultNow()) {
+				continue // crash window: no internal actions until restart
+			}
 			n.mu.Lock()
 			ev := env{n: n}
 			for _, m := range n.stack {
@@ -357,6 +432,10 @@ func (n *Node) actLoop() {
 // the mailbox lock, batching the handoff) and delivers its contents
 // under the action mutex.
 func (n *Node) drainMail() {
+	if n.fault != nil && n.fault.Down(n.self, n.faultNow()) {
+		// Crash window: boxed mail stays in transit until the restart.
+		return
+	}
 	n.mbMu.Lock()
 	if n.boxed == 0 {
 		n.mbMu.Unlock()

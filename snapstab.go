@@ -67,6 +67,7 @@ type options struct {
 	csLength  int
 	onReceive func(proc int, from int, b Payload) Payload
 	substrate Substrate
+	faults    *core.FaultPlan
 }
 
 // Option configures a cluster.
@@ -165,11 +166,65 @@ func NewPIFCluster(n int, opts ...Option) *PIFCluster {
 		}, capacityBound(o))
 		stacks[i] = core.Stack{c.machines[i]}
 	}
-	// The checker stays dormant (never armed) in the façade; it is wired
-	// so tools can arm it on the deterministic substrate.
+	// The checker stays dormant until ArmSpec; it is wired here so the
+	// deterministic substrate can judge Specification 1 online. With the
+	// default receiver the expected feedback values are known exactly, so
+	// the Decision clause is checked value-for-value.
 	c.checker = &spec.PIFChecker{N: n, Initiator: 0, Instance: "pif"}
+	if o.onReceive == nil {
+		c.checker.ExpectFck = func(q core.ProcID, b core.Payload) core.Payload {
+			return core.Payload{Tag: "ack", Num: b.Num*1000 + int64(q)}
+		}
+	}
 	c.init(o, stacks, c.checker)
 	return c
+}
+
+// SpecReport is one armed computation's verdict under Specification 1
+// (see internal/spec): whether it started, whether it decided, and every
+// violation of the Correctness and Decision clauses observed at the
+// decision.
+type SpecReport struct {
+	Started, Decided bool
+	Violations       []string
+}
+
+// ArmSpec arms the cluster's Specification 1 checker for the next
+// broadcast of (tag, num) initiated at process p. Call it immediately
+// before BroadcastAsync(p, tag, num); after the request completes,
+// SpecReport returns the verdict. Spec checking runs on the deterministic
+// substrate only (the checker judges a single computation at a time and
+// is driven by the simulator's event stream); on the concurrent
+// substrates it returns an error and the cluster is unaffected.
+func (c *PIFCluster) ArmSpec(p int, tag string, num int64) error {
+	if c.simNet == nil {
+		return fmt.Errorf("snapstab: spec checking requires the Sim substrate")
+	}
+	if p < 0 || p >= len(c.machines) {
+		return fmt.Errorf("snapstab: ArmSpec at invalid process %d (cluster has %d)", p, len(c.machines))
+	}
+	c.simNet.Sync(func() {
+		c.checker.Initiator = core.ProcID(p)
+		c.checker.Arm(core.Payload{Tag: tag, Num: num})
+	})
+	return nil
+}
+
+// SpecReport returns the armed computation's verdict so far. Zero value
+// on the concurrent substrates.
+func (c *PIFCluster) SpecReport() SpecReport {
+	var r SpecReport
+	if c.simNet == nil {
+		return r
+	}
+	c.simNet.Sync(func() {
+		r.Started = c.checker.Started()
+		r.Decided = c.checker.Decided()
+		for _, v := range c.checker.Violations() {
+			r.Violations = append(r.Violations, v.String())
+		}
+	})
+	return r
 }
 
 // CorruptEverything drives the cluster into an arbitrary initial

@@ -56,6 +56,9 @@ func Sim() Substrate {
 				sim.WithCapacity(o.capacity),
 				sim.WithAwaitBudget(o.maxSteps),
 			}
+			if o.faults != nil {
+				sopts = append(sopts, sim.WithFaults(o.faults))
+			}
 			for _, ob := range obs {
 				sopts = append(sopts, sim.WithObserver(ob))
 			}
@@ -76,6 +79,9 @@ func Runtime() Substrate {
 			ropts := []runtime.Option{
 				runtime.WithCapacity(o.capacity),
 				runtime.WithLossRate(o.lossRate),
+			}
+			if o.faults != nil {
+				ropts = append(ropts, runtime.WithFaults(o.faults))
 			}
 			for _, ob := range obs {
 				ropts = append(ropts, runtime.WithObserver(ob))
@@ -104,9 +110,12 @@ func UDP() Substrate {
 			return udp.DefaultAssumedCapacity
 		},
 		build: func(o options, stacks []core.Stack, obs []core.Observer) (core.Substrate, error) {
-			uopts := make([]udp.Option, 0, len(obs))
+			uopts := make([]udp.Option, 0, len(obs)+1)
 			for _, ob := range obs {
 				uopts = append(uopts, udp.WithObserver(ob))
+			}
+			if o.faults != nil {
+				uopts = append(uopts, udp.WithFaults(o.faults))
 			}
 			return udp.NewCluster(stacks, uopts...)
 		},
