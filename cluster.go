@@ -149,7 +149,7 @@ func (c *clusterCore) newRequest() *Request {
 // p proceeds.
 func (c *clusterCore) start(r *Request, p int, label string, cond func(env core.Env) bool, onAbort func(env core.Env)) {
 	if p < 0 || p >= c.sub.N() {
-		r.err = fmt.Errorf("snapstab: %s at invalid process %d (cluster has %d)", label, p, c.sub.N())
+		r.err = fmt.Errorf("%w: %s at %d (cluster has %d)", ErrInvalidProcess, label, p, c.sub.N())
 		close(r.done)
 		return
 	}
@@ -205,16 +205,18 @@ func (c *clusterCore) corruptMachines(r *rng.Source) {
 // channel of the listed instances. Preloading channels needs scheduler
 // cooperation, so it exists only on the deterministic substrate; on the
 // concurrent engines channels start empty, which the model permits (the
-// arbitrary state is the machines').
-func (c *clusterCore) fillChannelGarbage(r *rng.Source, specs []config.InstanceSpec) {
+// arbitrary state is the machines'). opts tunes the garbage (typed
+// clusters draw opaque bodies; the zero value replays legacy streams
+// byte-identically).
+func (c *clusterCore) fillChannelGarbage(r *rng.Source, specs []config.InstanceSpec, opts config.Options) {
 	if net := c.simNet; net != nil {
-		net.Sync(func() { config.FillChannels(net, r, specs, config.Options{}) })
+		net.Sync(func() { config.FillChannels(net, r, specs, opts) })
 	}
 }
 
 // corrupt is the shared CorruptEverything implementation: randomize all
 // machine state, then garbage every listed instance's channels.
-func (c *clusterCore) corrupt(r *rng.Source, specs []config.InstanceSpec) {
+func (c *clusterCore) corrupt(r *rng.Source, specs []config.InstanceSpec, opts config.Options) {
 	c.corruptMachines(r)
-	c.fillChannelGarbage(r, specs)
+	c.fillChannelGarbage(r, specs, opts)
 }

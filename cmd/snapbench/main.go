@@ -1,5 +1,5 @@
 // Command snapbench regenerates the paper's evaluation artifacts: every
-// experiment of DESIGN.md §6 (E1..E10), printed as the tables recorded in
+// experiment of DESIGN.md §6 (E1..E12), printed as the tables recorded in
 // EXPERIMENTS.md.
 //
 // Usage:

@@ -12,10 +12,11 @@
 // under loss, duplication, and reordering; snapchaos is that claim run in
 // anger. Assertions are end-to-end spec projections: PIF feedback is
 // verified value-for-value (on the deterministic substrate additionally
-// by the armed internal/spec Specification 1 checker), IDs-Learning
-// tables and snapshot views against ground truth, mutual exclusion
-// through the internal/spec MutexChecker's violation log, and reset
-// against full acknowledgment.
+// by the armed internal/spec Specification 1 checker), the typed cluster
+// must echo a 4KiB JSON struct payload byte-identically through the
+// codec layer, IDs-Learning tables and snapshot views against ground
+// truth, mutual exclusion through the internal/spec MutexChecker's
+// violation log, and reset against full acknowledgment.
 //
 // Usage:
 //
@@ -41,7 +42,7 @@ import (
 func main() {
 	var (
 		scenarioF  = flag.String("scenario", "all", "scenario to run (-list to enumerate), or all")
-		protocolF  = flag.String("protocol", "all", "cluster type: pif, idl, mutex, reset, snap, or all")
+		protocolF  = flag.String("protocol", "all", "cluster type: pif, typed, idl, mutex, reset, snap, or all")
 		substrateF = flag.String("substrate", "all", "execution substrate: sim, runtime, udp, or all")
 		n          = flag.Int("n", 4, "number of processes (>= 2)")
 		seed       = flag.Uint64("seed", 1, "root seed for faults, corruption, and the sim scheduler")

@@ -25,7 +25,7 @@ func TestGauntletOnSim(t *testing.T) {
 	if len(failed) > 0 {
 		t.Fatalf("failed runs:\n%s\noutput:\n%s", strings.Join(failed, "\n"), out.String())
 	}
-	if !strings.Contains(out.String(), "25/25 runs passed") {
+	if !strings.Contains(out.String(), "30/30 runs passed") {
 		t.Fatalf("unexpected summary:\n%s", out.String())
 	}
 }

@@ -11,10 +11,12 @@
 //
 //	snapnet -protocol pif -n 3 -corrupt
 //	snapnet -protocol mutex -n 4
+//	snapnet -protocol typed -n 3 -blob 4096   # JSON struct payloads
 //	snapnet -protocol idl|reset|snap ...
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -26,14 +28,15 @@ import (
 
 func main() {
 	var (
-		protocol = flag.String("protocol", "pif", "protocol to run: pif, idl, mutex, reset, or snap")
+		protocol = flag.String("protocol", "pif", "protocol to run: pif, typed, idl, mutex, reset, or snap")
 		n        = flag.Int("n", 3, "number of nodes (>= 2)")
 		corrupt  = flag.Bool("corrupt", false, "randomize every node's protocol state first")
 		seed     = flag.Uint64("seed", 1, "corruption seed")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request deadline")
+		blob     = flag.Int("blob", 256, "typed protocol: opaque body size in bytes")
 	)
 	flag.Parse()
-	if err := run(*protocol, *n, *corrupt, *seed, *timeout); err != nil {
+	if err := run(*protocol, *n, *corrupt, *seed, *timeout, *blob); err != nil {
 		fmt.Fprintln(os.Stderr, "snapnet:", err)
 		os.Exit(1)
 	}
@@ -46,9 +49,12 @@ type statser interface {
 	Close() error
 }
 
-func run(protocol string, n int, corrupt bool, seed uint64, timeout time.Duration) error {
+func run(protocol string, n int, corrupt bool, seed uint64, timeout time.Duration, blob int) error {
 	if n < 2 {
 		return fmt.Errorf("need n >= 2, got %d", n)
+	}
+	if blob < 0 {
+		return fmt.Errorf("need -blob >= 0, got %d", blob)
 	}
 	ids := make([]int64, n)
 	for i := range ids {
@@ -73,6 +79,36 @@ func run(protocol string, n int, corrupt bool, seed uint64, timeout time.Duratio
 				return err
 			}
 			fmt.Printf("decision: %d nodes received the broadcast and acknowledged it\n", len(req.Feedbacks()))
+			return nil
+		}
+	case "typed":
+		// The typed cluster ships a JSON struct whose body crosses the
+		// wire as an opaque v2 blob; feedbacks must echo it exactly.
+		type doc struct {
+			Seed uint64 `json:"seed"`
+			Body []byte `json:"body"`
+		}
+		c := snapstab.NewTypedPIFCluster(n, snapstab.JSON[doc](), opts...)
+		cluster = c
+		request = func() error {
+			body := make([]byte, blob)
+			for i := range body {
+				body[i] = byte(uint64(i)*131 + seed)
+			}
+			fmt.Printf("node 0 broadcasting a %d-byte JSON payload...\n", blob)
+			req := c.BroadcastAsync(0, doc{Seed: seed, Body: body})
+			if err := req.Wait(ctx); err != nil {
+				return err
+			}
+			for _, f := range req.Feedbacks() {
+				if f.Err != nil {
+					return fmt.Errorf("node %d echoed an undecodable body: %w", f.From, f.Err)
+				}
+				if f.Value.Seed != seed || !bytes.Equal(f.Value.Body, body) {
+					return fmt.Errorf("node %d echo differs from the broadcast", f.From)
+				}
+			}
+			fmt.Printf("decision: %d nodes echoed the payload byte-identically\n", len(req.Feedbacks()))
 			return nil
 		}
 	case "idl":
@@ -137,7 +173,7 @@ func run(protocol string, n int, corrupt bool, seed uint64, timeout time.Duratio
 			return nil
 		}
 	default:
-		return fmt.Errorf("unknown protocol %q (want pif, idl, mutex, reset, or snap)", protocol)
+		return fmt.Errorf("unknown protocol %q (want pif, typed, idl, mutex, reset, or snap)", protocol)
 	}
 	defer cluster.Close()
 

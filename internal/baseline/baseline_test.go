@@ -185,7 +185,7 @@ func TestSeqFooledExactlyByPreloadedNumbers(t *testing.T) {
 	if err := net.RunUntil(machines[0].Done, 1_000_000); err != nil {
 		t.Fatal(err)
 	}
-	if got != ackFor(1, token) {
+	if !got.Equal(ackFor(1, token)) {
 		t.Fatalf("post-convergence feedback = %v, want genuine %v", got, ackFor(1, token))
 	}
 	if brdAt1 == 0 {
@@ -207,7 +207,7 @@ func TestSeqConvergedRunsStayCorrect(t *testing.T) {
 		if err := net.RunUntil(machines[0].Done, 1_000_000); err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
-		if got != ackFor(1, token) {
+		if !got.Equal(ackFor(1, token)) {
 			t.Fatalf("round %d: feedback %v, want %v", round, got, ackFor(1, token))
 		}
 	}

@@ -181,7 +181,7 @@ func newExplorer(top int, safety bool) *explorer {
 	e.p = pif.New("pif", 0, 2, pif.Callbacks{
 		OnBroadcast: func(core.Env, core.ProcID, core.Payload) core.Payload { return staleF },
 		OnFeedback: func(_ core.Env, _ core.ProcID, f core.Payload) {
-			if e.safety && e.p.Request == core.In && f != freshF {
+			if e.safety && e.p.Request == core.In && !f.Equal(freshF) {
 				e.violated = true
 				e.violation = fmt.Sprintf("started computation accepted stale feedback %v", f)
 			}
@@ -189,7 +189,7 @@ func newExplorer(top int, safety bool) *explorer {
 	}, pif.WithFlagTop(top))
 	e.q = pif.New("pif", 1, 2, pif.Callbacks{
 		OnBroadcast: func(_ core.Env, _ core.ProcID, b core.Payload) core.Payload {
-			if b == freshB {
+			if b.Equal(freshB) {
 				return freshF
 			}
 			return staleF
@@ -313,7 +313,7 @@ func (e *explorer) capture(c *conf) {
 	c.qReq = uint8(q.Request)
 	c.qS = q.State[0]
 	c.qN = q.Neig[0]
-	c.qF = q.FMes[0] == freshF
+	c.qF = q.FMes[0].Equal(freshF)
 }
 
 // chanEnv adapts the single-slot channels to core.Env for the machines.
@@ -331,14 +331,14 @@ func (v chanEnv) Send(to core.ProcID, m core.Message) {
 		if !c.pqFull {
 			c.pqFull = true
 			c.pqS, c.pqE = m.State, m.Echo
-			c.pqB = m.B == freshB
+			c.pqB = m.B.Equal(freshB)
 		}
 		return
 	}
 	if !c.qpFull {
 		c.qpFull = true
 		c.qpS, c.qpE = m.State, m.Echo
-		c.qpF = m.F == freshF
+		c.qpF = m.F.Equal(freshF)
 	}
 }
 

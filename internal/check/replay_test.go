@@ -48,14 +48,14 @@ func replayAttack(t *testing.T, top int, init *InitConf, ops []string) bool {
 	machines[0] = pif.New("pif", 0, 2, pif.Callbacks{
 		OnBroadcast: func(core.Env, core.ProcID, core.Payload) core.Payload { return stale },
 		OnFeedback: func(_ core.Env, _ core.ProcID, f core.Payload) {
-			if machines[0].Request == core.In && f != freshAck {
+			if machines[0].Request == core.In && !f.Equal(freshAck) {
 				violated = true
 			}
 		},
 	}, pif.WithFlagTop(top))
 	machines[1] = pif.New("pif", 1, 2, pif.Callbacks{
 		OnBroadcast: func(_ core.Env, _ core.ProcID, b core.Payload) core.Payload {
-			if b == token {
+			if b.Equal(token) {
 				return freshAck
 			}
 			return stale

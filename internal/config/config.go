@@ -41,6 +41,12 @@ type Options struct {
 	// networks, where "up to capacity" is meaningless (default 3 when
 	// zero). Theorem 1's adversary preloads its own, longer sequences.
 	MaxUnboundedGarbage int
+	// GarbageBlobLen, when positive, gives every garbage payload an
+	// opaque body of up to that many random bytes — the arbitrary
+	// initial configuration of a typed (blob-carrying) deployment. The
+	// default 0 draws no extra randomness, so legacy corruption streams
+	// replay byte-identically.
+	GarbageBlobLen int
 }
 
 func (o Options) withDefaults() Options {
@@ -80,7 +86,7 @@ func FillChannels(net *sim.Network, r *rng.Source, specs []InstanceSpec, opts Op
 				var garbage []core.Message
 				for i := 0; i < slots; i++ {
 					if r.Float64() < opts.FillProbability {
-						garbage = append(garbage, pif.GarbageMessage(r, s.Instance, s.FlagTop))
+						garbage = append(garbage, pif.GarbageMessageBlob(r, s.Instance, s.FlagTop, opts.GarbageBlobLen))
 					}
 				}
 				k := sim.LinkKey{From: core.ProcID(from), To: core.ProcID(to), Instance: s.Instance}

@@ -12,6 +12,8 @@
 package core
 
 import (
+	"bytes"
+	"encoding/hex"
 	"fmt"
 	"strconv"
 )
@@ -53,29 +55,73 @@ func (r ReqState) String() string {
 	}
 }
 
+// MaxBlobLen bounds a payload body everywhere — the authoritative limit
+// the wire format enforces per datagram (internal/wire re-exports it).
+// The corruption policy clamps garbled bodies to it too: a corrupted
+// message must stay routable AND encodable, so adversity degrades
+// values, never the transport's ability to carry the message.
+const MaxBlobLen = 16 << 10
+
 // Payload is a message-value: the application-level data carried in the
-// broadcast and feedback fields of a message. It is a small comparable
-// value so configurations can be hashed and compared in the model checker.
+// broadcast and feedback fields of a message. The structured fields (Tag,
+// Num) are what the paper-facing protocols and experiments manipulate;
+// Blob is an opaque application body carried verbatim through the
+// handshake machines for typed application payloads (the façade's codec
+// layer marshals arbitrary Go values into it). The protocols never
+// inspect Blob — to them it is data to propagate, exactly like the
+// message-switched forwarding model where the carried datum is opaque
+// bytes.
+//
+// Payload is no longer comparable with == (Blob is a slice); use Equal.
+// Blob contents are immutable by convention: every layer that "changes" a
+// blob (codecs, the fault plane's corruption policy) replaces the slice,
+// never writes through it, so in-flight copies may safely alias one
+// backing array.
 type Payload struct {
 	// Tag names the datum kind ("IDL", "ASK", "YES", garbage tags, ...).
 	Tag string
 	// Num carries a numeric argument (an identifier, an age, ...).
 	Num int64
+	// Blob is the opaque application body; nil and empty are equivalent
+	// (both mean "no body") and encode identically everywhere.
+	Blob []byte
 }
 
-// String renders the payload compactly for traces.
+// Equal reports whether two payloads carry the same value. A nil and an
+// empty Blob are equal.
+func (p Payload) Equal(o Payload) bool {
+	return p.Tag == o.Tag && p.Num == o.Num && bytes.Equal(p.Blob, o.Blob)
+}
+
+// IsZero reports whether p is the zero payload (no tag, no number, no
+// body).
+func (p Payload) IsZero() bool {
+	return p.Tag == "" && p.Num == 0 && len(p.Blob) == 0
+}
+
+// String renders the payload compactly for traces. Payloads without a
+// body render exactly as in earlier revisions, keeping legacy event
+// traces byte-identical; a body adds its length and a short prefix.
 func (p Payload) String() string {
-	if p.Num == 0 {
-		return p.Tag
+	s := p.Tag
+	if p.Num != 0 {
+		s = p.Tag + "(" + strconv.FormatInt(p.Num, 10) + ")"
 	}
-	return p.Tag + "(" + strconv.FormatInt(p.Num, 10) + ")"
+	if n := len(p.Blob); n > 0 {
+		prefix := p.Blob
+		if n > 8 {
+			prefix = prefix[:8]
+		}
+		s += "+blob[" + strconv.Itoa(n) + "]" + hex.EncodeToString(prefix)
+	}
+	return s
 }
 
 // Message is the wire unit exchanged by processes:
 // <message-type, message-values...> in the paper's notation. All protocols
 // in this repository (the PIF family and the baselines) fit one flat shape,
-// which keeps encoding, hashing, and garbage generation uniform. The type
-// is comparable by design.
+// which keeps encoding, hashing, and garbage generation uniform. Like
+// Payload, Message is not comparable with ==; use Equal or IsZero.
 type Message struct {
 	// Instance routes the message to one protocol instance on the
 	// destination process (e.g. "me/idl/pif"); composed stacks multiplex
@@ -98,6 +144,19 @@ type Message struct {
 // String renders the message compactly for traces.
 func (m Message) String() string {
 	return fmt.Sprintf("<%s|%s B=%s F=%s s=%d e=%d>", m.Instance, m.Kind, m.B, m.F, m.State, m.Echo)
+}
+
+// Equal reports whether two messages carry the same fields and values.
+func (m Message) Equal(o Message) bool {
+	return m.Instance == o.Instance && m.Kind == o.Kind &&
+		m.State == o.State && m.Echo == o.Echo &&
+		m.B.Equal(o.B) && m.F.Equal(o.F)
+}
+
+// IsZero reports whether m is the zero message.
+func (m Message) IsZero() bool {
+	return m.Instance == "" && m.Kind == "" && m.State == 0 && m.Echo == 0 &&
+		m.B.IsZero() && m.F.IsZero()
 }
 
 // Envelope is a routed message with provenance: the unit the concurrent

@@ -31,16 +31,38 @@ func TestPayloadString(t *testing.T) {
 	}
 }
 
-func TestMessageComparable(t *testing.T) {
+func TestMessageEqual(t *testing.T) {
 	t.Parallel()
 	a := Message{Instance: "pif", Kind: "PIF", B: Payload{Tag: "x"}, State: 3}
 	b := Message{Instance: "pif", Kind: "PIF", B: Payload{Tag: "x"}, State: 3}
-	if a != b {
+	if !a.Equal(b) {
 		t.Fatal("identical messages compare unequal")
 	}
 	b.Echo = 1
-	if a == b {
+	if a.Equal(b) {
 		t.Fatal("distinct messages compare equal")
+	}
+	b.Echo = 0
+	b.B.Blob = []byte{1, 2, 3}
+	if a.Equal(b) {
+		t.Fatal("messages differing only in blob compare equal")
+	}
+	a.B.Blob = []byte{1, 2, 3}
+	if !a.Equal(b) {
+		t.Fatal("equal-blob messages compare unequal")
+	}
+}
+
+func TestPayloadEqualBlobSemantics(t *testing.T) {
+	t.Parallel()
+	if !(Payload{Blob: nil}).Equal(Payload{Blob: []byte{}}) {
+		t.Fatal("nil and empty blob must be equal")
+	}
+	if (Payload{Blob: []byte{1}}).Equal(Payload{}) {
+		t.Fatal("non-empty blob equal to empty")
+	}
+	if !(Payload{}).IsZero() || (Payload{Blob: []byte{1}}).IsZero() {
+		t.Fatal("IsZero wrong on blob payloads")
 	}
 }
 
@@ -144,17 +166,30 @@ func TestMultiObserverFansOut(t *testing.T) {
 
 func TestAppendPayloadInjective(t *testing.T) {
 	t.Parallel()
-	f := func(tag1 string, num1 int64, tag2 string, num2 int64) bool {
+	f := func(tag1 string, num1 int64, blob1 []byte, tag2 string, num2 int64, blob2 []byte) bool {
 		if len(tag1) > 255 || len(tag2) > 255 {
 			return true // out of the encoding's domain
 		}
-		p1, p2 := Payload{Tag: tag1, Num: num1}, Payload{Tag: tag2, Num: num2}
+		p1 := Payload{Tag: tag1, Num: num1, Blob: blob1}
+		p2 := Payload{Tag: tag2, Num: num2, Blob: blob2}
 		e1 := string(AppendPayload(nil, p1))
 		e2 := string(AppendPayload(nil, p2))
-		return (p1 == p2) == (e1 == e2)
+		return p1.Equal(p2) == (e1 == e2)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestAppendPayloadSelfDelimiting pins that concatenated payload
+// encodings cannot be re-segmented: a blob ending exactly where another
+// payload's fields begin must not collide with a blob-free pair.
+func TestAppendPayloadSelfDelimiting(t *testing.T) {
+	t.Parallel()
+	a := AppendPayload(AppendPayload(nil, Payload{Tag: "x", Blob: []byte{'y', 0}}), Payload{})
+	b := AppendPayload(AppendPayload(nil, Payload{Tag: "x"}), Payload{Tag: "y"})
+	if string(a) == string(b) {
+		t.Fatal("blob bytes re-segmented as a following payload")
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strings"
 	"sync"
@@ -109,7 +110,7 @@ func (e Event) String() string {
 	if e.Instance != "" {
 		fmt.Fprintf(&b, " inst=%s", e.Instance)
 	}
-	if e.Msg != (Message{}) {
+	if !e.Msg.IsZero() {
 		fmt.Fprintf(&b, " msg=%s", e.Msg)
 	}
 	if e.Note != "" {
@@ -208,13 +209,18 @@ func (m MultiObserver) OnEvent(e Event) {
 }
 
 // AppendPayload appends a canonical encoding of p to dst. Helper for
-// Snapshotter implementations.
+// Snapshotter implementations. The encoding is self-delimiting — tag
+// length, tag, fixed-width number, uvarint blob length, blob — so
+// concatenations of payloads (machine snapshots, configuration hashes)
+// stay injective with bodies of any content.
 func AppendPayload(dst []byte, p Payload) []byte {
 	dst = append(dst, byte(len(p.Tag)))
 	dst = append(dst, p.Tag...)
 	for shift := 0; shift < 64; shift += 8 {
 		dst = append(dst, byte(p.Num>>shift))
 	}
+	dst = binary.AppendUvarint(dst, uint64(len(p.Blob)))
+	dst = append(dst, p.Blob...)
 	return dst
 }
 

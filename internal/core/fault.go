@@ -515,10 +515,36 @@ var corruptTags = []string{"", "junk", "zap", "noise"}
 // fields, keeping the routing envelope (Instance, Kind) intact so the
 // message still reaches a receive action — the adversarial case the
 // protocols must survive, per the arbitrary-channel-content model.
+// Payload bodies are garbled too, but only when the message carries one:
+// a blob-free message consumes exactly the random draws of earlier
+// revisions, keeping legacy decision streams reproducible.
 func corruptMessage(m Message, r Rand) Message {
-	m.B = Payload{Tag: corruptTags[r.Intn(len(corruptTags))], Num: int64(r.Uint64() % 1024)}
-	m.F = Payload{Tag: corruptTags[r.Intn(len(corruptTags))], Num: int64(r.Uint64() % 1024)}
+	m.B = corruptPayload(m.B, r)
+	m.F = corruptPayload(m.F, r)
 	m.State = uint8(r.Intn(256))
 	m.Echo = uint8(r.Intn(256))
 	return m
+}
+
+// corruptPayload draws a garbage replacement for p. A carried blob is
+// replaced by a fresh random body (never mutated in place — in-flight
+// duplicates may alias it) whose length varies around the original —
+// clamped to MaxBlobLen, so corruption exercises truncation and growth
+// at the decode layer without manufacturing a message the wire format
+// could never carry (an unencodable feedback echo would silently drop
+// at every UDP send, forever).
+func corruptPayload(p Payload, r Rand) Payload {
+	out := Payload{Tag: corruptTags[r.Intn(len(corruptTags))], Num: int64(r.Uint64() % 1024)}
+	if n := len(p.Blob); n > 0 {
+		bound := 2 * n
+		if bound > MaxBlobLen {
+			bound = MaxBlobLen
+		}
+		garbled := make([]byte, r.Intn(bound+1))
+		for i := range garbled {
+			garbled[i] = byte(r.Uint64())
+		}
+		out.Blob = garbled
+	}
+	return out
 }

@@ -40,7 +40,7 @@ func TestEmptyPlanPassesEverythingWithoutRandomness(t *testing.T) {
 	inj := NewInjector(&FaultPlan{}, panicRand{t})
 	for i := 0; i < 10; i++ {
 		out, fate := inj.Filter(0, 1, msg("PIF"), int64(i))
-		if fate != FateDeliver || len(out) != 1 || out[0] != msg("PIF") {
+		if fate != FateDeliver || len(out) != 1 || !out[0].Equal(msg("PIF")) {
 			t.Fatalf("empty plan altered delivery: fate=%v out=%v", fate, out)
 		}
 	}
@@ -89,7 +89,7 @@ func TestReorderSwapsAdjacentMessages(t *testing.T) {
 		t.Fatalf("Held() = %d, want 1", inj.Held())
 	}
 	out, fate = inj.Filter(0, 1, m2, 1)
-	if fate != FateDeliver || len(out) != 2 || out[0] != m2 || out[1] != m1 {
+	if fate != FateDeliver || len(out) != 2 || !out[0].Equal(m2) || !out[1].Equal(m1) {
 		t.Fatalf("want [TWO ONE], got fate=%v out=%v", fate, out)
 	}
 	if inj.Held() != 0 {
@@ -124,7 +124,7 @@ func TestReorderHoldSurvivesFlush(t *testing.T) {
 	}
 	// The next message overtakes the held one: a genuine adjacent swap.
 	out, fate := inj.Filter(0, 1, m2, 10)
-	if fate != FateDeliver || len(out) != 2 || out[0] != m2 || out[1] != m1 {
+	if fate != FateDeliver || len(out) != 2 || !out[0].Equal(m2) || !out[1].Equal(m1) {
 		t.Fatalf("want [TWO ONE], got fate=%v out=%v", fate, out)
 	}
 
@@ -137,7 +137,7 @@ func TestReorderHoldSurvivesFlush(t *testing.T) {
 	if rel := inj2.Flush(ReorderFlushGrace - 1); len(rel) != 0 {
 		t.Fatalf("released before the grace period: %v", rel)
 	}
-	if rel := inj2.Flush(ReorderFlushGrace); len(rel) != 1 || rel[0].Msg != m1 {
+	if rel := inj2.Flush(ReorderFlushGrace); len(rel) != 1 || !rel[0].Msg.Equal(m1) {
 		t.Fatalf("quiet-link holdback not released after grace: %v", rel)
 	}
 }
@@ -155,7 +155,7 @@ func TestDelayReleasedByFlushAfterTicks(t *testing.T) {
 		t.Fatalf("released early: %v", rel)
 	}
 	rel := inj.Flush(10)
-	if len(rel) != 1 || rel[0].Msg != m || rel[0].From != 0 || rel[0].To != 1 {
+	if len(rel) != 1 || !rel[0].Msg.Equal(m) || rel[0].From != 0 || rel[0].To != 1 {
 		t.Fatalf("Flush(10) = %v, want the delayed message", rel)
 	}
 	if st := inj.Stats(); st.Delays != 1 {
@@ -177,7 +177,7 @@ func TestCorruptKeepsRoutingEnvelope(t *testing.T) {
 	if got.Instance != in.Instance || got.Kind != in.Kind {
 		t.Fatalf("corruption touched the routing envelope: %v", got)
 	}
-	if got.B == in.B {
+	if got.B.Equal(in.B) {
 		t.Fatalf("payload not corrupted: %v", got)
 	}
 	if st := inj.Stats(); st.Corrupts != 1 {
@@ -245,7 +245,7 @@ func TestHeldMessagesSurviveCrashAndPartition(t *testing.T) {
 	if rel := inj.Flush(4); len(rel) != 0 {
 		t.Fatalf("flushed to a down process: %v", rel)
 	}
-	if rel := inj.Flush(6); len(rel) != 1 || rel[0].Msg != m {
+	if rel := inj.Flush(6); len(rel) != 1 || !rel[0].Msg.Equal(m) {
 		t.Fatalf("held message lost across the crash window: %v", rel)
 	}
 }
@@ -288,5 +288,93 @@ func TestValidate(t *testing.T) {
 	}
 	if err := ok.Validate(); err != nil {
 		t.Errorf("good plan rejected: %v", err)
+	}
+}
+
+// TestCorruptGarblesBlobs pins the blob half of the corruption policy: a
+// carried body is replaced (fresh backing array — in-flight duplicates
+// may alias the original) while the routing envelope stays intact, and a
+// blob-free message stays blob-free.
+func TestCorruptGarblesBlobs(t *testing.T) {
+	t.Parallel()
+	plan := &FaultPlan{Default: LinkFaults{CorruptRate: 0.999}}
+	inj := NewInjector(plan, newTestRand(9))
+	blob := []byte("immutable-original-body")
+	in := Message{Instance: "pif", Kind: "PIF", B: Payload{Tag: "app", Blob: blob}}
+	var sawCorrupt bool
+	for i := 0; i < 50 && !sawCorrupt; i++ {
+		out, fate := inj.Filter(0, 1, in, int64(i))
+		if fate != FateDeliver || len(out) != 1 {
+			t.Fatalf("iteration %d: fate=%v out=%d", i, fate, len(out))
+		}
+		got := out[0]
+		if got.Instance != "pif" || got.Kind != "PIF" {
+			t.Fatalf("corruption touched the routing envelope: %v", got)
+		}
+		if !got.B.Equal(in.B) {
+			sawCorrupt = true
+			if len(got.B.Blob) > 0 && &got.B.Blob[0] == &blob[0] {
+				t.Fatal("garbled blob aliases the original backing array")
+			}
+		}
+	}
+	if !sawCorrupt {
+		t.Fatal("CorruptRate=0.999 never corrupted in 50 filters")
+	}
+	if string(blob) != "immutable-original-body" {
+		t.Fatal("corruption mutated the original blob in place")
+	}
+	if s := inj.Stats(); s.Corrupts == 0 {
+		t.Fatal("corrupts counter not incremented")
+	}
+
+	// Blob-free messages stay blob-free through corruption.
+	inj2 := NewInjector(plan, newTestRand(9))
+	for i := 0; i < 50; i++ {
+		out, _ := inj2.Filter(0, 1, Message{Instance: "pif", Kind: "PIF", B: Payload{Tag: "m"}}, int64(i))
+		for _, m := range out {
+			if len(m.B.Blob) != 0 || len(m.F.Blob) != 0 {
+				t.Fatal("corrupting a blob-free message fabricated a body")
+			}
+		}
+	}
+}
+
+// testRand is a self-contained SplitMix64 core.Rand for tests that need
+// genuine variability (core stays free of the rng package dependency).
+type testRand struct{ state uint64 }
+
+func newTestRand(seed uint64) *testRand { return &testRand{state: seed} }
+
+func (r *testRand) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+func (r *testRand) Intn(n int) int   { return int(r.Uint64() % uint64(n)) }
+func (r *testRand) Float64() float64 { return float64(r.Uint64()>>11) / (1 << 53) }
+func (r *testRand) Bool() bool       { return r.Uint64()&1 == 1 }
+
+// TestCorruptClampsBlobToWireBound pins that corruption never
+// manufactures a body the wire format cannot carry: garbling a
+// MaxBlobLen-sized blob (the largest legal body) must stay within
+// MaxBlobLen, not grow toward 2x.
+func TestCorruptClampsBlobToWireBound(t *testing.T) {
+	t.Parallel()
+	plan := &FaultPlan{Default: LinkFaults{CorruptRate: 0.999}}
+	inj := NewInjector(plan, newTestRand(4))
+	in := Message{Instance: "pif", Kind: "PIF", B: Payload{Tag: "app", Blob: make([]byte, MaxBlobLen)}}
+	for i := 0; i < 200; i++ {
+		out, _ := inj.Filter(0, 1, in, int64(i))
+		for _, m := range out {
+			if len(m.B.Blob) > MaxBlobLen {
+				t.Fatalf("corruption grew a blob to %d bytes (> MaxBlobLen %d)", len(m.B.Blob), MaxBlobLen)
+			}
+		}
+	}
+	if inj.Stats().Corrupts == 0 {
+		t.Fatal("nothing was corrupted; the clamp went untested")
 	}
 }

@@ -131,7 +131,10 @@ func runE4(cfg Config) []stat.Table {
 			config.CorruptMachines(net, r)
 			// Plant identifiable garbage in every channel incident to the
 			// initiator.
-			tagged := make(map[core.Message]bool)
+			// Messages are no longer comparable (opaque payload bodies);
+			// key the planted set by canonical encoding instead.
+			tagged := make(map[string]bool)
+			msgKey := func(m core.Message) string { return string(core.AppendMessage(nil, m)) }
 			for q := 1; q < n; q++ {
 				for _, k := range []sim.LinkKey{
 					{From: 0, To: core.ProcID(q), Instance: "pif"},
@@ -140,7 +143,7 @@ func runE4(cfg Config) []stat.Table {
 					g := pif.GarbageMessage(r, "pif", 4)
 					g.B = core.Payload{Tag: "planted", Num: int64(trial*100 + q)}
 					mustPreload(net, k, g)
-					tagged[g] = true
+					tagged[msgKey(g)] = true
 					res.planted++
 				}
 			}
@@ -151,7 +154,7 @@ func runE4(cfg Config) []stat.Table {
 					requested = machines[0].Invoke(net.Env(0), token)
 					return false
 				}
-				return machines[0].Done() && machines[0].BMes == token
+				return machines[0].Done() && machines[0].BMes.Equal(token)
 			}, cfg.MaxSteps)
 			if err != nil {
 				res.residual++ // count a timeout as a failure
@@ -163,7 +166,7 @@ func runE4(cfg Config) []stat.Table {
 					{From: core.ProcID(q), To: 0, Instance: "pif"},
 				} {
 					for _, m := range net.Link(k).Contents() {
-						if tagged[m] {
+						if tagged[msgKey(m)] {
 							res.residual++
 						}
 					}

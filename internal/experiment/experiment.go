@@ -14,6 +14,7 @@
 //	E9  (design choice)   flag-domain ablation, exhaustive
 //	E10 (§4 remark)       known-capacity extension c > 1
 //	E11 (§5 conclusion)   crash-failure boundary (future work)
+//	E12 (related work)    typed payload scaling: opaque bodies at 0B/256B/4KiB
 package experiment
 
 import (

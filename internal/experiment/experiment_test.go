@@ -12,8 +12,8 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	t.Parallel()
 	all := All()
-	if len(all) != 11 {
-		t.Fatalf("registry has %d experiments, want 11 (E1..E11)", len(all))
+	if len(all) != 12 {
+		t.Fatalf("registry has %d experiments, want 12 (E1..E12)", len(all))
 	}
 	for i, e := range all {
 		want := "E" + stat.I(i+1)

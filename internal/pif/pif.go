@@ -83,16 +83,32 @@ func WithFlagTop(top int) Option {
 	}
 }
 
+// WithGarbageBlobs makes Corrupt draw opaque payload bodies of up to max
+// random bytes alongside the structured garbage, realizing arbitrary
+// initial configurations for typed (blob-carrying) deployments. The
+// default max of 0 draws nothing extra, so legacy corruption consumes
+// exactly the random stream of earlier revisions — deterministic-sim
+// experiment output is unchanged.
+func WithGarbageBlobs(max int) Option {
+	return func(p *PIF) {
+		if max < 0 {
+			panic(fmt.Sprintf("pif: invalid garbage blob bound %d", max))
+		}
+		p.blobMax = max
+	}
+}
+
 // PIF is one process's instance of Protocol PIF. Exported fields mirror
 // the paper's variables; they are exported because sibling packages
 // (checkers, corruption, composed protocols) manipulate raw protocol state
 // — exactly what "arbitrary initial configuration" means.
 type PIF struct {
-	inst string
-	self core.ProcID
-	n    int
-	top  uint8
-	cb   Callbacks
+	inst    string
+	self    core.ProcID
+	n       int
+	top     uint8
+	blobMax int
+	cb      Callbacks
 
 	// Request is the input/output variable driving computations
 	// (Wait -> In -> Done).
@@ -308,17 +324,18 @@ func (p *PIF) AppendState(dst []byte) []byte {
 
 // Corrupt overwrites every variable with uniformly random values from its
 // domain, realizing an arbitrary initial configuration. Constants (n,
-// self, instance, flag top) are untouched, as in the model.
+// self, instance, flag top) are untouched, as in the model. Machines
+// built WithGarbageBlobs additionally draw random payload bodies.
 func (p *PIF) Corrupt(r core.Rand) {
 	p.Request = core.ReqState(r.Intn(core.NumReqStates))
-	p.BMes = GarbagePayload(r)
+	p.BMes = GarbagePayloadBlob(r, p.blobMax)
 	for q := 0; q < p.n; q++ {
 		if q == int(p.self) {
 			continue
 		}
 		p.State[q] = uint8(r.Intn(int(p.top) + 1))
 		p.Neig[q] = uint8(r.Intn(int(p.top) + 1))
-		p.FMes[q] = GarbagePayload(r)
+		p.FMes[q] = GarbagePayloadBlob(r, p.blobMax)
 	}
 }
 
@@ -329,15 +346,38 @@ func GarbagePayload(r core.Rand) core.Payload {
 	return core.Payload{Tag: "garbage", Num: int64(r.Intn(1 << 16))}
 }
 
+// GarbagePayloadBlob draws a random payload carrying an opaque body of up
+// to maxBlob random bytes. With maxBlob = 0 it draws exactly as
+// GarbagePayload — no extra randomness is consumed, so legacy corruption
+// streams replay unchanged.
+func GarbagePayloadBlob(r core.Rand, maxBlob int) core.Payload {
+	p := GarbagePayload(r)
+	if maxBlob > 0 {
+		blob := make([]byte, r.Intn(maxBlob+1))
+		for i := range blob {
+			blob[i] = byte(r.Uint64())
+		}
+		p.Blob = blob
+	}
+	return p
+}
+
 // GarbageMessage draws a random PIF message for instance inst with flags
 // in the domain {0..top}, used to fill channels in arbitrary initial
 // configurations.
 func GarbageMessage(r core.Rand, inst string, top uint8) core.Message {
+	return GarbageMessageBlob(r, inst, top, 0)
+}
+
+// GarbageMessageBlob is GarbageMessage with payload bodies of up to
+// maxBlob random bytes (0 draws none, consuming the legacy stream
+// exactly).
+func GarbageMessageBlob(r core.Rand, inst string, top uint8, maxBlob int) core.Message {
 	return core.Message{
 		Instance: inst,
 		Kind:     Kind,
-		B:        GarbagePayload(r),
-		F:        GarbagePayload(r),
+		B:        GarbagePayloadBlob(r, maxBlob),
+		F:        GarbagePayloadBlob(r, maxBlob),
 		State:    uint8(r.Intn(int(top) + 1)),
 		Echo:     uint8(r.Intn(int(top) + 1)),
 	}

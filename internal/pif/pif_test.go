@@ -54,7 +54,7 @@ func TestCleanBroadcastTwoProcesses(t *testing.T) {
 	var brd, fck []core.Event
 	for _, e := range rec.Events() {
 		switch {
-		case e.Kind == core.EvRecvBrd && e.Msg.B == token:
+		case e.Kind == core.EvRecvBrd && e.Msg.B.Equal(token):
 			brd = append(brd, e)
 		case e.Kind == core.EvRecvFck && e.Proc == 0:
 			fck = append(fck, e)
@@ -63,7 +63,7 @@ func TestCleanBroadcastTwoProcesses(t *testing.T) {
 	if len(brd) != 1 || brd[0].Proc != 1 {
 		t.Fatalf("broadcast events = %v, want exactly one at p1 carrying %v", brd, token)
 	}
-	if len(fck) != 1 || fck[0].Msg.F != ackFor(1, token) {
+	if len(fck) != 1 || !fck[0].Msg.F.Equal(ackFor(1, token)) {
 		t.Fatalf("feedback events = %v, want one at p0 carrying %v", fck, ackFor(1, token))
 	}
 }
@@ -81,7 +81,7 @@ func TestBroadcastFiveProcesses(t *testing.T) {
 	gotFck := make(map[core.ProcID]core.Payload)
 	for _, e := range rec.Events() {
 		switch {
-		case e.Kind == core.EvRecvBrd && e.Msg.B == token:
+		case e.Kind == core.EvRecvBrd && e.Msg.B.Equal(token):
 			gotBrd[e.Proc] = true
 		case e.Kind == core.EvRecvFck && e.Proc == 2:
 			gotFck[e.Peer] = e.Msg.F
@@ -94,7 +94,7 @@ func TestBroadcastFiveProcesses(t *testing.T) {
 		if !gotBrd[q] {
 			t.Errorf("process %d never received the broadcast", q)
 		}
-		if got, want := gotFck[q], ackFor(q, token); got != want {
+		if got, want := gotFck[q], ackFor(q, token); !got.Equal(want) {
 			t.Errorf("feedback from %d = %v, want %v", q, got, want)
 		}
 	}
@@ -147,7 +147,7 @@ func TestConcurrentInitiators(t *testing.T) {
 				continue
 			}
 			want := ackFor(q, core.Payload{Tag: "m", Num: int64(i + 1)})
-			if got := fck[[2]core.ProcID{i, q}]; got != want {
+			if got := fck[[2]core.ProcID{i, q}]; !got.Equal(want) {
 				t.Errorf("initiator %d feedback from %d = %v, want %v", i, q, got, want)
 			}
 		}
@@ -236,7 +236,7 @@ func TestSnapStabilizationRandomized(t *testing.T) {
 				}
 				return false
 			}
-			return machines[0].Done() && machines[0].BMes == token
+			return machines[0].Done() && machines[0].BMes.Equal(token)
 		}, 2_000_000)
 		if err != nil {
 			t.Fatalf("trial %d (seed %d): %v", trial, seed, err)
@@ -252,7 +252,7 @@ func TestSnapStabilizationRandomized(t *testing.T) {
 			switch {
 			case e.Kind == core.EvStart && e.Proc == 0 && e.Note == token.String():
 				sawStart = true
-			case e.Kind == core.EvRecvBrd && e.Msg.B == token:
+			case e.Kind == core.EvRecvBrd && e.Msg.B.Equal(token):
 				brd[e.Proc] = true
 			case e.Kind == core.EvRecvFck && e.Proc == 0 && sawStart && !machinesDoneBefore(machines[0], e.Step):
 				fck[e.Peer] = e.Msg.F
@@ -266,7 +266,7 @@ func TestSnapStabilizationRandomized(t *testing.T) {
 				t.Fatalf("trial %d: process %d never received the broadcast\n%s", trial, q, rec.Dump())
 			}
 			want := ackFor(q, token)
-			if got := fck[q]; got != want {
+			if got := fck[q]; !got.Equal(want) {
 				t.Fatalf("trial %d: decision used feedback %v from %d, want %v", trial, got, q, want)
 			}
 		}
@@ -288,7 +288,8 @@ func TestProperty1ChannelFlush(t *testing.T) {
 		// Force garbage into every channel incident to p0 so the property
 		// is exercised on every link.
 		r := rng.New(seed)
-		initial := make(map[core.Message]bool)
+		initial := make(map[string]bool)
+		msgKey := func(m core.Message) string { return string(core.AppendMessage(nil, m)) }
 		for q := 1; q < 3; q++ {
 			for _, k := range []sim.LinkKey{
 				{From: 0, To: core.ProcID(q), Instance: "pif"},
@@ -299,7 +300,7 @@ func TestProperty1ChannelFlush(t *testing.T) {
 				if err := net.Link(k).Preload([]core.Message{g}); err != nil {
 					t.Fatal(err)
 				}
-				initial[g] = true
+				initial[msgKey(g)] = true
 			}
 		}
 		token := core.Payload{Tag: "fresh", Num: int64(trial)}
@@ -309,7 +310,7 @@ func TestProperty1ChannelFlush(t *testing.T) {
 				requested = machines[0].Invoke(net.Env(0), token)
 				return false
 			}
-			return machines[0].Done() && machines[0].BMes == token
+			return machines[0].Done() && machines[0].BMes.Equal(token)
 		}, 2_000_000)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
@@ -320,7 +321,7 @@ func TestProperty1ChannelFlush(t *testing.T) {
 				{From: core.ProcID(q), To: 0, Instance: "pif"},
 			} {
 				for _, m := range net.Link(k).Contents() {
-					if initial[m] {
+					if initial[msgKey(m)] {
 						t.Fatalf("trial %d: initial message %v still in %v after completed computation", trial, m, k)
 					}
 				}
@@ -451,7 +452,7 @@ func TestFlagDomainAblationUnsound(t *testing.T) {
 	// The genuine feedback for this broadcast would be ackFor(1, token);
 	// the ablated protocol decided on something that was never produced
 	// for it — the unsound decision the flag domain {0..4} rules out.
-	if decidedOn == ackFor(1, token) {
+	if decidedOn.Equal(ackFor(1, token)) {
 		t.Fatalf("decision %v matches the genuine feedback; ablation vacuous", decidedOn)
 	}
 }
@@ -486,7 +487,7 @@ func TestStateMonotoneDuringComputation(t *testing.T) {
 				}
 				last[q] = machines[0].State[q]
 			}
-			return machines[0].Done() && machines[0].BMes == token
+			return machines[0].Done() && machines[0].BMes.Equal(token)
 		}, 2_000_000)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
@@ -587,7 +588,7 @@ func TestCapacityTwoEndToEnd(t *testing.T) {
 				requested = machines[0].Invoke(net.Env(0), token)
 				return false
 			}
-			return machines[0].Done() && machines[0].BMes == token
+			return machines[0].Done() && machines[0].BMes.Equal(token)
 		}, 2_000_000)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
@@ -599,7 +600,7 @@ func TestCapacityTwoEndToEnd(t *testing.T) {
 				got[e.Peer] = e.Msg.F
 			}
 		}
-		if got[1] != want1 || got[2] != want2 {
+		if !got[1].Equal(want1) || !got[2].Equal(want2) {
 			t.Fatalf("trial %d: feedback = %v, want %v / %v", trial, got, want1, want2)
 		}
 	}
@@ -658,7 +659,7 @@ func TestRepeatedComputations(t *testing.T) {
 				requested = machines[0].Invoke(net.Env(0), token)
 				return false
 			}
-			return machines[0].Done() && machines[0].BMes == token
+			return machines[0].Done() && machines[0].BMes.Equal(token)
 		}, 1_000_000)
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
@@ -679,5 +680,41 @@ func TestStringHelpersCompile(t *testing.T) {
 	_, machines := testNet(t, 2)
 	if fmtStates(machines) == "" {
 		t.Fatal("empty debug string")
+	}
+}
+
+// TestGarbageBlobStreamInvariance pins the determinism contract of the
+// typed-payload change: drawing blob-free garbage (maxBlob = 0) consumes
+// EXACTLY the random stream of the pre-blob GarbagePayload, so legacy
+// corrupted configurations — and with them every deterministic-sim
+// experiment table — replay byte-identically.
+func TestGarbageBlobStreamInvariance(t *testing.T) {
+	t.Parallel()
+	r1, r2 := rng.New(77), rng.New(77)
+	for i := 0; i < 100; i++ {
+		a := GarbagePayload(r1)
+		b := GarbagePayloadBlob(r2, 0)
+		if !a.Equal(b) {
+			t.Fatalf("draw %d diverged: %v vs %v", i, a, b)
+		}
+	}
+	if r1.Uint64() != r2.Uint64() {
+		t.Fatal("maxBlob=0 consumed extra randomness: legacy streams shifted")
+	}
+
+	// And with a bound, bodies are actually drawn, within the bound.
+	r := rng.New(3)
+	sawBody := false
+	for i := 0; i < 100; i++ {
+		p := GarbagePayloadBlob(r, 32)
+		if len(p.Blob) > 32 {
+			t.Fatalf("garbage body of %d bytes exceeds bound 32", len(p.Blob))
+		}
+		if len(p.Blob) > 0 {
+			sawBody = true
+		}
+	}
+	if !sawBody {
+		t.Fatal("maxBlob=32 never drew a body in 100 payloads")
 	}
 }

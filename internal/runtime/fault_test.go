@@ -33,7 +33,7 @@ func TestPIFUnderFaultPlan(t *testing.T) {
 	})
 	if !waitFor(t, 30*time.Second, func() bool {
 		var d bool
-		e.Do(0, func(core.Env) { d = machines[0].Done() && machines[0].BMes == token })
+		e.Do(0, func(core.Env) { d = machines[0].Done() && machines[0].BMes.Equal(token) })
 		return d
 	}) {
 		t.Fatalf("broadcast did not survive the fault plan (faults: %+v)", e.FaultStats())
@@ -61,7 +61,7 @@ func TestCrashRestartWindowOnRuntime(t *testing.T) {
 	// implies the crash window ended and the warm restart worked.
 	if !waitFor(t, 30*time.Second, func() bool {
 		var d bool
-		e.Do(0, func(core.Env) { d = machines[0].Done() && machines[0].BMes == token })
+		e.Do(0, func(core.Env) { d = machines[0].Done() && machines[0].BMes.Equal(token) })
 		return d
 	}) {
 		t.Fatalf("broadcast did not complete after the crash window (faults: %+v)", e.FaultStats())
@@ -87,7 +87,7 @@ func TestPartitionWindowOnRuntime(t *testing.T) {
 	e.Do(0, func(env core.Env) { machines[0].Invoke(env, token) })
 	if !waitFor(t, 30*time.Second, func() bool {
 		var d bool
-		e.Do(0, func(core.Env) { d = machines[0].Done() && machines[0].BMes == token })
+		e.Do(0, func(core.Env) { d = machines[0].Done() && machines[0].BMes.Equal(token) })
 		return d
 	}) {
 		t.Fatalf("broadcast did not complete after the heal (faults: %+v)", e.FaultStats())

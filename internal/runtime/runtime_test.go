@@ -58,7 +58,7 @@ func TestPIFOnConcurrentSubstrate(t *testing.T) {
 	})
 	done := waitFor(t, 10*time.Second, func() bool {
 		var d bool
-		e.Do(0, func(core.Env) { d = machines[0].Done() && machines[0].BMes == token })
+		e.Do(0, func(core.Env) { d = machines[0].Done() && machines[0].BMes.Equal(token) })
 		return d
 	})
 	if !done {

@@ -57,7 +57,7 @@ func TestRuntimeSoak(t *testing.T) {
 				}
 				done := waitFor(t, 60*time.Second, func() bool {
 					var d bool
-					e.Do(p, func(core.Env) { d = machines[p].Done() && machines[p].BMes == token })
+					e.Do(p, func(core.Env) { d = machines[p].Done() && machines[p].BMes.Equal(token) })
 					return d
 				})
 				if !done {

@@ -36,7 +36,7 @@ func TestEngineAwait(t *testing.T) {
 			requested = machines[0].Invoke(env, token)
 			return false
 		}
-		return machines[0].Done() && machines[0].BMes == token
+		return machines[0].Done() && machines[0].BMes.Equal(token)
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -36,7 +36,7 @@ func TestAwaitMatchesRunUntil(t *testing.T) {
 				requested = machines[0].Invoke(env, token)
 				return false
 			}
-			return machines[0].Done() && machines[0].BMes == token
+			return machines[0].Done() && machines[0].BMes.Equal(token)
 		}
 		if useAwait {
 			if err := net.Await(context.Background(), 0, pred); err != nil {
@@ -91,7 +91,7 @@ func TestAwaitConcurrent(t *testing.T) {
 					requested = m.Invoke(env, token)
 					return false
 				}
-				return m.Done() && m.BMes == token
+				return m.Done() && m.BMes.Equal(token)
 			})
 		}()
 	}
@@ -199,7 +199,7 @@ func TestDriverExitsWhenIdle(t *testing.T) {
 				requested = machines[0].Invoke(env, token)
 				return false
 			}
-			return machines[0].Done() && machines[0].BMes == token
+			return machines[0].Done() && machines[0].BMes.Equal(token)
 		})
 		if err != nil {
 			t.Fatal(err)

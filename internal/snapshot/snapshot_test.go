@@ -40,7 +40,7 @@ func TestCleanCollection(t *testing.T) {
 		t.Fatal(err)
 	}
 	for q := 0; q < 4; q++ {
-		if got, want := machines[0].Views[q], (core.Payload{Tag: "counter", Num: int64(q * 11)}); got != want {
+		if got, want := machines[0].Views[q], (core.Payload{Tag: "counter", Num: int64(q * 11)}); !got.Equal(want) {
 			t.Errorf("view of %d = %v, want %v", q, got, want)
 		}
 	}
@@ -73,7 +73,7 @@ func TestCollectionFromCorruptedConfiguration(t *testing.T) {
 		}
 		for q := 0; q < 3; q++ {
 			want := core.Payload{Tag: "counter", Num: int64(1000 + trial*10 + q)}
-			if got := machines[2].Views[q]; got != want {
+			if got := machines[2].Views[q]; !got.Equal(want) {
 				t.Fatalf("trial %d: view of %d = %v, want %v (stale garbage survived)", trial, q, got, want)
 			}
 		}
@@ -107,7 +107,7 @@ func TestGarbageProbeAnsweredNeutrally(t *testing.T) {
 	_, machines, counters := build(t, 2)
 	counters[1] = 42
 	reply := machines[1].PIF.Callbacks().OnBroadcast(nil, 0, core.Payload{Tag: "garbage"})
-	if reply != (core.Payload{}) {
+	if !reply.IsZero() {
 		t.Fatalf("garbage probe answered with %v, want neutral", reply)
 	}
 }
@@ -126,7 +126,7 @@ func TestNilProviderSafe(t *testing.T) {
 	if err := net.RunUntil(machines[0].Done, 1_000_000); err != nil {
 		t.Fatal(err)
 	}
-	if machines[0].Views[1] != (core.Payload{}) {
+	if !machines[0].Views[1].IsZero() {
 		t.Fatalf("nil provider produced %v", machines[0].Views[1])
 	}
 }

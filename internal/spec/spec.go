@@ -79,6 +79,13 @@ func (c *PIFChecker) Started() bool { return c.started }
 // Decided reports whether the armed computation has decided.
 func (c *PIFChecker) Decided() bool { return c.decided }
 
+// ValueChecking reports whether the Decision clause is being checked
+// value-for-value: only when ExpectFck is installed does the checker
+// compare the decided feedback against the expected values. Callers
+// surfacing a verdict (the façade's SpecReport) must report this bit —
+// a clean verdict that never compared values is weaker than it looks.
+func (c *PIFChecker) ValueChecking() bool { return c.ExpectFck != nil }
+
 // OnEvent consumes one event.
 func (c *PIFChecker) OnEvent(e core.Event) {
 	if !c.armed || c.decided || e.Instance != c.Instance {
@@ -90,7 +97,7 @@ func (c *PIFChecker) OnEvent(e core.Event) {
 			c.started = true
 		}
 	case core.EvRecvBrd:
-		if c.started && e.Proc != c.Initiator && e.Msg.B == c.token {
+		if c.started && e.Proc != c.Initiator && e.Msg.B.Equal(c.token) {
 			c.brd[e.Proc] = true
 		}
 	case core.EvRecvFck:
@@ -135,7 +142,7 @@ func (c *PIFChecker) checkAtDecision(step int) {
 				Step:     step,
 			})
 		case c.ExpectFck != nil:
-			if want := c.ExpectFck(q, c.token); acks[0] != want {
+			if want := c.ExpectFck(q, c.token); !acks[0].Equal(want) {
 				c.violations = append(c.violations, Violation{
 					Property: "Decision",
 					Detail:   fmt.Sprintf("decision used feedback %v from %d, want %v (stale or fabricated acknowledgment)", acks[0], q, want),

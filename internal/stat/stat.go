@@ -214,3 +214,19 @@ func Pct(num, den int) string {
 	}
 	return fmt.Sprintf("%.0f%%", 100*float64(num)/float64(den))
 }
+
+// SizeLabel renders a byte count for table rows and benchmark
+// sub-names: "0B", "256B", "4KiB", "2MiB". Only exact unit multiples
+// collapse to a larger unit — 1536 stays "1536B" — so distinct sizes
+// can never collide into one label (benchmark names pair base and head
+// runs textually in the benchgate).
+func SizeLabel(bytes int) string {
+	switch {
+	case bytes >= 1<<20 && bytes%(1<<20) == 0:
+		return fmt.Sprintf("%dMiB", bytes>>20)
+	case bytes >= 1024 && bytes%1024 == 0:
+		return fmt.Sprintf("%dKiB", bytes>>10)
+	default:
+		return fmt.Sprintf("%dB", bytes)
+	}
+}

@@ -144,3 +144,21 @@ func TestSamplesMergePreservesOrder(t *testing.T) {
 		t.Fatalf("merged summary %+v != sequential summary %+v", merged.Summary(), seq.Summary())
 	}
 }
+
+func TestSizeLabel(t *testing.T) {
+	t.Parallel()
+	cases := map[int]string{
+		0:       "0B",
+		256:     "256B",
+		1024:    "1KiB",
+		1536:    "1536B", // not an exact KiB multiple: must not collide with 1KiB
+		4096:    "4KiB",
+		1 << 20: "1MiB",
+		3 << 20: "3MiB",
+	}
+	for in, want := range cases {
+		if got := SizeLabel(in); got != want {
+			t.Errorf("SizeLabel(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

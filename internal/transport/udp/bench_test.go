@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/snapstab/snapstab/internal/core"
+	"github.com/snapstab/snapstab/internal/stat"
 )
 
 // flooder mirrors the runtime package's throughput machine: Step seeds
@@ -17,6 +18,7 @@ type flooder struct {
 	inst      string
 	self      core.ProcID
 	n         int
+	blob      []byte // opaque payload body wire-encoded into every datagram
 	delivered *atomic.Int64
 }
 
@@ -25,7 +27,7 @@ func (f *flooder) Instance() string { return f.inst }
 func (f *flooder) Step(env core.Env) bool {
 	for q := 0; q < f.n; q++ {
 		if core.ProcID(q) != f.self {
-			env.Send(core.ProcID(q), core.Message{Instance: f.inst, Kind: "flood"})
+			env.Send(core.ProcID(q), core.Message{Instance: f.inst, Kind: "flood", B: core.Payload{Blob: f.blob}})
 		}
 	}
 	return true
@@ -33,7 +35,18 @@ func (f *flooder) Step(env core.Env) bool {
 
 func (f *flooder) Deliver(env core.Env, from core.ProcID, m core.Message) {
 	f.delivered.Add(1)
-	env.Send(from, core.Message{Instance: f.inst, Kind: "flood"})
+	env.Send(from, core.Message{Instance: f.inst, Kind: "flood", B: core.Payload{Blob: f.blob}})
+}
+
+func blobBody(size int) []byte {
+	if size == 0 {
+		return nil
+	}
+	body := make([]byte, size)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	return body
 }
 
 // benchCluster binds n nodes on loopback and wires the learned ports.
@@ -75,41 +88,57 @@ func stopCluster(nodes []*Node) {
 
 // BenchmarkUDPThroughput measures sustained deliveries/sec over real
 // loopback sockets: one op is one delivered message. Compare across
-// revisions with benchstat.
+// revisions with benchstat. The blob sub-family scales the opaque
+// payload body (0B / 256B / 4KiB) at fixed n — every body is
+// wire-encoded into and decoded out of real datagrams — so the benchgate
+// CI job guards the v2 framing hot path against regressions.
 func BenchmarkUDPThroughput(b *testing.B) {
 	for _, n := range []int{3, 8, 16} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			var delivered atomic.Int64
-			nodes := benchCluster(b, n, func(self core.ProcID) core.Stack {
-				return core.Stack{&flooder{inst: "flood", self: self, n: n, delivered: &delivered}}
-			})
-			// Stop per invocation (not b.Cleanup): the runner re-invokes
-			// this function while calibrating b.N, and leaked clusters
-			// would keep flooding the loopback during the timed run.
-			defer stopCluster(nodes)
-			// Let the flood reach steady state before timing.
-			warmup := time.Now().Add(10 * time.Second)
-			for delivered.Load() < int64(n) {
-				if time.Now().After(warmup) {
-					b.Fatalf("flood never started: %d deliveries", delivered.Load())
-				}
-				time.Sleep(100 * time.Microsecond)
-			}
-			b.ResetTimer()
-			start := time.Now()
-			deadline := start.Add(5 * time.Minute)
-			target := delivered.Load() + int64(b.N)
-			for delivered.Load() < target {
-				if time.Now().After(deadline) {
-					b.Fatalf("flood stalled: %d of %d deliveries", target-delivered.Load(), b.N)
-				}
-				time.Sleep(50 * time.Microsecond)
-			}
-			elapsed := time.Since(start)
-			b.StopTimer()
-			if s := elapsed.Seconds(); s > 0 {
-				b.ReportMetric(float64(b.N)/s, "msgs/sec")
-			}
+			benchUDPThroughput(b, n, 0)
 		})
+	}
+	// The plain n=8 case above IS the 0B point of the payload triple
+	// (0B / 256B / 4KiB); re-running it under a second name would double
+	// the benchgate's work for the identical configuration.
+	for _, size := range []int{256, 4096} {
+		b.Run(fmt.Sprintf("n=8/blob=%s", stat.SizeLabel(size)), func(b *testing.B) {
+			benchUDPThroughput(b, 8, size)
+		})
+	}
+}
+
+func benchUDPThroughput(b *testing.B, n, blob int) {
+	var delivered atomic.Int64
+	body := blobBody(blob)
+	nodes := benchCluster(b, n, func(self core.ProcID) core.Stack {
+		return core.Stack{&flooder{inst: "flood", self: self, n: n, blob: body, delivered: &delivered}}
+	})
+	// Stop per invocation (not b.Cleanup): the runner re-invokes
+	// this function while calibrating b.N, and leaked clusters
+	// would keep flooding the loopback during the timed run.
+	defer stopCluster(nodes)
+	// Let the flood reach steady state before timing.
+	warmup := time.Now().Add(10 * time.Second)
+	for delivered.Load() < int64(n) {
+		if time.Now().After(warmup) {
+			b.Fatalf("flood never started: %d deliveries", delivered.Load())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	b.ResetTimer()
+	start := time.Now()
+	deadline := start.Add(5 * time.Minute)
+	target := delivered.Load() + int64(b.N)
+	for delivered.Load() < target {
+		if time.Now().After(deadline) {
+			b.Fatalf("flood stalled: %d of %d deliveries", target-delivered.Load(), b.N)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	if s := elapsed.Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "msgs/sec")
 	}
 }

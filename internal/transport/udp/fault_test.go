@@ -56,7 +56,7 @@ func TestPIFOverUDPUnderFaultPlan(t *testing.T) {
 	})
 	ok := waitFor(t, 30*time.Second, func() bool {
 		var done bool
-		c.Do(0, func(core.Env) { done = machines[0].Done() && machines[0].BMes == token })
+		c.Do(0, func(core.Env) { done = machines[0].Done() && machines[0].BMes.Equal(token) })
 		return done
 	})
 	if !ok {
@@ -87,7 +87,7 @@ func TestCrashRestartWindowOverUDP(t *testing.T) {
 	// implies the window ended and the warm restart worked.
 	ok := waitFor(t, 30*time.Second, func() bool {
 		var done bool
-		c.Do(0, func(core.Env) { done = machines[0].Done() && machines[0].BMes == token })
+		c.Do(0, func(core.Env) { done = machines[0].Done() && machines[0].BMes.Equal(token) })
 		return done
 	})
 	if !ok {

@@ -88,7 +88,7 @@ func TestPIFOverLoopbackUDP(t *testing.T) {
 	})
 	ok := waitFor(t, 20*time.Second, func() bool {
 		var done bool
-		nodes[0].Do(func(core.Env) { done = machines[0].Done() && machines[0].BMes == token })
+		nodes[0].Do(func(core.Env) { done = machines[0].Done() && machines[0].BMes.Equal(token) })
 		return done
 	})
 	if !ok {
@@ -130,14 +130,14 @@ func TestPIFOverUDPFromCorruptedState(t *testing.T) {
 	})
 	ok := waitFor(t, 20*time.Second, func() bool {
 		var done bool
-		nodes[0].Do(func(core.Env) { done = machines[0].Done() && machines[0].BMes == token })
+		nodes[0].Do(func(core.Env) { done = machines[0].Done() && machines[0].BMes.Equal(token) })
 		return done
 	})
 	if !ok {
 		t.Fatal("requested broadcast did not complete over UDP")
 	}
 	want := core.Payload{Tag: "ack", Num: token.Num*10 + 1}
-	if feedback != want {
+	if !feedback.Equal(want) {
 		t.Fatalf("decided on feedback %v, want %v", feedback, want)
 	}
 }

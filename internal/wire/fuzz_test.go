@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/snapstab/snapstab/internal/core"
+)
+
+// FuzzDecode pins totality: Decode must never panic, and whenever it
+// accepts a byte slice the decoded message must re-encode and decode to
+// the same value (decode ∘ encode ∘ decode = decode). Seeds cover both
+// frame versions and every rejection branch.
+func FuzzDecode(f *testing.F) {
+	seeds := []core.Message{
+		{},
+		{Instance: "pif", Kind: "PIF", B: core.Payload{Tag: "m", Num: 7}, State: 3, Echo: 1},
+		{Instance: "me/idl/pif", Kind: "PIF", B: core.Payload{Tag: "ASK", Num: -1}, F: core.Payload{Tag: "YES", Num: 1 << 40}},
+		{Instance: "typed/pif", Kind: "PIF", B: core.Payload{Tag: "app", Blob: []byte("hello")}},
+		{Instance: "typed/pif", Kind: "PIF", B: core.Payload{Blob: bytes.Repeat([]byte{0xAB}, 4096)}, F: core.Payload{Blob: []byte{0}}},
+	}
+	for _, m := range seeds {
+		data, err := Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{magic0, magic1, Version2, 0, 0})
+	f.Add([]byte{magic0, magic1, Version2, 1, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return // rejected: fine, as long as it did not panic
+		}
+		re, err := Encode(m)
+		if err != nil {
+			t.Fatalf("accepted message %v does not re-encode: %v", m, err)
+		}
+		m2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded bytes rejected: %v", err)
+		}
+		if !m2.Equal(m) {
+			t.Fatalf("decode/encode/decode diverged: %v vs %v", m, m2)
+		}
+	})
+}
+
+// FuzzRoundTrip drives Encode with arbitrary field values (both
+// versions: blob-free inputs produce v1 frames, bodies produce v2) and
+// pins the exact round-trip law for everything Encode accepts.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add("pif", "PIF", "m", int64(7), []byte(nil), "ack", int64(-7), []byte(nil), byte(3), byte(1))
+	f.Add("typed/pif", "PIF", "app", int64(0), []byte("body"), "", int64(0), []byte{0xFF, 0x00}, byte(0), byte(255))
+	f.Add("", "", "", int64(-1), bytes.Repeat([]byte{1}, 300), "x", int64(1), []byte{}, byte(9), byte(9))
+	f.Fuzz(func(t *testing.T, inst, kind, bTag string, bNum int64, bBlob []byte,
+		fTag string, fNum int64, fBlob []byte, state, echo byte) {
+		m := core.Message{
+			Instance: inst, Kind: kind,
+			B:     core.Payload{Tag: bTag, Num: bNum, Blob: bBlob},
+			F:     core.Payload{Tag: fTag, Num: fNum, Blob: fBlob},
+			State: state, Echo: echo,
+		}
+		data, err := Encode(m)
+		if err != nil {
+			if len(inst) > MaxStringLen || len(kind) > MaxStringLen ||
+				len(bTag) > MaxStringLen || len(fTag) > MaxStringLen ||
+				len(bBlob) > MaxBlobLen || len(fBlob) > MaxBlobLen {
+				return // out of the format's domain: rejection is the contract
+			}
+			t.Fatalf("in-domain message rejected: %v", err)
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("own encoding rejected: %v", err)
+		}
+		if !got.Equal(m) {
+			t.Fatalf("round trip: got %v, want %v", got, m)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"encoding/binary"
 	"errors"
 	"strings"
 	"testing"
@@ -27,7 +28,7 @@ func TestRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != m {
+	if !got.Equal(m) {
 		t.Fatalf("round trip: got %v, want %v", got, m)
 	}
 }
@@ -87,7 +88,7 @@ func TestRoundTripProperty(t *testing.T) {
 				len(bTag) > MaxStringLen || len(fTag) > MaxStringLen
 		}
 		got, err := Decode(data)
-		return err == nil && got == m
+		return err == nil && got.Equal(m)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)
@@ -99,8 +100,8 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 	cases := map[string][]byte{
 		"empty":     {},
 		"short":     {magic0, magic1},
-		"bad magic": {0, 0, version, 0, 0, 0, 0, 0},
-		"truncated": {magic0, magic1, version, 0, 0, 5, 'a'},
+		"bad magic": {0, 0, Version1, 0, 0, 0, 0, 0},
+		"truncated": {magic0, magic1, Version1, 0, 0, 5, 'a'},
 	}
 	for name, data := range cases {
 		if _, err := Decode(data); err == nil {
@@ -174,6 +175,106 @@ func BenchmarkEncode(b *testing.B) {
 
 func BenchmarkDecode(b *testing.B) {
 	m := core.Message{Instance: "me/idl/pif", Kind: "PIF", B: core.Payload{Tag: "ASK"}, State: 3}
+	data, err := Encode(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestEncodeVersionSelection pins the upgrade-path contract: blob-free
+// messages still encode as byte-identical version-1 datagrams (a
+// pre-blob decoder keeps accepting legacy traffic), while any carried
+// body switches the frame to version 2.
+func TestEncodeVersionSelection(t *testing.T) {
+	t.Parallel()
+	legacy := core.Message{Instance: "pif", Kind: "PIF", B: core.Payload{Tag: "m", Num: 7}}
+	data, err := Encode(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[2] != Version1 {
+		t.Fatalf("blob-free message encoded as version %d, want 1", data[2])
+	}
+	withBlob := legacy
+	withBlob.F.Blob = []byte{1, 2, 3}
+	data2, err := Encode(withBlob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data2[2] != Version2 {
+		t.Fatalf("blob message encoded as version %d, want 2", data2[2])
+	}
+}
+
+func TestRoundTripBlobs(t *testing.T) {
+	t.Parallel()
+	blob := make([]byte, 4096)
+	for i := range blob {
+		blob[i] = byte(i * 31)
+	}
+	m := core.Message{
+		Instance: "typed/pif", Kind: "PIF",
+		B:     core.Payload{Tag: "app", Blob: blob},
+		F:     core.Payload{Tag: "app", Num: -1, Blob: []byte{}},
+		State: 2, Echo: 1,
+	}
+	data, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatalf("blob round trip: got %v, want %v", got, m)
+	}
+}
+
+func TestEncodeRejectsOversizedBlob(t *testing.T) {
+	t.Parallel()
+	m := core.Message{Instance: "pif", B: core.Payload{Blob: make([]byte, MaxBlobLen+1)}}
+	if _, err := Encode(m); err == nil {
+		t.Fatal("oversized blob accepted")
+	}
+}
+
+// TestDecodeRejectsOversizedBlobClaim pins totality against a length
+// claim exceeding the bound: a v2 frame claiming a blob larger than
+// MaxBlobLen must fail with ErrBadLength before any allocation or scan.
+func TestDecodeRejectsOversizedBlobClaim(t *testing.T) {
+	t.Parallel()
+	// Hand-built v2 frame: empty instance/kind/bTag, zero bNum, then a
+	// blob-length claim of MaxBlobLen+1 with no bytes behind it.
+	frame := []byte{magic0, magic1, Version2, 0, 0, 0, 0, 0}
+	frame = append(frame, make([]byte, 8)...) // bNum
+	frame = binary.AppendUvarint(frame, uint64(MaxBlobLen+1))
+	if _, err := Decode(frame); !errors.Is(err, ErrBadLength) {
+		t.Fatalf("got %v, want ErrBadLength", err)
+	}
+}
+
+func BenchmarkEncodeBlob4K(b *testing.B) {
+	m := core.Message{Instance: "typed/pif", Kind: "PIF", B: core.Payload{Tag: "app", Blob: make([]byte, 4096)}}
+	buf := make([]byte, 0, 8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := AppendEncode(buf[:0], m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out[:0]
+	}
+}
+
+func BenchmarkDecodeBlob4K(b *testing.B) {
+	m := core.Message{Instance: "typed/pif", Kind: "PIF", B: core.Payload{Tag: "app", Blob: make([]byte, 4096)}}
 	data, err := Encode(m)
 	if err != nil {
 		b.Fatal(err)

@@ -1,0 +1,182 @@
+package snapstab
+
+import (
+	"fmt"
+
+	"github.com/snapstab/snapstab/internal/config"
+	"github.com/snapstab/snapstab/internal/core"
+	"github.com/snapstab/snapstab/internal/pif"
+	"github.com/snapstab/snapstab/internal/rng"
+	"github.com/snapstab/snapstab/internal/spec"
+)
+
+// pifConfig is what distinguishes the two PIF façades over the shared
+// machinery: how application values map onto the wire payload. The
+// legacy cluster works in structured (Tag, Num) payloads with the
+// ack-derivation default receiver; the typed cluster works in opaque
+// codec-marshaled bodies with the echo default receiver.
+type pifConfig struct {
+	// recv handles an accepted broadcast at process proc and returns the
+	// feedback payload. Always non-nil.
+	recv func(proc, from int, b core.Payload) core.Payload
+	// expect, when non-nil, predicts the feedback process q must produce
+	// for broadcast b; it arms the Specification 1 checker's value-exact
+	// Decision clause. Nil when a custom receiver makes the expected
+	// values unknowable (SpecReport then says so via ValueChecked).
+	expect func(q core.ProcID, b core.Payload) core.Payload
+	// garbageBlob is the maximum opaque-body length CorruptEverything
+	// draws into garbage payloads (0 for the legacy cluster, keeping its
+	// corruption streams byte-identical to earlier revisions).
+	garbageBlob int
+}
+
+// pifCore is the payload-level PIF cluster machinery shared by
+// PIFCluster and TypedPIFCluster: machines, substrate, request plumbing,
+// feedback collection, spec checking, corruption. The façades above it
+// only translate application values to core.Payload and back.
+type pifCore struct {
+	clusterCore
+	cfg      pifConfig
+	machines []*pif.PIF
+	checker  *spec.PIFChecker
+	// active[p] is the feedback sink of process p's in-flight broadcast
+	// request. Written inside completion conditions and read inside
+	// OnFeedback — both in process p's substrate-atomic context, so no
+	// extra locking is needed and callbacks are never swapped per call.
+	active []*feedbackSink
+}
+
+// feedbackSink collects one computation's acknowledgments.
+type feedbackSink struct {
+	fb map[core.ProcID]core.Payload
+}
+
+// rawFeedback is one process's acknowledgment at the payload level.
+type rawFeedback struct {
+	From  int
+	Value core.Payload
+}
+
+// payloadBroadcastRequest is the payload-level broadcast handle the
+// typed wrappers decode from.
+type payloadBroadcastRequest struct {
+	*Request
+	fb []rawFeedback
+}
+
+// newPIFCore assembles the machines and substrate.
+func newPIFCore(n int, cfg pifConfig, o options) *pifCore {
+	c := &pifCore{cfg: cfg}
+	c.machines = make([]*pif.PIF, n)
+	c.active = make([]*feedbackSink, n)
+	stacks := make([]core.Stack, n)
+	for i := 0; i < n; i++ {
+		i := i
+		id := core.ProcID(i)
+		c.machines[i] = pif.New("pif", id, n, pif.Callbacks{
+			OnBroadcast: func(_ core.Env, from core.ProcID, b core.Payload) core.Payload {
+				return cfg.recv(int(id), int(from), b)
+			},
+			OnFeedback: func(_ core.Env, from core.ProcID, f core.Payload) {
+				if sink := c.active[i]; sink != nil {
+					sink.fb[from] = f
+				}
+			},
+		}, capacityBound(o), pif.WithGarbageBlobs(cfg.garbageBlob))
+		stacks[i] = core.Stack{c.machines[i]}
+	}
+	// The checker stays dormant until armSpec; it is wired here so the
+	// deterministic substrate can judge Specification 1 online. When the
+	// expected feedback values are known exactly (default receivers),
+	// the Decision clause is checked value-for-value.
+	c.checker = &spec.PIFChecker{N: n, Initiator: 0, Instance: "pif"}
+	c.checker.ExpectFck = cfg.expect
+	c.init(o, stacks, c.checker)
+	return c
+}
+
+// armSpec arms the Specification 1 checker for the next broadcast of
+// token initiated at process p (Sim substrate only).
+func (c *pifCore) armSpec(p int, token core.Payload) error {
+	if c.simNet == nil {
+		return fmt.Errorf("snapstab: spec checking requires the Sim substrate")
+	}
+	if p < 0 || p >= len(c.machines) {
+		return fmt.Errorf("%w: ArmSpec at process %d (cluster has %d)", ErrInvalidProcess, p, len(c.machines))
+	}
+	c.simNet.Sync(func() {
+		c.checker.Initiator = core.ProcID(p)
+		c.checker.Arm(token)
+	})
+	return nil
+}
+
+// specReport snapshots the armed computation's verdict.
+func (c *pifCore) specReport() SpecReport {
+	var r SpecReport
+	if c.simNet == nil {
+		return r
+	}
+	c.simNet.Sync(func() {
+		r.Started = c.checker.Started()
+		r.Decided = c.checker.Decided()
+		r.ValueChecked = c.checker.ValueChecking()
+		for _, v := range c.checker.Violations() {
+			r.Violations = append(r.Violations, v.String())
+		}
+	})
+	return r
+}
+
+// corruptEverything drives the cluster into an arbitrary initial
+// configuration, drawing opaque garbage bodies when the façade carries
+// them (cfg.garbageBlob > 0).
+func (c *pifCore) corruptEverything(seed uint64) {
+	c.corrupt(rng.New(seed), config.PIFSpecs("pif", c.machines[0].FlagTop()),
+		config.Options{GarbageBlobLen: c.cfg.garbageBlob})
+}
+
+// broadcastAsync submits a PIF computation request for token at process
+// p. The request is accepted as soon as the machine's previous
+// computation (if any — possibly fabricated by corruption) has decided;
+// requests issued concurrently at the same process serialize, one
+// request owning the process at a time. The guarantee (Theorem 2) holds
+// no matter how corrupted the cluster was at submission.
+func (c *pifCore) broadcastAsync(p int, token core.Payload) *payloadBroadcastRequest {
+	req := &payloadBroadcastRequest{Request: c.newRequest()}
+	// An out-of-range p fails the request in start before the condition
+	// can ever run, so the nil machine is never dereferenced.
+	var machine *pif.PIF
+	if p >= 0 && p < len(c.machines) {
+		machine = c.machines[p]
+	}
+	sink := &feedbackSink{fb: make(map[core.ProcID]core.Payload)}
+	injected := false
+	abort := func(core.Env) {
+		if injected && c.active[p] == sink {
+			c.active[p] = nil
+		}
+	}
+	c.start(req.Request, p, "broadcast", func(env core.Env) bool {
+		if !injected {
+			if !machine.Invoke(env, token) {
+				return false
+			}
+			injected = true
+			c.active[p] = sink
+			return false
+		}
+		if !machine.Done() || !machine.BMes.Equal(token) {
+			return false
+		}
+		c.active[p] = nil
+		req.fb = make([]rawFeedback, 0, len(sink.fb))
+		for q := 0; q < env.N(); q++ {
+			if f, ok := sink.fb[core.ProcID(q)]; ok {
+				req.fb = append(req.fb, rawFeedback{From: q, Value: f})
+			}
+		}
+		return true
+	}, abort)
+	return req
+}

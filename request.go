@@ -39,6 +39,19 @@ func (r *Request) Wait(ctx context.Context) error {
 	}
 }
 
+// completed reports whether the request has reached its terminal state.
+// Result accessors gate on it: their fields are written by the
+// completion condition in the substrate's atomic context, so reading
+// them mid-flight would be an unsynchronized race.
+func (r *Request) completed() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
 // Err returns the request's terminal error once it has completed, and
 // nil while it is still in flight (and after a successful completion).
 func (r *Request) Err() error {

@@ -2,6 +2,7 @@ package snapstab
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"github.com/snapstab/snapstab/internal/config"
@@ -9,6 +10,16 @@ import (
 	"github.com/snapstab/snapstab/internal/reset"
 	"github.com/snapstab/snapstab/internal/rng"
 )
+
+// ErrPartialAck is returned (wrapped) by a reset request whose decision
+// was reached without every process acknowledging the epoch — for a
+// correct protocol under the paper's channel model this is unreachable,
+// but in-flight payload corruption (an adversary beyond that model) can
+// forge the final handshake echo and complete the child PIF on a value
+// that was never a real acknowledgment. Callers running under such an
+// adversary can distinguish this protocol-level outcome from timeouts
+// and budget errors with errors.Is.
+var ErrPartialAck = errors.New("snapstab: reset decided without full acknowledgment")
 
 // ResetCluster is a system running the snap-stabilizing global reset
 // protocol — the first application the paper names for PIF. A reset
@@ -44,7 +55,7 @@ func NewResetCluster(n int, handler func(p int, epoch int64), opts ...Option) *R
 // CorruptEverything randomizes every variable and, on the deterministic
 // substrate, every channel.
 func (c *ResetCluster) CorruptEverything(seed uint64) {
-	c.corrupt(rng.New(seed), config.PIFSpecs("reset/pif", c.machines[0].PIF.FlagTop()))
+	c.corrupt(rng.New(seed), config.PIFSpecs("reset/pif", c.machines[0].PIF.FlagTop()), config.Options{})
 }
 
 // ResetRequest is the handle of an asynchronous Reset.
@@ -54,8 +65,14 @@ type ResetRequest struct {
 }
 
 // Epoch returns the epoch every process adopted and acknowledged, valid
-// after the request completed successfully.
-func (r *ResetRequest) Epoch() int64 { return r.epoch }
+// after the request completed successfully and zero while it is still
+// in flight.
+func (r *ResetRequest) Epoch() int64 {
+	if !r.completed() {
+		return 0
+	}
+	return r.epoch
+}
 
 // ResetAsync submits a global reset request at process p and returns
 // immediately.
@@ -86,7 +103,7 @@ func (c *ResetCluster) ResetAsync(p int) *ResetRequest {
 		if !machine.AllAcked(req.epoch) {
 			// Unreachable for a correct protocol; surfaced rather than
 			// silently returning a half-acknowledged epoch.
-			req.fail = fmt.Errorf("snapstab: reset decision without full acknowledgment of epoch %d", req.epoch)
+			req.fail = fmt.Errorf("%w of epoch %d", ErrPartialAck, req.epoch)
 		}
 		return true
 	}, nil)

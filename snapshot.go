@@ -42,7 +42,7 @@ func NewSnapshotCluster(n int, provider func(p int) Payload, opts ...Option) *Sn
 // CorruptEverything randomizes every variable and, on the deterministic
 // substrate, every channel.
 func (c *SnapshotCluster) CorruptEverything(seed uint64) {
-	c.corrupt(rng.New(seed), config.PIFSpecs("snap/pif", c.machines[0].PIF.FlagTop()))
+	c.corrupt(rng.New(seed), config.PIFSpecs("snap/pif", c.machines[0].PIF.FlagTop()), config.Options{})
 }
 
 // CollectRequest is the handle of an asynchronous Collect.
@@ -52,8 +52,14 @@ type CollectRequest struct {
 }
 
 // Views returns every process's state as reported for this probe
-// (indexed by process), valid after the request completed successfully.
-func (r *CollectRequest) Views() []Payload { return r.views }
+// (indexed by process), valid after the request completed successfully
+// and nil while it is still in flight.
+func (r *CollectRequest) Views() []Payload {
+	if !r.completed() {
+		return nil
+	}
+	return r.views
+}
 
 // CollectAsync submits a collection request at process p and returns
 // immediately.

@@ -36,6 +36,7 @@ package snapstab
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -43,7 +44,6 @@ import (
 	"github.com/snapstab/snapstab/internal/core"
 	"github.com/snapstab/snapstab/internal/idl"
 	"github.com/snapstab/snapstab/internal/mutex"
-	"github.com/snapstab/snapstab/internal/pif"
 	"github.com/snapstab/snapstab/internal/rng"
 	"github.com/snapstab/snapstab/internal/spec"
 )
@@ -66,8 +66,12 @@ type options struct {
 	maxSteps  int
 	csLength  int
 	onReceive func(proc int, from int, b Payload) Payload
-	substrate Substrate
-	faults    *core.FaultPlan
+	// onReceiveTyped holds a WithReceiverT handler. Option functions are
+	// not generic, so the handler crosses the options as `any` and the
+	// generic constructor asserts it back to func(proc, from int, b T) T.
+	onReceiveTyped any
+	substrate      Substrate
+	faults         *core.FaultPlan
 }
 
 // Option configures a cluster.
@@ -116,68 +120,59 @@ func buildOptions(opts []Option) options {
 
 // ErrBudget is returned when a request did not complete within the step
 // budget — with correct use that indicates an undersized budget, since
-// the protocols terminate from every configuration.
-var ErrBudget = fmt.Errorf("snapstab: step budget exhausted")
+// the protocols terminate from every configuration. Every façade failure
+// path wraps it, so errors.Is(err, ErrBudget) works on any request's
+// terminal error.
+var ErrBudget = errors.New("snapstab: step budget exhausted")
+
+// ErrInvalidProcess is returned (wrapped) by every request submitted at
+// a process index outside [0, N).
+var ErrInvalidProcess = errors.New("snapstab: invalid process")
 
 // ---------------------------------------------------------------------
 // PIF
 // ---------------------------------------------------------------------
 
 // PIFCluster is a fully-connected system running Protocol PIF on the
-// selected substrate.
+// selected substrate, carrying the structured legacy Payload (Tag, Num).
+// It is a thin wrapper over the same payload-level machinery that backs
+// TypedPIFCluster: the legacy "codec" maps Payload onto the message's
+// structured fields directly (no opaque body), which keeps legacy
+// executions — corruption streams included — byte-identical to earlier
+// revisions. New applications carrying real data should use
+// NewTypedPIFCluster with a Codec.
 type PIFCluster struct {
-	clusterCore
-	machines []*pif.PIF
-	checker  *spec.PIFChecker
-	// active[p] is the feedback sink of process p's in-flight broadcast
-	// request. Written inside completion conditions and read inside
-	// OnFeedback — both in process p's substrate-atomic context, so no
-	// extra locking is needed and callbacks are never swapped per call.
-	active []*feedbackSink
+	*pifCore
 }
 
-// feedbackSink collects one computation's acknowledgments.
-type feedbackSink struct {
-	fb map[core.ProcID]core.Payload
+// legacyAck is the default receiver's feedback derivation: an
+// acknowledgment tied to both the broadcast and the acknowledging
+// process, so value-exact spec checking can predict it.
+func legacyAck(q core.ProcID, b core.Payload) core.Payload {
+	return core.Payload{Tag: "ack", Num: b.Num*1000 + int64(q)}
 }
 
 // NewPIFCluster builds an n-process PIF deployment (n >= 2).
 func NewPIFCluster(n int, opts ...Option) *PIFCluster {
 	o := buildOptions(opts)
-	c := &PIFCluster{}
-	c.machines = make([]*pif.PIF, n)
-	c.active = make([]*feedbackSink, n)
-	stacks := make([]core.Stack, n)
-	for i := 0; i < n; i++ {
-		i := i
-		id := core.ProcID(i)
-		c.machines[i] = pif.New("pif", id, n, pif.Callbacks{
-			OnBroadcast: func(_ core.Env, from core.ProcID, b core.Payload) core.Payload {
-				if o.onReceive != nil {
-					return o.onReceive(int(id), int(from), Payload{Tag: b.Tag, Num: b.Num}).internal()
-				}
-				return core.Payload{Tag: "ack", Num: b.Num*1000 + int64(id)}
-			},
-			OnFeedback: func(_ core.Env, from core.ProcID, f core.Payload) {
-				if sink := c.active[i]; sink != nil {
-					sink.fb[from] = f
-				}
-			},
-		}, capacityBound(o))
-		stacks[i] = core.Stack{c.machines[i]}
+	if o.onReceiveTyped != nil {
+		panic("snapstab: WithReceiverT requires NewTypedPIFCluster")
 	}
-	// The checker stays dormant until ArmSpec; it is wired here so the
-	// deterministic substrate can judge Specification 1 online. With the
-	// default receiver the expected feedback values are known exactly, so
-	// the Decision clause is checked value-for-value.
-	c.checker = &spec.PIFChecker{N: n, Initiator: 0, Instance: "pif"}
-	if o.onReceive == nil {
-		c.checker.ExpectFck = func(q core.ProcID, b core.Payload) core.Payload {
-			return core.Payload{Tag: "ack", Num: b.Num*1000 + int64(q)}
+	cfg := pifConfig{
+		recv: func(proc, from int, b core.Payload) core.Payload {
+			return legacyAck(core.ProcID(proc), b)
+		},
+		expect: legacyAck,
+	}
+	if o.onReceive != nil {
+		cfg.recv = func(proc, from int, b core.Payload) core.Payload {
+			return o.onReceive(proc, from, Payload{Tag: b.Tag, Num: b.Num}).internal()
 		}
+		// A custom receiver makes the expected feedback unknowable here;
+		// SpecReport.ValueChecked reports the weaker verdict explicitly.
+		cfg.expect = nil
 	}
-	c.init(o, stacks, c.checker)
-	return c
+	return &PIFCluster{pifCore: newPIFCore(n, cfg, o)}
 }
 
 // SpecReport is one armed computation's verdict under Specification 1
@@ -186,7 +181,13 @@ func NewPIFCluster(n int, opts ...Option) *PIFCluster {
 // decision.
 type SpecReport struct {
 	Started, Decided bool
-	Violations       []string
+	// ValueChecked reports whether the Decision clause was compared
+	// value-for-value. It is false when a custom receiver (WithReceiver /
+	// WithReceiverT) made the expected feedback values unknowable — a
+	// clean verdict with ValueChecked == false confirmed the handshake
+	// discipline but never compared the decided values.
+	ValueChecked bool
+	Violations   []string
 }
 
 // ArmSpec arms the cluster's Specification 1 checker for the next
@@ -197,35 +198,12 @@ type SpecReport struct {
 // is driven by the simulator's event stream); on the concurrent
 // substrates it returns an error and the cluster is unaffected.
 func (c *PIFCluster) ArmSpec(p int, tag string, num int64) error {
-	if c.simNet == nil {
-		return fmt.Errorf("snapstab: spec checking requires the Sim substrate")
-	}
-	if p < 0 || p >= len(c.machines) {
-		return fmt.Errorf("snapstab: ArmSpec at invalid process %d (cluster has %d)", p, len(c.machines))
-	}
-	c.simNet.Sync(func() {
-		c.checker.Initiator = core.ProcID(p)
-		c.checker.Arm(core.Payload{Tag: tag, Num: num})
-	})
-	return nil
+	return c.armSpec(p, core.Payload{Tag: tag, Num: num})
 }
 
 // SpecReport returns the armed computation's verdict so far. Zero value
 // on the concurrent substrates.
-func (c *PIFCluster) SpecReport() SpecReport {
-	var r SpecReport
-	if c.simNet == nil {
-		return r
-	}
-	c.simNet.Sync(func() {
-		r.Started = c.checker.Started()
-		r.Decided = c.checker.Decided()
-		for _, v := range c.checker.Violations() {
-			r.Violations = append(r.Violations, v.String())
-		}
-	})
-	return r
-}
+func (c *PIFCluster) SpecReport() SpecReport { return c.specReport() }
 
 // CorruptEverything drives the cluster into an arbitrary initial
 // configuration: every protocol variable randomized and — on the
@@ -233,9 +211,7 @@ func (c *PIFCluster) SpecReport() SpecReport {
 // concurrent substrates start with empty channels, which the model
 // permits: their arbitrary state is the machines'). Reproducible from
 // the seed.
-func (c *PIFCluster) CorruptEverything(seed uint64) {
-	c.corrupt(rng.New(seed), config.PIFSpecs("pif", c.machines[0].FlagTop()))
-}
+func (c *PIFCluster) CorruptEverything(seed uint64) { c.corruptEverything(seed) }
 
 // Feedback is one process's acknowledgment.
 type Feedback struct {
@@ -248,12 +224,29 @@ type Feedback struct {
 // BroadcastRequest is the handle of an asynchronous Broadcast.
 type BroadcastRequest struct {
 	*Request
-	fb []Feedback
+	raw *payloadBroadcastRequest
+
+	once sync.Once
+	fb   []Feedback
 }
 
 // Feedbacks returns the acknowledgments collected from every other
-// process, valid after the request completed successfully.
-func (r *BroadcastRequest) Feedbacks() []Feedback { return r.fb }
+// process, valid after the request completed successfully and nil while
+// it is still in flight (reading mid-flight would race the completion
+// condition's write). The conversion runs once, on the first call after
+// completion, mirroring the typed façade.
+func (r *BroadcastRequest) Feedbacks() []Feedback {
+	if !r.completed() {
+		return nil
+	}
+	r.once.Do(func() {
+		r.fb = make([]Feedback, len(r.raw.fb))
+		for i, f := range r.raw.fb {
+			r.fb[i] = Feedback{From: f.From, Value: Payload{Tag: f.Value.Tag, Num: f.Value.Num}}
+		}
+	})
+	return r.fb
+}
 
 // BroadcastAsync submits a PIF computation request at process p and
 // returns immediately. The request is accepted as soon as the machine's
@@ -263,43 +256,8 @@ func (r *BroadcastRequest) Feedbacks() []Feedback { return r.fb }
 // holds no matter how corrupted the cluster was when the request was
 // submitted.
 func (c *PIFCluster) BroadcastAsync(p int, tag string, num int64) *BroadcastRequest {
-	token := core.Payload{Tag: tag, Num: num}
-	req := &BroadcastRequest{Request: c.newRequest()}
-	// An out-of-range p fails the request in start before the condition
-	// can ever run, so the nil machine is never dereferenced.
-	var machine *pif.PIF
-	if p >= 0 && p < len(c.machines) {
-		machine = c.machines[p]
-	}
-	sink := &feedbackSink{fb: make(map[core.ProcID]core.Payload)}
-	injected := false
-	abort := func(core.Env) {
-		if injected && c.active[p] == sink {
-			c.active[p] = nil
-		}
-	}
-	c.start(req.Request, p, "broadcast", func(env core.Env) bool {
-		if !injected {
-			if !machine.Invoke(env, token) {
-				return false
-			}
-			injected = true
-			c.active[p] = sink
-			return false
-		}
-		if !machine.Done() || machine.BMes != token {
-			return false
-		}
-		c.active[p] = nil
-		req.fb = make([]Feedback, 0, len(sink.fb))
-		for q := 0; q < env.N(); q++ {
-			if f, ok := sink.fb[core.ProcID(q)]; ok {
-				req.fb = append(req.fb, Feedback{From: q, Value: Payload{Tag: f.Tag, Num: f.Num}})
-			}
-		}
-		return true
-	}, abort)
-	return req
+	raw := c.broadcastAsync(p, core.Payload{Tag: tag, Num: num})
+	return &BroadcastRequest{Request: raw.Request, raw: raw}
 }
 
 // Broadcast requests a PIF computation at process p and runs the cluster
@@ -343,7 +301,7 @@ func NewIDCluster(ids []int64, opts ...Option) *IDCluster {
 // CorruptEverything randomizes every variable and, on the deterministic
 // substrate, every channel.
 func (c *IDCluster) CorruptEverything(seed uint64) {
-	c.corrupt(rng.New(seed), config.PIFSpecs("idl/pif", c.machines[0].PIF.FlagTop()))
+	c.corrupt(rng.New(seed), config.PIFSpecs("idl/pif", c.machines[0].PIF.FlagTop()), config.Options{})
 }
 
 // LearnRequest is the handle of an asynchronous Learn.
@@ -354,13 +312,23 @@ type LearnRequest struct {
 }
 
 // MinID returns the minimum identifier learned, valid after the request
-// completed successfully.
-func (r *LearnRequest) MinID() int64 { return r.minID }
+// completed successfully and zero while it is still in flight.
+func (r *LearnRequest) MinID() int64 {
+	if !r.completed() {
+		return 0
+	}
+	return r.minID
+}
 
 // Table returns the learned identifier table (indexed by process; the
 // initiator's own entry is its own identifier), valid after the request
-// completed successfully.
-func (r *LearnRequest) Table() []int64 { return r.table }
+// completed successfully and nil while it is still in flight.
+func (r *LearnRequest) Table() []int64 {
+	if !r.completed() {
+		return nil
+	}
+	return r.table
+}
 
 // LearnAsync submits an IDs-Learning request at process p and returns
 // immediately.
@@ -454,7 +422,7 @@ func (c *MutexCluster) CorruptEverything(seed uint64) {
 	c.fillChannelGarbage(r, []config.InstanceSpec{
 		{Instance: "me/idl/pif", FlagTop: c.machines[0].IDL.PIF.FlagTop()},
 		{Instance: "me/pif", FlagTop: c.machines[0].PIF.FlagTop()},
-	})
+	}, config.Options{})
 }
 
 // AcquireAsync submits a critical-section request at process p and
@@ -522,7 +490,7 @@ func (c *MutexCluster) AcquireAll(procs []int, bodies []func()) error {
 	seen := make(map[int]bool, len(procs))
 	for _, p := range procs {
 		if p < 0 || p >= len(c.machines) {
-			return fmt.Errorf("snapstab: AcquireAll at invalid process %d (cluster has %d)", p, len(c.machines))
+			return fmt.Errorf("%w: AcquireAll at %d (cluster has %d)", ErrInvalidProcess, p, len(c.machines))
 		}
 		if seen[p] {
 			return fmt.Errorf("snapstab: AcquireAll got duplicate initiator %d", p)
