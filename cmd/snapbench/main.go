@@ -10,9 +10,13 @@
 //	snapbench -trials 500      # crank the statistics
 //	snapbench -parallel 8      # trial-runner workers (0 = GOMAXPROCS)
 //	snapbench -markdown        # emit EXPERIMENTS.md-style markdown
+//	snapbench -topo -out bench/BENCH_0006.json   # topology benchmark matrix
 //
 // Tables are byte-identical at every -parallel setting: each trial's
-// randomness is a pure function of (seed, row, trial).
+// randomness is a pure function of (seed, row, trial). The -topo mode is
+// different in kind: it emits wall-clock throughput and scheduler-cost
+// measurements (complete vs ring vs tree at n = 8/16) as machine-readable
+// JSON — a hardware-dependent baseline, not a reproducible table.
 package main
 
 import (
@@ -33,9 +37,18 @@ func main() {
 		quick    = flag.Bool("quick", false, "smoke-test scale")
 		parallel = flag.Int("parallel", 0, "trial-runner workers (0 = GOMAXPROCS, 1 = sequential)")
 		markdown = flag.Bool("markdown", false, "emit markdown tables")
+		topo     = flag.Bool("topo", false, "run the topology benchmark matrix and emit BENCH_0006.json instead")
+		out      = flag.String("out", "-", "-topo only: output file (default stdout)")
 	)
 	flag.Parse()
 
+	if *topo {
+		if err := runTopoBench(*out, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "snapbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *parallel < 0 {
 		fmt.Fprintf(os.Stderr, "snapbench: -parallel must be >= 0, got %d\n", *parallel)
 		os.Exit(1)

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	snapstab "github.com/snapstab/snapstab"
+)
+
+// This file is the -topo mode: the BENCH_*.json trajectory's first
+// artifact. It benchmarks the deterministic substrate's end-to-end
+// broadcast cost and raw scheduler step cost over the complete graph
+// versus the sparse topologies, at n = 8 and n = 16, and emits the
+// machine-readable baseline committed at bench/BENCH_0006.json.
+//
+// Timings are hardware-dependent — the committed file is a recorded
+// baseline for trend reading, not a byte-stable artifact like the
+// experiment tables.
+
+// topoBenchResult is one (topology, n) row of the benchmark matrix.
+type topoBenchResult struct {
+	Topology string `json:"topology"`
+	N        int    `json:"n"`
+	Edges    int    `json:"edges"`
+	// BroadcastNsOp is the wall time of one full PIF broadcast
+	// (request to decision) on the deterministic substrate.
+	BroadcastNsOp float64 `json:"broadcast_ns_op"`
+	// ThroughputOpsSec is its reciprocal in broadcasts per second.
+	ThroughputOpsSec float64 `json:"throughput_ops_sec"`
+	// SchedulerNsStep is the scheduler's cost per step during the
+	// broadcast workload: elapsed time over executed steps.
+	SchedulerNsStep float64 `json:"scheduler_ns_step"`
+	// StepsPerBroadcast is how many scheduler steps one broadcast burns —
+	// the topology-sensitive term (a complete graph floods every pair,
+	// a sparse graph only its edges).
+	StepsPerBroadcast float64 `json:"steps_per_broadcast"`
+}
+
+// topoBenchFile is the schema of BENCH_0006.json.
+type topoBenchFile struct {
+	Bench     string            `json:"bench"`
+	Schema    int               `json:"schema"`
+	GoVersion string            `json:"go_version"`
+	GoOS      string            `json:"go_os"`
+	GoArch    string            `json:"go_arch"`
+	Seed      uint64            `json:"seed"`
+	Results   []topoBenchResult `json:"results"`
+}
+
+// runTopoBench runs the topology benchmark matrix and writes the JSON
+// artifact (stdout when out is "-").
+func runTopoBench(out string, seed uint64) error {
+	file := topoBenchFile{
+		Bench:     "BENCH_0006",
+		Schema:    1,
+		GoVersion: runtime.Version(),
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		Seed:      seed,
+	}
+	for _, n := range []int{8, 16} {
+		for _, kind := range []string{"complete", "ring", "tree"} {
+			topo, err := snapstab.TopologyByName(kind, n, seed)
+			if err != nil {
+				return err
+			}
+			r, err := benchTopology(kind, topo, n, seed)
+			if err != nil {
+				return err
+			}
+			file.Results = append(file.Results, r)
+			fmt.Fprintf(os.Stderr, "%-8s n=%-2d  %12.0f ns/broadcast  %8.1f ops/s  %6.0f ns/step  %7.0f steps\n",
+				kind, n, r.BroadcastNsOp, r.ThroughputOpsSec, r.SchedulerNsStep, r.StepsPerBroadcast)
+		}
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// benchTopology measures one (topology, n) cell: a PIF broadcast loop on
+// the deterministic substrate, with the scheduler step counter read
+// around the measured window.
+func benchTopology(kind string, topo snapstab.Topology, n int, seed uint64) (topoBenchResult, error) {
+	c := snapstab.NewPIFCluster(n, snapstab.WithSeed(seed), snapstab.WithTopology(topo))
+	defer c.Close()
+	// Warm up once so lazily-built structures are priced out of the loop.
+	if _, err := c.Broadcast(0, "warm", 0); err != nil {
+		return topoBenchResult{}, err
+	}
+	stepsBefore := c.Stats().Steps
+	var benchErr error
+	totalOps := 0
+	br := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			totalOps++
+			if _, err := c.Broadcast(0, "bench", int64(i)); err != nil && benchErr == nil {
+				benchErr = err
+			}
+		}
+	})
+	if benchErr != nil {
+		return topoBenchResult{}, fmt.Errorf("%s n=%d: %w", kind, n, benchErr)
+	}
+	// testing.Benchmark reran the loop while calibrating b.N; the step
+	// counter spans every run, so normalize by the broadcasts actually
+	// executed (totalOps), not just the final timed run's br.N.
+	stepsTotal := c.Stats().Steps - stepsBefore
+	nsOp := float64(br.NsPerOp())
+	r := topoBenchResult{
+		Topology:      kind,
+		N:             n,
+		Edges:         topo.EdgeCount(),
+		BroadcastNsOp: nsOp,
+	}
+	if nsOp > 0 {
+		r.ThroughputOpsSec = 1e9 / nsOp
+	}
+	if totalOps > 0 {
+		r.StepsPerBroadcast = float64(stepsTotal) / float64(totalOps)
+	}
+	if r.StepsPerBroadcast > 0 {
+		r.SchedulerNsStep = nsOp / r.StepsPerBroadcast
+	}
+	return r, nil
+}

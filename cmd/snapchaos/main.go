@@ -37,6 +37,8 @@ import (
 	"os"
 	"strings"
 	"time"
+
+	snapstab "github.com/snapstab/snapstab"
 )
 
 func main() {
@@ -45,6 +47,7 @@ func main() {
 		protocolF  = flag.String("protocol", "all", "cluster type: pif, typed, idl, mutex, reset, snap, or all")
 		substrateF = flag.String("substrate", "all", "execution substrate: sim, runtime, udp, or all")
 		n          = flag.Int("n", 4, "number of processes (>= 2)")
+		topologyF  = flag.String("topology", "", "route over this graph: a family name (complete, ring, line, star, tree, gnp:<p>) or a graph.txt file; default = each protocol's native graph")
 		seed       = flag.Uint64("seed", 1, "root seed for faults, corruption, and the sim scheduler")
 		timeout    = flag.Duration("timeout", 2*time.Minute, "per-run deadline")
 		failures   = flag.String("failures", "", "append failing run descriptors to this file")
@@ -63,6 +66,7 @@ func main() {
 		Protocol:  *protocolF,
 		Substrate: *substrateF,
 		N:         *n,
+		Topology:  *topologyF,
 		Seed:      *seed,
 		Timeout:   *timeout,
 	})
@@ -91,8 +95,12 @@ func main() {
 type config struct {
 	Scenario, Protocol, Substrate string
 	N                             int
-	Seed                          uint64
-	Timeout                       time.Duration
+	// Topology is the -topology flag value ("" = each protocol's native
+	// graph); Topo is its resolved form.
+	Topology string
+	Topo     snapstab.Topology
+	Seed     uint64
+	Timeout  time.Duration
 }
 
 // expand resolves an "all"-able flag value against the known set.
@@ -125,6 +133,31 @@ func run(w io.Writer, cfg config) (failed []string, err error) {
 	prots, err := expand(cfg.Protocol, protocolNames)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Topology != "" {
+		topo, err := snapstab.ResolveTopology(cfg.Topology, cfg.N, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Topo = topo
+		fmt.Fprintf(w, "topology %s: %d processes, %d edges\n", cfg.Topology, topo.N(), topo.EdgeCount())
+		// An explicit graph narrows the matrix to the protocols that can
+		// route over it: the fully-connected protocols need the complete
+		// graph, forwarding needs a tree. Narrowing "all" is silent;
+		// asking for an unsupported combination by name is an error.
+		var supported []string
+		for _, p := range prots {
+			if supportsTopology(p, topo) {
+				supported = append(supported, p)
+			}
+		}
+		if len(supported) == 0 {
+			return nil, fmt.Errorf("no selected protocol can run over topology %q", cfg.Topology)
+		}
+		if cfg.Protocol != "all" && len(supported) < len(prots) {
+			return nil, fmt.Errorf("protocol %q cannot run over topology %q", cfg.Protocol, cfg.Topology)
+		}
+		prots = supported
 	}
 	subs, err := expand(cfg.Substrate, substrateNames)
 	if err != nil {

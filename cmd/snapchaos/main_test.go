@@ -25,8 +25,45 @@ func TestGauntletOnSim(t *testing.T) {
 	if len(failed) > 0 {
 		t.Fatalf("failed runs:\n%s\noutput:\n%s", strings.Join(failed, "\n"), out.String())
 	}
-	if !strings.Contains(out.String(), "30/30 runs passed") {
+	// 5 scenarios x 7 protocols (forwarding included since PR 6).
+	if !strings.Contains(out.String(), "35/35 runs passed") {
 		t.Fatalf("unexpected summary:\n%s", out.String())
+	}
+}
+
+// TestGauntletTopologyNarrowsMatrix pins the -topology matrix rules: an
+// explicit sparse graph silently narrows protocol "all" to what can
+// route over it, and naming an unsupported combination is an error.
+func TestGauntletTopologyNarrowsMatrix(t *testing.T) {
+	var out strings.Builder
+	failed, err := run(&out, config{
+		Scenario:  "split-brain",
+		Protocol:  "all",
+		Substrate: "sim",
+		N:         4,
+		Topology:  "ring",
+		Seed:      1,
+		Timeout:   time.Minute,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(failed) > 0 {
+		t.Fatalf("failed runs:\n%s\noutput:\n%s", strings.Join(failed, "\n"), out.String())
+	}
+	// A ring is connected but neither complete nor a tree: only the
+	// neighbourhood protocols remain.
+	if !strings.Contains(out.String(), "2/2 runs passed") {
+		t.Fatalf("unexpected summary:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "topology ring: 4 processes, 4 edges") {
+		t.Fatalf("missing topology banner:\n%s", out.String())
+	}
+	if _, err := run(&out, config{
+		Scenario: "split-brain", Protocol: "mutex", Substrate: "sim",
+		N: 4, Topology: "ring", Seed: 1, Timeout: time.Minute,
+	}); err == nil {
+		t.Fatalf("mutex over a ring accepted; want an error")
 	}
 }
 

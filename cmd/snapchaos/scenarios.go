@@ -10,9 +10,29 @@ import (
 )
 
 var (
-	protocolNames  = []string{"pif", "typed", "idl", "mutex", "reset", "snap"}
+	protocolNames  = []string{"pif", "typed", "idl", "mutex", "reset", "snap", "forward"}
 	substrateNames = []string{"sim", "runtime", "udp"}
 )
+
+// completeOnly names the protocols that assume the paper's fully
+// connected network; a sparse -topology excludes them from the matrix.
+var completeOnly = map[string]bool{"idl": true, "mutex": true, "reset": true, "snap": true}
+
+// supportsTopology reports whether the protocol can run over topo (zero
+// topo = every protocol's default graph: complete for the paper's
+// protocols, Line(n) for forwarding).
+func supportsTopology(protocol string, topo snapstab.Topology) bool {
+	if topo.IsZero() {
+		return true
+	}
+	switch {
+	case protocol == "forward":
+		return topo.IsTree()
+	case completeOnly[protocol]:
+		return topo.IsComplete()
+	}
+	return topo.Connected() // pif, typed: any connected graph (neighbourhood computation)
+}
 
 // scenario is one named shape of network adversity.
 type scenario struct {
@@ -151,10 +171,29 @@ func substrateOf(sub string) snapstab.Substrate {
 // protocol's request script to its spec verdict.
 func runOne(sc scenario, protocol, sub string, cfg config) error {
 	plan := sc.plan(cfg.N, sub, cfg.Seed)
+	if protocol == "forward" && sub != "sim" && corruptsAnywhere(plan) {
+		// In-flight payload corruption is beyond the channel model
+		// (channels lose, duplicate, and reorder — they do not forge). For
+		// the request-response protocols a forged echo decides a wrong
+		// value and the value assertions are relaxed below; for forwarding
+		// a forged acceptance transition DISPLACES the genuine item — a
+		// loss, which the spec can never tolerate. On the deterministic
+		// substrate the pinned seeds decide genuinely; on the concurrent
+		// substrates the corruption knob alone is switched off, keeping
+		// the scenario's losses, duplicates, and reorders.
+		plan.Default.CorruptRate = 0
+		for sel, f := range plan.Links {
+			f.CorruptRate = 0
+			plan.Links[sel] = f
+		}
+	}
 	opts := []snapstab.Option{
 		snapstab.WithSubstrate(substrateOf(sub)),
 		snapstab.WithSeed(cfg.Seed),
 		snapstab.WithFaults(plan),
+	}
+	if !cfg.Topo.IsZero() {
+		opts = append(opts, snapstab.WithTopology(cfg.Topo))
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
 	defer cancel()
@@ -183,8 +222,20 @@ func runOne(sc scenario, protocol, sub string, cfg config) error {
 		return runReset(ctx, sc, cfg, opts, tolerateForged)
 	case "snap":
 		return runSnap(ctx, sc, cfg, opts, tolerateForged)
+	case "forward":
+		return runForward(ctx, sc, cfg, opts)
 	}
 	panic("snapchaos: unknown protocol " + protocol)
+}
+
+// participants returns how many processes take part in a PIF computation
+// initiated at process 0: everyone on the default complete network, the
+// initiator's neighbourhood on an explicit graph.
+func (c config) participants() int {
+	if c.Topo.IsZero() {
+		return c.N - 1
+	}
+	return c.Topo.Degree(0)
 }
 
 // ids returns the distinct identifier set used by the identifier-based
@@ -213,8 +264,8 @@ func runPIF(ctx context.Context, sc scenario, cfg config, opts []snapstab.Option
 			return fmt.Errorf("broadcast round %d: %w", round, err)
 		}
 		fb := req.Feedbacks()
-		if len(fb) != cfg.N-1 {
-			return fmt.Errorf("broadcast round %d: %d feedbacks, want %d", round, len(fb), cfg.N-1)
+		if want := cfg.participants(); len(fb) != want {
+			return fmt.Errorf("broadcast round %d: %d feedbacks, want %d", round, len(fb), want)
 		}
 		for _, f := range fb {
 			if f.Value.Num != token*1000+int64(f.From) && !tolerateForged {
@@ -268,8 +319,8 @@ func runTyped(ctx context.Context, sc scenario, cfg config, opts []snapstab.Opti
 			return fmt.Errorf("typed broadcast round %d: %w", round, err)
 		}
 		fb := req.Feedbacks()
-		if len(fb) != cfg.N-1 {
-			return fmt.Errorf("typed round %d: %d feedbacks, want %d", round, len(fb), cfg.N-1)
+		if want := cfg.participants(); len(fb) != want {
+			return fmt.Errorf("typed round %d: %d feedbacks, want %d", round, len(fb), want)
 		}
 		if !tolerateForged {
 			for _, f := range fb {
@@ -396,6 +447,58 @@ func runSnap(ctx context.Context, sc scenario, cfg config, opts []snapstab.Optio
 		if (v.Tag != "state" || v.Num != int64(q)*111) && !tolerateForged {
 			return fmt.Errorf("collect: view[%d] = %+v, want state(%d) — stale or fabricated", q, v, q*111)
 		}
+	}
+	return nil
+}
+
+// runForward drives the tree-forwarding cluster through the scenario:
+// every process sends a string item across the tree from a corrupted
+// initial configuration, and the armed forwarding checker judges the
+// no-loss / no-duplication / correct-destination spec on every
+// substrate. Value assertions are exact even under payload corruption —
+// a corrupted message can never carry an armed key (garbled sequence
+// numbers stay below the genuine floor), so a genuine delivery is a
+// genuine body.
+func runForward(ctx context.Context, sc scenario, cfg config, opts []snapstab.Option) error {
+	c := snapstab.NewForwardingCluster(cfg.N, snapstab.JSON[string](), opts...)
+	defer c.Close()
+	if sc.corrupt {
+		c.CorruptEverything(cfg.Seed * 7)
+	}
+	type sent struct{ src, dst int }
+	want := make(map[sent]string)
+	var reqs []*snapstab.ForwardRequest
+	for round := 0; round < 2; round++ {
+		for src := 0; src < cfg.N; src++ {
+			dst := (src + cfg.N/2 + round) % cfg.N
+			if dst == src {
+				dst = (src + 1) % cfg.N
+			}
+			// A pure function of the route: both rounds may pick the same
+			// (src, dst) pair on tiny clusters, and the expectation must
+			// not depend on which round's entry survives in the map.
+			v := fmt.Sprintf("chaos-%d-%d-%d", cfg.Seed, src, dst)
+			want[sent{src, dst}] = v
+			reqs = append(reqs, c.SendAsync(src, dst, v))
+		}
+	}
+	for _, req := range reqs {
+		if err := req.Wait(ctx); err != nil {
+			return fmt.Errorf("send %s: %w", req.Key(), err)
+		}
+	}
+	for p := 0; p < cfg.N; p++ {
+		for _, d := range c.Deliveries(p) {
+			if d.Err != nil {
+				continue // fabricated by the initial configuration, flagged as such
+			}
+			if v, ok := want[sent{d.From, p}]; !ok || d.Value != v {
+				return fmt.Errorf("process %d received %q from %d, want %q", p, d.Value, d.From, v)
+			}
+		}
+	}
+	if rep := c.SpecReport(); len(rep.Violations) > 0 {
+		return fmt.Errorf("forwarding specification violated: %v", rep.Violations)
 	}
 	return nil
 }

@@ -13,6 +13,8 @@
 //	snapnet -protocol mutex -n 4
 //	snapnet -protocol typed -n 3 -blob 4096   # JSON struct payloads
 //	snapnet -protocol idl|reset|snap ...
+//	snapnet -protocol forward -n 5 -topology tree -corrupt
+//	snapnet -protocol pif -n 4 -topology ring  # neighbourhood PIF
 package main
 
 import (
@@ -28,15 +30,16 @@ import (
 
 func main() {
 	var (
-		protocol = flag.String("protocol", "pif", "protocol to run: pif, typed, idl, mutex, reset, or snap")
+		protocol = flag.String("protocol", "pif", "protocol to run: pif, typed, idl, mutex, reset, snap, or forward")
 		n        = flag.Int("n", 3, "number of nodes (>= 2)")
+		topology = flag.String("topology", "", "route over this graph: a family name (complete, ring, line, star, tree, gnp:<p>) or a graph.txt file")
 		corrupt  = flag.Bool("corrupt", false, "randomize every node's protocol state first")
 		seed     = flag.Uint64("seed", 1, "corruption seed")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request deadline")
 		blob     = flag.Int("blob", 256, "typed protocol: opaque body size in bytes")
 	)
 	flag.Parse()
-	if err := run(*protocol, *n, *corrupt, *seed, *timeout, *blob); err != nil {
+	if err := run(*protocol, *n, *topology, *corrupt, *seed, *timeout, *blob); err != nil {
 		fmt.Fprintln(os.Stderr, "snapnet:", err)
 		os.Exit(1)
 	}
@@ -49,7 +52,7 @@ type statser interface {
 	Close() error
 }
 
-func run(protocol string, n int, corrupt bool, seed uint64, timeout time.Duration, blob int) error {
+func run(protocol string, n int, topology string, corrupt bool, seed uint64, timeout time.Duration, blob int) error {
 	if n < 2 {
 		return fmt.Errorf("need n >= 2, got %d", n)
 	}
@@ -61,6 +64,25 @@ func run(protocol string, n int, corrupt bool, seed uint64, timeout time.Duratio
 		ids[i] = int64(i*13 + 5)
 	}
 	opts := []snapstab.Option{snapstab.WithSubstrate(snapstab.UDP()), snapstab.WithSeed(seed)}
+	var topo snapstab.Topology
+	if topology != "" {
+		var err error
+		topo, err = snapstab.ResolveTopology(topology, n, seed)
+		if err != nil {
+			return err
+		}
+		switch {
+		case protocol == "forward" && !topo.IsTree():
+			return fmt.Errorf("the forwarding protocol needs a tree topology; %q has %d edges over %d nodes",
+				topology, topo.EdgeCount(), n)
+		case (protocol == "idl" || protocol == "mutex" || protocol == "reset" || protocol == "snap") && !topo.IsComplete():
+			return fmt.Errorf("protocol %q runs a fully-connected protocol; topology %q is not complete", protocol, topology)
+		case !topo.Connected():
+			return fmt.Errorf("topology %q is disconnected; no cluster-wide protocol can span it", topology)
+		}
+		opts = append(opts, snapstab.WithTopology(topo))
+		fmt.Printf("topology %s: %d nodes, %d edges\n", topology, topo.N(), topo.EdgeCount())
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 
@@ -172,8 +194,32 @@ func run(protocol string, n int, corrupt bool, seed uint64, timeout time.Duratio
 			fmt.Printf("collected: %v\n", req.Views())
 			return nil
 		}
+	case "forward":
+		// The tree-forwarding cluster: node 0 sends a string item hop by
+		// hop to node n-1 (over -topology when given, the default line
+		// otherwise), the armed spec checker riding along.
+		c := snapstab.NewForwardingCluster(n, snapstab.JSON[string](), opts...)
+		cluster = c
+		request = func() error {
+			payload := fmt.Sprintf("hello-%d", seed)
+			fmt.Printf("node 0 forwarding %q to node %d...\n", payload, n-1)
+			req := c.SendAsync(0, n-1, payload)
+			if err := req.Wait(ctx); err != nil {
+				return err
+			}
+			for _, d := range c.Deliveries(n - 1) {
+				if d.Err == nil && d.Value == payload && d.From == 0 {
+					fmt.Printf("delivered: node %d received %q (item %s)\n", n-1, d.Value, req.Key())
+					if rep := c.SpecReport(); len(rep.Violations) > 0 {
+						return fmt.Errorf("forwarding specification violated: %v", rep.Violations)
+					}
+					return nil
+				}
+			}
+			return fmt.Errorf("item %s completed but is missing from node %d's deliveries", req.Key(), n-1)
+		}
 	default:
-		return fmt.Errorf("unknown protocol %q (want pif, typed, idl, mutex, reset, or snap)", protocol)
+		return fmt.Errorf("unknown protocol %q (want pif, typed, idl, mutex, reset, snap, or forward)", protocol)
 	}
 	defer cluster.Close()
 

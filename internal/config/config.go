@@ -30,6 +30,12 @@ type InstanceSpec struct {
 	// FlagTop is the top of the handshake-flag domain (4 for the paper's
 	// capacity-1 PIF).
 	FlagTop uint8
+	// Generator, when non-nil, synthesizes this instance's garbage
+	// messages instead of the default PIF-shaped draw. Non-PIF protocols
+	// (the forwarding layer) install one so their channels receive garbage
+	// their receive actions actually parse. It must draw all randomness
+	// from r, so corrupted configurations still replay from the seed.
+	Generator func(r *rng.Source) core.Message
 }
 
 // Options tunes corruption.
@@ -70,13 +76,20 @@ func CorruptMachines(net *sim.Network, r *rng.Source) {
 // FillChannels loads random garbage messages into every directed channel
 // of every listed instance. Each slot of a bounded channel is filled with
 // probability opts.FillProbability; unbounded channels receive up to
-// opts.MaxUnboundedGarbage messages.
+// opts.MaxUnboundedGarbage messages. Only channels that exist under the
+// network's topology are filled — non-edges have no channel to corrupt —
+// and skipped pairs draw no randomness, so a complete-graph fill is
+// byte-identical with or without an explicit topology.
 func FillChannels(net *sim.Network, r *rng.Source, specs []InstanceSpec, opts Options) {
 	opts = opts.withDefaults()
+	topo := net.Topology()
 	for _, s := range specs {
 		for from := 0; from < net.N(); from++ {
 			for to := 0; to < net.N(); to++ {
 				if from == to {
+					continue
+				}
+				if topo != nil && !topo.HasEdge(core.ProcID(from), core.ProcID(to)) {
 					continue
 				}
 				slots := net.Capacity()
@@ -86,7 +99,13 @@ func FillChannels(net *sim.Network, r *rng.Source, specs []InstanceSpec, opts Op
 				var garbage []core.Message
 				for i := 0; i < slots; i++ {
 					if r.Float64() < opts.FillProbability {
-						garbage = append(garbage, pif.GarbageMessageBlob(r, s.Instance, s.FlagTop, opts.GarbageBlobLen))
+						var m core.Message
+						if s.Generator != nil {
+							m = s.Generator(r)
+						} else {
+							m = pif.GarbageMessageBlob(r, s.Instance, s.FlagTop, opts.GarbageBlobLen)
+						}
+						garbage = append(garbage, m)
 					}
 				}
 				k := sim.LinkKey{From: core.ProcID(from), To: core.ProcID(to), Instance: s.Instance}

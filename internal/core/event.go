@@ -46,6 +46,14 @@ const (
 	// EvRequest: the external application requested a service
 	// (Request <- Wait).
 	EvRequest
+	// EvFwdDeliver: the forwarding protocol handed a routed item to the
+	// application at its destination. Proc is the destination, Peer the
+	// neighbor the item arrived from; Note carries the (src,dst,seq) key.
+	EvFwdDeliver
+	// EvFwdDiscard: the forwarding protocol sanitized an item out of the
+	// network (invalid endpoints, backtracking route, or unroutable).
+	// Discarding an item the spec checker has armed is a loss violation.
+	EvFwdDiscard
 )
 
 // String names the kind.
@@ -73,6 +81,10 @@ func (k EventKind) String() string {
 		return "exit-cs"
 	case EvRequest:
 		return "request"
+	case EvFwdDeliver:
+		return "fwd-deliver"
+	case EvFwdDiscard:
+		return "fwd-discard"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -206,6 +218,18 @@ func (m MultiObserver) OnEvent(e Event) {
 	for _, o := range m {
 		o.OnEvent(e)
 	}
+}
+
+// PackRoute encodes a (source, destination) endpoint pair into one int64
+// — the forwarding protocol's wire representation of an item's route,
+// carried in Payload.Num fields and read back by its spec checker.
+func PackRoute(src, dst ProcID) int64 {
+	return int64(uint64(uint32(src))<<32 | uint64(uint32(dst)))
+}
+
+// UnpackRoute decodes a PackRoute value.
+func UnpackRoute(v int64) (src, dst ProcID) {
+	return ProcID(uint32(uint64(v) >> 32)), ProcID(uint32(uint64(v)))
 }
 
 // AppendPayload appends a canonical encoding of p to dst. Helper for

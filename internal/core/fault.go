@@ -196,6 +196,36 @@ func (p *FaultPlan) Validate() error {
 	return nil
 }
 
+// ValidateTopology reports whether the plan only addresses links and
+// processes that exist in t: per-link overrides must select directed
+// channels along edges, and partition/crash windows must name processes
+// in [0, n). A plan naming a non-edge is almost certainly a typo'd
+// scenario — it would silently never fire — so substrates reject it at
+// construction.
+func (p *FaultPlan) ValidateTopology(t *Topology) error {
+	if t == nil {
+		return nil
+	}
+	for sel := range p.Links {
+		if !t.HasEdge(sel.From, sel.To) {
+			return &FaultPlanError{Detail: "link override addresses a non-edge of the topology"}
+		}
+	}
+	for _, w := range p.Partitions {
+		for _, q := range w.GroupA {
+			if q < 0 || int(q) >= t.N() {
+				return &FaultPlanError{Detail: "partition window names a process outside the topology"}
+			}
+		}
+	}
+	for _, w := range p.Crashes {
+		if w.Proc < 0 || int(w.Proc) >= t.N() {
+			return &FaultPlanError{Detail: "crash window names a process outside the topology"}
+		}
+	}
+	return nil
+}
+
 // FaultPlanError describes an invalid plan.
 type FaultPlanError struct{ Detail string }
 

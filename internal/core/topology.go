@@ -1,0 +1,325 @@
+// Topology: the communication graph of a system. The paper fixes a
+// fully-connected network; everything else in this repository treats the
+// graph as a first-class value so the same substrates route rings, lines,
+// stars, trees, and random graphs — and the complete graph remains one
+// ordinary (default) instance.
+//
+// A Topology is an undirected simple graph over processes 0..n-1. Every
+// undirected edge {u, v} yields two directed channels (u -> v and v -> u),
+// matching the model's per-pair channel structure restricted to edges.
+// Values are immutable after construction, so one Topology may configure
+// several engines (like FaultPlan).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Topology is an immutable undirected simple graph over n processes.
+type Topology struct {
+	n     int
+	adj   [][]ProcID // sorted neighbor lists
+	edges int        // undirected edge count
+}
+
+// NewTopology builds a topology over n processes (n >= 2) from undirected
+// edges. Self-loops, out-of-range endpoints, and duplicate edges are
+// errors — a topology is a specification, and a malformed one should fail
+// loudly at construction, not route strangely later.
+func NewTopology(n int, edges [][2]ProcID) (*Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: topology needs n >= 2, got %d", n)
+	}
+	t := &Topology{n: n, adj: make([][]ProcID, n)}
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || v < 0 || int(u) >= n || int(v) >= n {
+			return nil, fmt.Errorf("core: topology edge %d-%d outside [0,%d)", u, v, n)
+		}
+		if u == v {
+			return nil, fmt.Errorf("core: topology self-loop at %d", u)
+		}
+		t.adj[u] = append(t.adj[u], v)
+		t.adj[v] = append(t.adj[v], u)
+		t.edges++
+	}
+	for p := range t.adj {
+		nb := t.adj[p]
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+		for i := 1; i < len(nb); i++ {
+			if nb[i] == nb[i-1] {
+				return nil, fmt.Errorf("core: duplicate topology edge %d-%d", p, nb[i])
+			}
+		}
+	}
+	return t, nil
+}
+
+// mustTopology wraps NewTopology for the generators, whose edge sets are
+// correct by construction.
+func mustTopology(n int, edges [][2]ProcID) *Topology {
+	t, err := NewTopology(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Complete returns the paper's fully-connected graph K_n.
+func Complete(n int) *Topology {
+	var edges [][2]ProcID
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, [2]ProcID{ProcID(u), ProcID(v)})
+		}
+	}
+	return mustTopology(n, edges)
+}
+
+// Ring returns the cycle 0-1-...-(n-1)-0.
+func Ring(n int) *Topology {
+	edges := make([][2]ProcID, 0, n)
+	for u := 0; u < n; u++ {
+		edges = append(edges, [2]ProcID{ProcID(u), ProcID((u + 1) % n)})
+	}
+	if n == 2 {
+		// The 2-cycle degenerates to a single edge (simple graph).
+		edges = edges[:1]
+	}
+	return mustTopology(n, edges)
+}
+
+// Line returns the path 0-1-...-(n-1).
+func Line(n int) *Topology {
+	edges := make([][2]ProcID, 0, n-1)
+	for u := 0; u+1 < n; u++ {
+		edges = append(edges, [2]ProcID{ProcID(u), ProcID(u + 1)})
+	}
+	return mustTopology(n, edges)
+}
+
+// Star returns the star with center 0 and leaves 1..n-1.
+func Star(n int) *Topology {
+	edges := make([][2]ProcID, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, [2]ProcID{0, ProcID(v)})
+	}
+	return mustTopology(n, edges)
+}
+
+// RandomTree returns a uniformly random recursive tree: process i > 0
+// attaches to a uniform earlier process. Deterministic in r's stream, so
+// a tree replays from its seed (callers derive r from rng.Mix).
+func RandomTree(n int, r Rand) *Topology {
+	if n < 2 {
+		panic(fmt.Sprintf("core: RandomTree needs n >= 2, got %d", n))
+	}
+	edges := make([][2]ProcID, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]ProcID{ProcID(r.Intn(i)), ProcID(i)})
+	}
+	return mustTopology(n, edges)
+}
+
+// GNP returns an Erdős–Rényi graph G(n, p): each of the n(n-1)/2
+// candidate edges is included independently with probability p, drawn in
+// the fixed (u, v) ascending order so the graph is a pure function of
+// (n, p, r's seed). The result may be disconnected; callers that need a
+// usable system should check Connected.
+func GNP(n int, p float64, r Rand) *Topology {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("core: GNP probability %v outside [0,1]", p))
+	}
+	var edges [][2]ProcID
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				edges = append(edges, [2]ProcID{ProcID(u), ProcID(v)})
+			}
+		}
+	}
+	return mustTopology(n, edges)
+}
+
+// N returns the number of processes.
+func (t *Topology) N() int { return t.n }
+
+// EdgeCount returns the number of undirected edges.
+func (t *Topology) EdgeCount() int { return t.edges }
+
+// Degree returns the number of neighbors of p.
+func (t *Topology) Degree(p ProcID) int { return len(t.adj[p]) }
+
+// Neighbors returns p's neighbors in ascending order. The slice is shared
+// with the topology and must not be mutated.
+func (t *Topology) Neighbors(p ProcID) []ProcID { return t.adj[p] }
+
+// HasEdge reports whether {u, v} is an edge. Binary search over the
+// sorted neighbor list: O(log degree).
+func (t *Topology) HasEdge(u, v ProcID) bool {
+	if u < 0 || v < 0 || int(u) >= t.n || int(v) >= t.n || u == v {
+		return false
+	}
+	nb := t.adj[u]
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= v })
+	return i < len(nb) && nb[i] == v
+}
+
+// Edges returns every undirected edge as (u, v) with u < v, in ascending
+// order — the canonical edge list the text format serializes.
+func (t *Topology) Edges() [][2]ProcID {
+	out := make([][2]ProcID, 0, t.edges)
+	for u := 0; u < t.n; u++ {
+		for _, v := range t.adj[u] {
+			if ProcID(u) < v {
+				out = append(out, [2]ProcID{ProcID(u), v})
+			}
+		}
+	}
+	return out
+}
+
+// IsComplete reports whether every pair of processes is connected — the
+// paper's topology, on which every engine must behave byte-identically to
+// the pre-topology code paths.
+func (t *Topology) IsComplete() bool {
+	return t.edges == t.n*(t.n-1)/2
+}
+
+// Connected reports whether the graph has a single connected component.
+func (t *Topology) Connected() bool {
+	seen := make([]bool, t.n)
+	stack := []ProcID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range t.adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == t.n
+}
+
+// IsTree reports whether the graph is a tree (connected and acyclic) —
+// the topology class the snap-stabilizing forwarding protocol's
+// deadlock-freedom argument needs.
+func (t *Topology) IsTree() bool {
+	return t.edges == t.n-1 && t.Connected()
+}
+
+// NextHops returns the shortest-path routing table: NextHops()[p][dst] is
+// the neighbor of p on a shortest path from p to dst, or -1 when dst is p
+// itself or unreachable. Ties break toward the lowest-numbered neighbor
+// (BFS visits neighbors in ascending order), so the table is a pure
+// function of the topology. On a tree the table is THE routing function:
+// paths are unique.
+func (t *Topology) NextHops() [][]ProcID {
+	out := make([][]ProcID, t.n)
+	queue := make([]ProcID, 0, t.n)
+	for src := 0; src < t.n; src++ {
+		hop := make([]ProcID, t.n)
+		for i := range hop {
+			hop[i] = -1
+		}
+		visited := make([]bool, t.n)
+		visited[src] = true
+		queue = queue[:0]
+		// Seed the frontier with src's neighbors: each routes through
+		// itself, and BFS propagates that first hop outward.
+		for _, v := range t.adj[src] {
+			visited[v] = true
+			hop[v] = v
+			queue = append(queue, v)
+		}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range t.adj[u] {
+				if !visited[v] {
+					visited[v] = true
+					hop[v] = hop[u]
+					queue = append(queue, v)
+				}
+			}
+		}
+		out[src] = hop
+	}
+	return out
+}
+
+// AppendText appends the canonical graph.txt serialization: an "n <N>"
+// header followed by the ascending (u < v) edge list, one "u v" line
+// each. ParseTopology reads it back; serialize-parse round-trips are
+// exact.
+func (t *Topology) AppendText(dst []byte) []byte {
+	dst = append(dst, "n "...)
+	dst = strconv.AppendInt(dst, int64(t.n), 10)
+	dst = append(dst, '\n')
+	for _, e := range t.Edges() {
+		dst = strconv.AppendInt(dst, int64(e[0]), 10)
+		dst = append(dst, ' ')
+		dst = strconv.AppendInt(dst, int64(e[1]), 10)
+		dst = append(dst, '\n')
+	}
+	return dst
+}
+
+// String returns the canonical graph.txt serialization.
+func (t *Topology) String() string { return string(t.AppendText(nil)) }
+
+// MaxParseN bounds the process count ParseTopology accepts. The parser
+// allocates adjacency structure proportional to the header's count
+// before reading any edge, so an unbounded count would let a 16-byte
+// input demand gigabytes.
+const MaxParseN = 1 << 20
+
+// ParseTopology parses the graph.txt format: an "n <N>" header line
+// followed by one "u v" line per undirected edge. Blank lines and
+// "#"-prefixed comments are ignored anywhere. Errors carry the 1-based
+// line number.
+func ParseTopology(data []byte) (*Topology, error) {
+	var (
+		n     = -1
+		edges [][2]ProcID
+	)
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if n < 0 {
+			if len(fields) != 2 || fields[0] != "n" {
+				return nil, fmt.Errorf("core: topology line %d: want header \"n <count>\", got %q", lineNo+1, line)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 2 || v > MaxParseN {
+				return nil, fmt.Errorf("core: topology line %d: invalid process count %q (want 2..%d)", lineNo+1, fields[1], MaxParseN)
+			}
+			n = v
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("core: topology line %d: want \"u v\", got %q", lineNo+1, line)
+		}
+		u, err1 := strconv.Atoi(fields[0])
+		v, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("core: topology line %d: invalid edge %q", lineNo+1, line)
+		}
+		edges = append(edges, [2]ProcID{ProcID(u), ProcID(v)})
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("core: topology has no \"n <count>\" header")
+	}
+	return NewTopology(n, edges)
+}

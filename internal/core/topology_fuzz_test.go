@@ -1,0 +1,42 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseTopology throws arbitrary bytes at the graph.txt parser. The
+// property under test: parsing either fails cleanly or yields a valid
+// topology whose canonical serialization round-trips exactly — the
+// parser must never panic, and canonicalization must be a fixed point.
+func FuzzParseTopology(f *testing.F) {
+	f.Add([]byte("n 4\n0 1\n1 2\n2 3\n"))
+	f.Add([]byte("# comment\n\nn 5\n4 0\n0 2\n1 0\n0 3\n"))
+	f.Add([]byte("n 2\n0 1\n"))
+	f.Add([]byte("n 3\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("n 1000000\n"))
+	f.Add([]byte("n 3\n0 1 2\n"))
+	f.Add([]byte("n 3\n-1 0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		topo, err := ParseTopology(data)
+		if err != nil {
+			return
+		}
+		if topo.N() < 2 {
+			t.Fatalf("parser accepted n = %d < 2", topo.N())
+		}
+		text := topo.AppendText(nil)
+		back, err := ParseTopology(text)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse: %v\n%s", err, text)
+		}
+		if again := back.AppendText(nil); !bytes.Equal(text, again) {
+			t.Fatalf("canonicalization is not a fixed point:\n%s\nvs\n%s", text, again)
+		}
+		if back.N() != topo.N() || back.EdgeCount() != topo.EdgeCount() {
+			t.Fatalf("round-trip changed the graph: n %d->%d, edges %d->%d",
+				topo.N(), back.N(), topo.EdgeCount(), back.EdgeCount())
+		}
+	})
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/snapstab/snapstab/internal/rng"
+)
+
+func TestConstructorShapes(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name      string
+		t         *Topology
+		edges     int
+		tree      bool
+		complete  bool
+		connected bool
+	}{
+		{"complete-5", Complete(5), 10, false, true, true},
+		{"complete-2", Complete(2), 1, true, true, true},
+		{"ring-5", Ring(5), 5, false, false, true},
+		{"ring-2", Ring(2), 1, true, true, true},
+		{"ring-3", Ring(3), 3, false, true, true},
+		{"line-6", Line(6), 5, true, false, true},
+		{"star-6", Star(6), 5, true, false, true},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			if got := c.t.EdgeCount(); got != c.edges {
+				t.Errorf("EdgeCount = %d, want %d", got, c.edges)
+			}
+			if got := c.t.IsTree(); got != c.tree {
+				t.Errorf("IsTree = %v, want %v", got, c.tree)
+			}
+			if got := c.t.IsComplete(); got != c.complete {
+				t.Errorf("IsComplete = %v, want %v", got, c.complete)
+			}
+			if got := c.t.Connected(); got != c.connected {
+				t.Errorf("Connected = %v, want %v", got, c.connected)
+			}
+		})
+	}
+}
+
+func TestDegreeAndAdjacencyInvariants(t *testing.T) {
+	t.Parallel()
+	for name, topo := range map[string]*Topology{
+		"complete-7": Complete(7),
+		"ring-7":     Ring(7),
+		"line-7":     Line(7),
+		"star-7":     Star(7),
+		"tree-17":    RandomTree(17, rng.New(rng.Mix(3, 0x54))),
+		"gnp-12":     GNP(12, 0.4, rng.New(rng.Mix(4, 0x54))),
+	} {
+		// Handshake lemma: degrees sum to twice the edge count.
+		sum := 0
+		for p := 0; p < topo.N(); p++ {
+			sum += topo.Degree(ProcID(p))
+			prev := ProcID(-1)
+			for _, q := range topo.Neighbors(ProcID(p)) {
+				if q <= prev {
+					t.Errorf("%s: neighbors of %d not strictly ascending", name, p)
+				}
+				prev = q
+				if !topo.HasEdge(ProcID(p), q) || !topo.HasEdge(q, ProcID(p)) {
+					t.Errorf("%s: HasEdge(%d,%d) not symmetric with adjacency", name, p, q)
+				}
+			}
+		}
+		if sum != 2*topo.EdgeCount() {
+			t.Errorf("%s: degree sum %d != 2 * %d edges", name, sum, topo.EdgeCount())
+		}
+		if topo.HasEdge(0, 0) || topo.HasEdge(-1, 1) || topo.HasEdge(0, ProcID(topo.N())) {
+			t.Errorf("%s: HasEdge accepts invalid endpoints", name)
+		}
+	}
+}
+
+func TestNewTopologyRejectsMalformedEdges(t *testing.T) {
+	t.Parallel()
+	bad := []struct {
+		name  string
+		n     int
+		edges [][2]ProcID
+	}{
+		{"n-too-small", 1, nil},
+		{"self-loop", 3, [][2]ProcID{{1, 1}}},
+		{"out-of-range", 3, [][2]ProcID{{0, 3}}},
+		{"negative", 3, [][2]ProcID{{-1, 0}}},
+		{"duplicate", 3, [][2]ProcID{{0, 1}, {0, 1}}},
+		{"duplicate-flipped", 3, [][2]ProcID{{0, 1}, {1, 0}}},
+	}
+	for _, c := range bad {
+		if _, err := NewTopology(c.n, c.edges); err == nil {
+			t.Errorf("%s: NewTopology accepted malformed input", c.name)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	t.Parallel()
+	for seed := uint64(1); seed <= 10; seed++ {
+		a := RandomTree(20, rng.New(rng.Mix(seed, 0x54)))
+		b := RandomTree(20, rng.New(rng.Mix(seed, 0x54)))
+		if a.String() != b.String() {
+			t.Fatalf("RandomTree(seed %d) not deterministic", seed)
+		}
+		if !a.IsTree() {
+			t.Fatalf("RandomTree(seed %d) is not a tree:\n%s", seed, a)
+		}
+		g1 := GNP(15, 0.3, rng.New(rng.Mix(seed, 0x54)))
+		g2 := GNP(15, 0.3, rng.New(rng.Mix(seed, 0x54)))
+		if g1.String() != g2.String() {
+			t.Fatalf("GNP(seed %d) not deterministic", seed)
+		}
+	}
+	// Distinct seeds should eventually produce distinct trees.
+	distinct := false
+	base := RandomTree(20, rng.New(rng.Mix(1, 0x54))).String()
+	for seed := uint64(2); seed <= 10; seed++ {
+		if RandomTree(20, rng.New(rng.Mix(seed, 0x54))).String() != base {
+			distinct = true
+			break
+		}
+	}
+	if !distinct {
+		t.Fatal("RandomTree ignores its seed")
+	}
+	// GNP endpoints: p=0 is empty, p=1 is complete.
+	if GNP(6, 0, rng.New(1)).EdgeCount() != 0 {
+		t.Fatal("GNP(p=0) produced edges")
+	}
+	if !GNP(6, 1, rng.New(1)).IsComplete() {
+		t.Fatal("GNP(p=1) is not complete")
+	}
+}
+
+func TestNextHops(t *testing.T) {
+	t.Parallel()
+	// Line: every route moves one step toward the destination.
+	line := Line(5)
+	hops := line.NextHops()
+	for src := 0; src < 5; src++ {
+		for dst := 0; dst < 5; dst++ {
+			want := ProcID(-1)
+			if dst < src {
+				want = ProcID(src - 1)
+			} else if dst > src {
+				want = ProcID(src + 1)
+			}
+			if hops[src][dst] != want {
+				t.Errorf("line NextHops[%d][%d] = %d, want %d", src, dst, hops[src][dst], want)
+			}
+		}
+	}
+	// Star: leaves route through the center, the center routes directly.
+	star := Star(5)
+	hops = star.NextHops()
+	for leaf := 1; leaf < 5; leaf++ {
+		for dst := 0; dst < 5; dst++ {
+			if dst == leaf {
+				continue
+			}
+			if hops[leaf][dst] != 0 {
+				t.Errorf("star NextHops[%d][%d] = %d, want 0", leaf, dst, hops[leaf][dst])
+			}
+		}
+		if hops[0][leaf] != ProcID(leaf) {
+			t.Errorf("star NextHops[0][%d] = %d, want %d", leaf, hops[0][leaf], leaf)
+		}
+	}
+	// Every tree: following the table from any src reaches any dst in at
+	// most n-1 steps (unique paths, no cycles).
+	tree := RandomTree(12, rng.New(rng.Mix(9, 0x54)))
+	hops = tree.NextHops()
+	for src := ProcID(0); int(src) < tree.N(); src++ {
+		for dst := ProcID(0); int(dst) < tree.N(); dst++ {
+			at, steps := src, 0
+			for at != dst {
+				next := hops[at][dst]
+				if next < 0 || !tree.HasEdge(at, next) {
+					t.Fatalf("tree route %d->%d broken at %d (next %d)", src, dst, at, next)
+				}
+				at = next
+				if steps++; steps >= tree.N() {
+					t.Fatalf("tree route %d->%d does not terminate", src, dst)
+				}
+			}
+		}
+	}
+	// Disconnected pairs have no route.
+	two, err := NewTopology(4, [][2]ProcID{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := two.NextHops(); h[0][2] != -1 || h[3][1] != -1 {
+		t.Error("disconnected pairs should route to -1")
+	}
+}
+
+func TestSerializeParseRoundTrip(t *testing.T) {
+	t.Parallel()
+	for name, topo := range map[string]*Topology{
+		"complete-6": Complete(6),
+		"ring-9":     Ring(9),
+		"tree-14":    RandomTree(14, rng.New(rng.Mix(11, 0x54))),
+		"gnp-10":     GNP(10, 0.5, rng.New(rng.Mix(12, 0x54))),
+	} {
+		text := topo.String()
+		back, err := ParseTopology([]byte(text))
+		if err != nil {
+			t.Fatalf("%s: reparse failed: %v\n%s", name, err, text)
+		}
+		if back.String() != text {
+			t.Errorf("%s: round-trip not exact:\n%s\nvs\n%s", name, text, back.String())
+		}
+	}
+}
+
+func TestParseGoldenFiles(t *testing.T) {
+	t.Parallel()
+	line4, err := os.ReadFile(filepath.Join("testdata", "line4.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := ParseTopology(line4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.String() != Line(4).String() {
+		t.Errorf("line4.txt parsed to\n%s\nwant Line(4)", topo)
+	}
+	if topo.String() != string(line4) {
+		t.Errorf("line4.txt is not canonical: serialization differs from file")
+	}
+
+	// A messy file — comments, blank lines, unordered endpoints — parses
+	// to the same graph as its canonical form.
+	messy, err := os.ReadFile(filepath.Join("testdata", "star5_messy.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical, err := os.ReadFile(filepath.Join("testdata", "star5_canonical.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := ParseTopology(messy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.String() != string(canonical) {
+		t.Errorf("star5_messy.txt canonicalized to\n%s\nwant\n%s", mt, canonical)
+	}
+	if mt.String() != Star(5).String() {
+		t.Errorf("star5_messy.txt is not Star(5)")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	t.Parallel()
+	bad := map[string]string{
+		"empty":          "",
+		"no-header":      "0 1\n",
+		"bad-header":     "m 4\n",
+		"tiny-n":         "n 1\n",
+		"bad-edge":       "n 3\n0 x\n",
+		"three-fields":   "n 3\n0 1 2\n",
+		"self-loop":      "n 3\n1 1\n",
+		"out-of-range":   "n 3\n0 5\n",
+		"duplicate-edge": "n 3\n0 1\n1 0\n",
+	}
+	for name, text := range bad {
+		if _, err := ParseTopology([]byte(text)); err == nil {
+			t.Errorf("%s: ParseTopology accepted %q", name, text)
+		}
+	}
+}

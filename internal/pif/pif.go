@@ -83,6 +83,38 @@ func WithFlagTop(top int) Option {
 	}
 }
 
+// WithPeers restricts the machine to a set of communication neighbours:
+// the handshake runs only toward peers, the broadcast is accepted only
+// from peers, and termination requires State[q] = top exactly for the
+// peers. The default (nil) is every other process — the paper's complete
+// graph. The slice is copied and sorted ascending, so on the complete
+// graph every loop visits exactly the processes the unrestricted machine
+// visits, in the same order: executions are byte-identical.
+func WithPeers(peers []core.ProcID) Option {
+	return func(p *PIF) {
+		out := make([]core.ProcID, len(peers))
+		copy(out, peers)
+		sortProcIDs(out)
+		for i, q := range out {
+			if q < 0 || int(q) >= p.n || q == p.self {
+				panic(fmt.Sprintf("pif: peer %d invalid for process %d of %d", q, p.self, p.n))
+			}
+			if i > 0 && out[i-1] == q {
+				panic(fmt.Sprintf("pif: duplicate peer %d", q))
+			}
+		}
+		p.peers = out
+	}
+}
+
+func sortProcIDs(s []core.ProcID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
 // WithGarbageBlobs makes Corrupt draw opaque payload bodies of up to max
 // random bytes alongside the structured garbage, realizing arbitrary
 // initial configurations for typed (blob-carrying) deployments. The
@@ -108,6 +140,7 @@ type PIF struct {
 	n       int
 	top     uint8
 	blobMax int
+	peers   []core.ProcID // sorted communication neighbours
 	cb      Callbacks
 
 	// Request is the input/output variable driving computations
@@ -155,6 +188,14 @@ func New(inst string, self core.ProcID, n int, cb Callbacks, opts ...Option) *PI
 	for _, opt := range opts {
 		opt(p)
 	}
+	if p.peers == nil {
+		p.peers = make([]core.ProcID, 0, n-1)
+		for q := 0; q < n; q++ {
+			if q != int(self) {
+				p.peers = append(p.peers, core.ProcID(q))
+			}
+		}
+	}
 	return p
 }
 
@@ -173,6 +214,25 @@ func (p *PIF) FlagTop() uint8 { return p.top }
 
 // Self returns the owning process.
 func (p *PIF) Self() core.ProcID { return p.self }
+
+// Peers returns the machine's communication neighbours in ascending
+// order. The slice is shared and must not be mutated.
+func (p *PIF) Peers() []core.ProcID { return p.peers }
+
+// isPeer reports whether q is a communication neighbour (binary search
+// over the sorted peer list).
+func (p *PIF) isPeer(q core.ProcID) bool {
+	lo, hi := 0, len(p.peers)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.peers[mid] < q {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(p.peers) && p.peers[lo] == q
+}
 
 // Invoke submits an external request to broadcast b. Following the model
 // (§4.1), the application must not re-request before the previous
@@ -206,10 +266,8 @@ func (p *PIF) Step(env core.Env) bool {
 	// A1 :: Request = Wait -> start: Request <- In; forall q: State[q] <- 0.
 	if p.Request == core.Wait {
 		p.Request = core.In
-		for q := range p.State {
-			if q != int(p.self) {
-				p.State[q] = 0
-			}
+		for _, q := range p.peers {
+			p.State[q] = 0
 		}
 		env.Emit(core.Event{Kind: core.EvStart, Peer: -1, Instance: p.inst, Note: p.BMes.String()})
 		fired = true
@@ -221,11 +279,11 @@ func (p *PIF) Step(env core.Env) bool {
 			p.Request = core.Done
 			env.Emit(core.Event{Kind: core.EvDecide, Peer: -1, Instance: p.inst, Note: p.BMes.String()})
 		} else {
-			for q := 0; q < p.n; q++ {
-				if q == int(p.self) || p.State[q] == p.top {
+			for _, q := range p.peers {
+				if p.State[q] == p.top {
 					continue
 				}
-				env.Send(core.ProcID(q), core.Message{
+				env.Send(q, core.Message{
 					Instance: p.inst,
 					Kind:     Kind,
 					B:        p.BMes,
@@ -247,8 +305,9 @@ func (p *PIF) Step(env core.Env) bool {
 // m.State = qState (the sender's flag toward p) and m.Echo = pState (the
 // sender's NeigState, i.e. the echo of p's own flag).
 func (p *PIF) Deliver(env core.Env, from core.ProcID, m core.Message) {
-	if m.Kind != Kind || from == p.self || int(from) >= p.n || from < 0 {
-		// Garbage from the initial configuration: consumed, no effect.
+	if m.Kind != Kind || !p.isPeer(from) {
+		// Garbage from the initial configuration, or a sender that is not
+		// a communication neighbour: consumed, no effect.
 		return
 	}
 	q := int(from)
@@ -300,8 +359,8 @@ func (p *PIF) Deliver(env core.Env, from core.ProcID, m core.Message) {
 }
 
 func (p *PIF) allTop() bool {
-	for q := 0; q < p.n; q++ {
-		if q != int(p.self) && p.State[q] != p.top {
+	for _, q := range p.peers {
+		if p.State[q] != p.top {
 			return false
 		}
 	}
@@ -312,10 +371,7 @@ func (p *PIF) allTop() bool {
 func (p *PIF) AppendState(dst []byte) []byte {
 	dst = append(dst, 'P', byte(p.Request))
 	dst = core.AppendPayload(dst, p.BMes)
-	for q := 0; q < p.n; q++ {
-		if q == int(p.self) {
-			continue
-		}
+	for _, q := range p.peers {
 		dst = append(dst, p.State[q], p.Neig[q])
 		dst = core.AppendPayload(dst, p.FMes[q])
 	}
@@ -329,10 +385,7 @@ func (p *PIF) AppendState(dst []byte) []byte {
 func (p *PIF) Corrupt(r core.Rand) {
 	p.Request = core.ReqState(r.Intn(core.NumReqStates))
 	p.BMes = GarbagePayloadBlob(r, p.blobMax)
-	for q := 0; q < p.n; q++ {
-		if q == int(p.self) {
-			continue
-		}
+	for _, q := range p.peers {
 		p.State[q] = uint8(r.Intn(int(p.top) + 1))
 		p.Neig[q] = uint8(r.Intn(int(p.top) + 1))
 		p.FMes[q] = GarbagePayloadBlob(r, p.blobMax)

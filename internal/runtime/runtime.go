@@ -69,6 +69,16 @@ func WithTick(d time.Duration) Option {
 	return func(e *Engine) { e.tick = d }
 }
 
+// WithTopology restricts the engine to the edges of t: each receiver's
+// link table holds one row per NEIGHBOUR instead of one per process, so
+// the in-flight counters and fan-in buffers are degree-bounded, and a
+// send to a non-neighbour is dropped at the sender (there is no channel
+// to carry it). The default (nil) is the complete graph, with the exact
+// all-pairs table layout of earlier revisions.
+func WithTopology(t *core.Topology) Option {
+	return func(e *Engine) { e.topo = t }
+}
+
 // runtimeFaultSalt namespaces this substrate's injector seeds within the
 // plan's rng.Mix hierarchy (sim and udp use their own salts).
 const runtimeFaultSalt = 0x52
@@ -88,13 +98,17 @@ func WithFaults(plan *core.FaultPlan) Option {
 
 // linkTable is the precomputed delivery state for one receiver: its
 // instances in stack order and one in-flight counter per directed
-// (sender, instance) link. The slot for a link is
-// int(sender)*len(instances) + instance index, so sender and instance
-// recover from a slot with one division — envelopes carry only the slot.
+// (sender, instance) link. Senders are compacted through senderIdx —
+// the identity map on the complete graph, a dense neighbour index on a
+// sparse topology — so the table is degree-bounded. The slot for a link
+// is senderIdx[sender]*len(instances) + instance index; the instance
+// recovers from a slot with one modulo (the sender rides alongside in
+// the envelope), so envelopes carry only the slot.
 type linkTable struct {
 	instances []string
 	instIdx   map[string]int
 	machines  []core.Machine
+	senderIdx []int // per-process dense sender row, -1 = not a neighbour
 	inflight  []atomic.Int32
 }
 
@@ -104,6 +118,7 @@ type Engine struct {
 	capacity  int
 	loss      float64
 	tick      time.Duration
+	topo      *core.Topology
 	stacks    []core.Stack
 	observers core.MultiObserver
 
@@ -148,8 +163,14 @@ func New(stacks []core.Stack, opts ...Option) *Engine {
 	if e.loss < 0 || e.loss >= 1 {
 		panic(fmt.Sprintf("runtime: loss rate %v outside [0,1)", e.loss))
 	}
+	if e.topo != nil && e.topo.N() != e.n {
+		panic(fmt.Sprintf("runtime: topology over %d processes, %d stacks", e.topo.N(), e.n))
+	}
 	if e.fault != nil {
 		if err := e.fault.Validate(); err != nil {
+			panic("runtime: " + err.Error())
+		}
+		if err := e.fault.ValidateTopology(e.topo); err != nil {
 			panic("runtime: " + err.Error())
 		}
 		e.faultUnit = e.fault.TickUnit()
@@ -171,15 +192,44 @@ func New(stacks []core.Stack, opts ...Option) *Engine {
 			t.instances = append(t.instances, id)
 			t.machines = append(t.machines, mach)
 		}
-		t.inflight = make([]atomic.Int32, e.n*len(t.instances))
+		// Compact senders: every process on the complete graph, only the
+		// neighbours under a topology. Ascending neighbour order keeps the
+		// dense rows deterministic.
+		t.senderIdx = make([]int, e.n)
+		senders := 0
+		if e.topo == nil {
+			for p := range t.senderIdx {
+				t.senderIdx[p] = p
+			}
+			senders = e.n
+		} else {
+			for p := range t.senderIdx {
+				t.senderIdx[p] = -1
+			}
+			for _, q := range e.topo.Neighbors(core.ProcID(i)) {
+				t.senderIdx[q] = senders
+				senders++
+			}
+		}
+		t.inflight = make([]atomic.Int32, senders*len(t.instances))
 		e.tables[i] = t
 		// Sized to the total in-flight bound across all of this
 		// receiver's links, so a send that passed the capacity check can
-		// never block on the channel.
-		e.inbox[i] = make(chan core.Envelope, e.n*len(t.instances)*e.capacity)
+		// never block on the channel. An isolated process (degree 0) can
+		// receive nothing; give its channel a slot anyway so the type
+		// stays uniform.
+		buf := senders * len(t.instances) * e.capacity
+		if buf < 1 {
+			buf = 1
+		}
+		e.inbox[i] = make(chan core.Envelope, buf)
 	}
 	return e
 }
+
+// Topology returns the installed communication graph, or nil for the
+// default complete graph.
+func (e *Engine) Topology() *core.Topology { return e.topo }
 
 // env implements core.Env for one process. It must only be used while the
 // process mutex is held (the engine and Do guarantee that).
@@ -194,6 +244,14 @@ func (v env) N() int            { return v.e.n }
 func (v env) Send(to core.ProcID, m core.Message) {
 	e := v.e
 	t := e.tables[to]
+	row := t.senderIdx[v.self]
+	if row < 0 {
+		// Not a neighbour under the topology: no channel exists, the send
+		// vanishes at the sender.
+		e.dropped.Add(1)
+		e.emit(core.Event{Kind: core.EvSendLost, Proc: v.self, Peer: to, Instance: m.Instance, Msg: m, Note: "no edge"})
+		return
+	}
 	idx, ok := t.instIdx[m.Instance]
 	if !ok {
 		// The destination runs no machine for this instance, so the
@@ -203,7 +261,7 @@ func (v env) Send(to core.ProcID, m core.Message) {
 		e.emit(core.Event{Kind: core.EvSendLost, Proc: v.self, Peer: to, Instance: m.Instance, Msg: m})
 		return
 	}
-	slot := int(v.self)*len(t.instances) + idx
+	slot := row*len(t.instances) + idx
 	ctr := &t.inflight[slot]
 	if in := ctr.Add(1); in > int32(e.capacity) {
 		// Link full: the message is lost, per the model.

@@ -108,6 +108,18 @@ func WithObserver(o core.Observer) Option {
 	return func(n *Network) { n.observers = append(n.observers, o) }
 }
 
+// WithTopology restricts the network to the edges of t: links exist only
+// along edges (Link panics on a non-edge key), sends to non-neighbours
+// are dropped at the sender, and the installed fault plan must address
+// only real links. The default (nil) is the paper's complete graph. The
+// link structures are lazily created per edge, so memory and the
+// scheduler's pending index stay degree-bounded on sparse graphs. Edge
+// checks consume no scheduler randomness: a network over an explicit
+// Complete(n) executes byte-identically to one without a topology.
+func WithTopology(t *core.Topology) Option {
+	return func(n *Network) { n.topo = t }
+}
+
 // faultSeedSalt namespaces the simulator's injector seed within the
 // plan's rng.Mix-derived seed hierarchy (the runtime and udp substrates
 // use their own salts), so the same plan drives a distinct — but equally
@@ -134,6 +146,7 @@ type Network struct {
 	unbounded bool
 	loss      float64
 	seed      uint64
+	topo      *core.Topology
 
 	fault *core.FaultPlan
 	inj   *core.Injector
@@ -200,8 +213,14 @@ func New(stacks []core.Stack, opts ...Option) *Network {
 		panic(fmt.Sprintf("sim: invalid capacity %d", net.capacity))
 	}
 	net.r = rng.New(net.seed)
+	if net.topo != nil && net.topo.N() != net.n {
+		panic(fmt.Sprintf("sim: topology over %d processes, %d stacks", net.topo.N(), net.n))
+	}
 	if net.fault != nil {
 		if err := net.fault.Validate(); err != nil {
+			panic("sim: " + err.Error())
+		}
+		if err := net.fault.ValidateTopology(net.topo); err != nil {
 			panic("sim: " + err.Error())
 		}
 		net.inj = core.NewInjector(net.fault, rng.New(rng.Mix(net.fault.Seed, faultSeedSalt)))
@@ -245,6 +264,10 @@ func (net *Network) Stats() Stats {
 // FaultPlan returns the installed fault plan, or nil.
 func (net *Network) FaultPlan() *core.FaultPlan { return net.fault }
 
+// Topology returns the installed communication graph, or nil for the
+// default complete graph.
+func (net *Network) Topology() *core.Topology { return net.topo }
+
 // StepCount returns the number of scheduler steps executed so far.
 func (net *Network) StepCount() int { return net.step }
 
@@ -263,6 +286,9 @@ func (net *Network) Link(k LinkKey) channel.Queue[core.Message] {
 	}
 	if k.From == k.To || int(k.From) >= net.n || int(k.To) >= net.n || k.From < 0 || k.To < 0 {
 		panic(fmt.Sprintf("sim: invalid link %v", k))
+	}
+	if net.topo != nil && !net.topo.HasEdge(k.From, k.To) {
+		panic(fmt.Sprintf("sim: link %v is not an edge of the topology", k))
 	}
 	var q channel.Queue[core.Message]
 	if net.unbounded {
@@ -336,6 +362,15 @@ func (e env) Self() core.ProcID { return e.self }
 func (e env) N() int            { return e.net.n }
 
 func (e env) Send(to core.ProcID, m core.Message) {
+	if e.net.topo != nil && !e.net.topo.HasEdge(e.self, to) {
+		// No channel exists toward a non-neighbour: the send vanishes at
+		// the sender, accounted like a full-channel loss. The check draws
+		// no randomness, preserving the determinism contract.
+		e.net.stats.Sends++
+		e.net.stats.SendLosses++
+		e.net.emit(core.Event{Kind: core.EvSendLost, Proc: e.self, Peer: to, Instance: m.Instance, Msg: m, Note: "no edge"})
+		return
+	}
 	q := e.net.Link(LinkKey{From: e.self, To: to, Instance: m.Instance})
 	e.net.stats.Sends++
 	if q.Send(m) {

@@ -49,6 +49,11 @@ type PIFChecker struct {
 	Initiator core.ProcID
 	Instance  string
 	ExpectFck func(q core.ProcID, b core.Payload) core.Payload
+	// Participants restricts the Correctness/Decision obligations to a set
+	// of processes — the initiator's neighbours when the PIF runs over a
+	// non-complete topology. Nil means every process except the initiator
+	// (the paper's complete graph).
+	Participants []core.ProcID
 
 	armed      bool
 	token      core.Payload
@@ -116,10 +121,16 @@ func (c *PIFChecker) OnEvent(e core.Event) {
 // started computation decides (Lemma 5: all receive-brd and receive-fck
 // events of the computation precede the decision).
 func (c *PIFChecker) checkAtDecision(step int) {
-	for q := core.ProcID(0); int(q) < c.N; q++ {
-		if q == c.Initiator {
-			continue
+	participants := c.Participants
+	if participants == nil {
+		participants = make([]core.ProcID, 0, c.N-1)
+		for q := core.ProcID(0); int(q) < c.N; q++ {
+			if q != c.Initiator {
+				participants = append(participants, q)
+			}
 		}
+	}
+	for _, q := range participants {
 		if !c.brd[q] {
 			c.violations = append(c.violations, Violation{
 				Property: "Correctness",

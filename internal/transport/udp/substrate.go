@@ -50,11 +50,19 @@ func NewCluster(stacks []core.Stack, opts ...Option) (*Cluster, error) {
 		c.nodes[i] = node
 		addrs[i] = node.conn.LocalAddr().(*net.UDPAddr)
 	}
+	// Wire addresses along edges only: under a topology a node simply
+	// never learns where its non-neighbours live, mirroring a deployment
+	// where each host is configured with its neighbour list.
+	topo := c.nodes[0].topo
 	for i, node := range c.nodes {
 		for j, a := range addrs {
-			if i != j {
-				node.SetPeer(core.ProcID(j), a)
+			if i == j {
+				continue
 			}
+			if topo != nil && !topo.HasEdge(core.ProcID(i), core.ProcID(j)) {
+				continue
+			}
+			node.SetPeer(core.ProcID(j), a)
 		}
 	}
 	for _, node := range c.nodes {

@@ -86,6 +86,16 @@ func WithObserver(o core.Observer) Option {
 	return func(n *Node) { n.observers = append(n.observers, o) }
 }
 
+// WithTopology declares the communication graph the node belongs to:
+// sends to non-neighbours are dropped (and counted) at the sender even if
+// an address is wired, datagrams from non-neighbours are rejected at the
+// sender lookup, and the installed fault plan is validated against the
+// edge set. NewCluster additionally uses it to wire only neighbour
+// addresses. The default (nil) is the complete graph.
+func WithTopology(t *core.Topology) Option {
+	return func(n *Node) { n.topo = t }
+}
+
 // udpFaultSalt namespaces this substrate's injector seeds within the
 // plan's rng.Mix hierarchy (sim and runtime use their own salts).
 const udpFaultSalt = 0x53
@@ -109,6 +119,7 @@ type Node struct {
 	self         core.ProcID
 	stack        core.Stack
 	routes       map[string]core.Machine
+	topo         *core.Topology
 	conn         *net.UDPConn
 	peers        []*net.UDPAddr
 	senders      map[netip.AddrPort]core.ProcID // canonical ip:port -> peer, built at Start
@@ -235,8 +246,16 @@ func NewNode(self core.ProcID, stack core.Stack, laddr string, peers []string, o
 		conn.Close()
 		return nil, fmt.Errorf("udp: invalid mailbox size %d", n.mailboxSlots)
 	}
+	if n.topo != nil && n.topo.N() != len(peers) {
+		conn.Close()
+		return nil, fmt.Errorf("udp: topology over %d processes, %d peers", n.topo.N(), len(peers))
+	}
 	if n.fault != nil {
 		if err := n.fault.Validate(); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("udp: %w", err)
+		}
+		if err := n.fault.ValidateTopology(n.topo); err != nil {
 			conn.Close()
 			return nil, fmt.Errorf("udp: %w", err)
 		}
@@ -262,6 +281,13 @@ func (v env) N() int            { return len(v.n.peers) }
 
 func (v env) Send(to core.ProcID, m core.Message) {
 	n := v.n
+	if n.topo != nil && !n.topo.HasEdge(n.self, to) {
+		// Not a neighbour under the topology: no channel exists, the send
+		// vanishes at the sender (and is counted, unlike an unwired peer).
+		n.sendDrops.Add(1)
+		n.emit(core.Event{Kind: core.EvSendLost, Proc: n.self, Peer: to, Instance: m.Instance, Msg: m, Note: "no edge"})
+		return
+	}
 	peer := n.peers[to]
 	if peer == nil {
 		return
@@ -309,6 +335,11 @@ func (n *Node) Start() {
 	n.senders = make(map[netip.AddrPort]core.ProcID, len(n.peers))
 	for i, p := range n.peers {
 		if p == nil || core.ProcID(i) == n.self {
+			continue
+		}
+		if n.topo != nil && !n.topo.HasEdge(core.ProcID(i), n.self) {
+			// A wired address that is not a neighbour never enters the
+			// sender table: its datagrams are dropped like any stranger's.
 			continue
 		}
 		n.senders[canonical(p.AddrPort())] = core.ProcID(i)

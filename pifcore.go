@@ -73,6 +73,13 @@ func newPIFCore(n int, cfg pifConfig, o options) *pifCore {
 	for i := 0; i < n; i++ {
 		i := i
 		id := core.ProcID(i)
+		popts := []pif.Option{capacityBound(o), pif.WithGarbageBlobs(cfg.garbageBlob)}
+		if o.topology != nil {
+			// Over a sparse graph each PIF instance handshakes with its
+			// neighbours only; on the complete graph the peer set equals
+			// the default and executions stay byte-identical.
+			popts = append(popts, pif.WithPeers(o.topology.Neighbors(id)))
+		}
 		c.machines[i] = pif.New("pif", id, n, pif.Callbacks{
 			OnBroadcast: func(_ core.Env, from core.ProcID, b core.Payload) core.Payload {
 				return cfg.recv(int(id), int(from), b)
@@ -82,7 +89,7 @@ func newPIFCore(n int, cfg pifConfig, o options) *pifCore {
 					sink.fb[from] = f
 				}
 			},
-		}, capacityBound(o), pif.WithGarbageBlobs(cfg.garbageBlob))
+		}, popts...)
 		stacks[i] = core.Stack{c.machines[i]}
 	}
 	// The checker stays dormant until armSpec; it is wired here so the
@@ -90,6 +97,9 @@ func newPIFCore(n int, cfg pifConfig, o options) *pifCore {
 	// expected feedback values are known exactly (default receivers),
 	// the Decision clause is checked value-for-value.
 	c.checker = &spec.PIFChecker{N: n, Initiator: 0, Instance: "pif"}
+	if o.topology != nil {
+		c.checker.Participants = o.topology.Neighbors(0)
+	}
 	c.checker.ExpectFck = cfg.expect
 	c.init(o, stacks, c.checker)
 	return c
@@ -106,6 +116,11 @@ func (c *pifCore) armSpec(p int, token core.Payload) error {
 	}
 	c.simNet.Sync(func() {
 		c.checker.Initiator = core.ProcID(p)
+		if topo := c.opt.topology; topo != nil {
+			// The obligations follow the initiator: its neighbourhood is
+			// the computation's participant set.
+			c.checker.Participants = topo.Neighbors(core.ProcID(p))
+		}
 		c.checker.Arm(token)
 	})
 	return nil

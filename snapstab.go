@@ -72,6 +72,9 @@ type options struct {
 	onReceiveTyped any
 	substrate      Substrate
 	faults         *core.FaultPlan
+	// topology is the communication graph (nil = the paper's complete
+	// network; an explicit complete graph behaves byte-identically).
+	topology *core.Topology
 }
 
 // Option configures a cluster.
@@ -286,6 +289,7 @@ type IDCluster struct {
 // distinct identifiers.
 func NewIDCluster(ids []int64, opts ...Option) *IDCluster {
 	o := buildOptions(opts)
+	o.requireCompleteTopology("NewIDCluster")
 	n := len(ids)
 	c := &IDCluster{ids: append([]int64(nil), ids...)}
 	c.machines = make([]*idl.IDL, n)
@@ -382,6 +386,7 @@ type MutexCluster struct {
 // given distinct identifiers (the smallest is the leader).
 func NewMutexCluster(ids []int64, opts ...Option) *MutexCluster {
 	o := buildOptions(opts)
+	o.requireCompleteTopology("NewMutexCluster")
 	n := len(ids)
 	c := &MutexCluster{}
 	c.machines = make([]*mutex.ME, n)

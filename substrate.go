@@ -56,6 +56,9 @@ func Sim() Substrate {
 				sim.WithCapacity(o.capacity),
 				sim.WithAwaitBudget(o.maxSteps),
 			}
+			if o.topology != nil {
+				sopts = append(sopts, sim.WithTopology(o.topology))
+			}
 			if o.faults != nil {
 				sopts = append(sopts, sim.WithFaults(o.faults))
 			}
@@ -79,6 +82,9 @@ func Runtime() Substrate {
 			ropts := []runtime.Option{
 				runtime.WithCapacity(o.capacity),
 				runtime.WithLossRate(o.lossRate),
+			}
+			if o.topology != nil {
+				ropts = append(ropts, runtime.WithTopology(o.topology))
 			}
 			if o.faults != nil {
 				ropts = append(ropts, runtime.WithFaults(o.faults))
@@ -113,6 +119,9 @@ func UDP() Substrate {
 			uopts := make([]udp.Option, 0, len(obs)+1)
 			for _, ob := range obs {
 				uopts = append(uopts, udp.WithObserver(ob))
+			}
+			if o.topology != nil {
+				uopts = append(uopts, udp.WithTopology(o.topology))
 			}
 			if o.faults != nil {
 				uopts = append(uopts, udp.WithFaults(o.faults))

@@ -1,0 +1,194 @@
+package snapstab
+
+import (
+	"fmt"
+	"testing"
+)
+
+// This file pins the topology layer's compatibility contract: a cluster
+// configured with an explicit Complete(n) topology executes EXACTLY the
+// execution of a cluster with no topology at all (the pre-topology code
+// path). On the deterministic substrate "exactly" is byte-identical —
+// same final configuration hash, same scheduler statistics, same
+// feedback values. On the concurrent substrates, where interleaving is
+// real, the contract is functional: same results, clean spec.
+
+// driveWorkload runs a fixed broadcast matrix and returns a canonical
+// transcript of everything request-visible: per-broadcast feedback sets
+// and the spec verdict.
+func driveWorkload(t *testing.T, c *PIFCluster, n int) string {
+	t.Helper()
+	var out []byte
+	for round := 0; round < 3; round++ {
+		for p := 0; p < n; p++ {
+			fb, err := c.Broadcast(p, "inv", int64(round*100+p))
+			if err != nil {
+				t.Fatalf("broadcast round %d from %d: %v", round, p, err)
+			}
+			out = append(out, fmt.Sprintf("r%d p%d:", round, p)...)
+			for _, f := range fb {
+				out = append(out, fmt.Sprintf(" %d=%s/%d", f.From, f.Value.Tag, f.Value.Num)...)
+			}
+			out = append(out, '\n')
+		}
+	}
+	rep := c.SpecReport()
+	out = append(out, fmt.Sprintf("spec started=%v decided=%v valueChecked=%v violations=%v\n",
+		rep.Started, rep.Decided, rep.ValueChecked, rep.Violations)...)
+	return string(out)
+}
+
+func TestCompleteTopologyByteIdenticalSim(t *testing.T) {
+	t.Parallel()
+	const n = 4
+	build := func(extra ...Option) *PIFCluster {
+		opts := append([]Option{WithSeed(7)}, extra...)
+		return NewPIFCluster(n, opts...)
+	}
+
+	legacy := build()
+	defer legacy.Close()
+	explicit := build(WithTopology(Complete(n)))
+	defer explicit.Close()
+
+	legacy.CorruptEverything(99)
+	explicit.CorruptEverything(99)
+
+	legacyOut := driveWorkload(t, legacy, n)
+	explicitOut := driveWorkload(t, explicit, n)
+	if legacyOut != explicitOut {
+		t.Errorf("request transcripts diverge:\n--- nil topology ---\n%s--- Complete(%d) ---\n%s",
+			legacyOut, n, explicitOut)
+	}
+
+	// The strong claim: the full global configuration — every machine's
+	// snapshot plus every channel's contents — is byte-identical, and the
+	// scheduler took the exact same steps to get there.
+	var legacyHash, explicitHash string
+	legacy.simNet.Sync(func() { legacyHash = legacy.simNet.ConfigHash() })
+	explicit.simNet.Sync(func() { explicitHash = explicit.simNet.ConfigHash() })
+	if legacyHash != explicitHash {
+		t.Error("final configurations diverge between nil topology and explicit Complete(n)")
+	}
+	legacyStats := fmt.Sprintf("%+v", legacy.Stats())
+	explicitStats := fmt.Sprintf("%+v", explicit.Stats())
+	if legacyStats != explicitStats {
+		t.Errorf("scheduler statistics diverge:\nnil topology: %s\nComplete(%d): %s",
+			legacyStats, n, explicitStats)
+	}
+}
+
+func TestCompleteTopologyFunctionalConcurrent(t *testing.T) {
+	t.Parallel()
+	const n = 3
+	for _, sub := range []struct {
+		name string
+		s    Substrate
+	}{
+		{"runtime", Runtime()},
+		{"udp", UDP()},
+	} {
+		sub := sub
+		t.Run(sub.name, func(t *testing.T) {
+			t.Parallel()
+			c := NewPIFCluster(n, WithSubstrate(sub.s), WithSeed(5), WithTopology(Complete(n)))
+			defer c.Close()
+			c.CorruptEverything(17)
+			for p := 0; p < n; p++ {
+				fb, err := c.Broadcast(p, "inv", int64(p))
+				if err != nil {
+					t.Fatalf("broadcast from %d: %v", p, err)
+				}
+				if len(fb) != n-1 {
+					t.Fatalf("broadcast from %d: %d feedbacks, want %d", p, len(fb), n-1)
+				}
+			}
+		})
+	}
+}
+
+// TestCompleteTopologyInvarianceOtherClusters extends the byte-identity
+// pin to the other complete-graph façades: same seed, same corruption,
+// same workload, compared final configuration and stats.
+func TestCompleteTopologyInvarianceOtherClusters(t *testing.T) {
+	t.Parallel()
+	ids := []int64{40, 10, 30, 20}
+
+	t.Run("id", func(t *testing.T) {
+		t.Parallel()
+		run := func(extra ...Option) (string, string) {
+			opts := append([]Option{WithSeed(11)}, extra...)
+			c := NewIDCluster(ids, opts...)
+			defer c.Close()
+			c.CorruptEverything(3)
+			var out []byte
+			for p := range ids {
+				min, table, err := c.Learn(p)
+				if err != nil {
+					t.Fatalf("learn at %d: %v", p, err)
+				}
+				out = append(out, fmt.Sprintf("p%d min=%d table=%v\n", p, min, table)...)
+			}
+			var hash string
+			c.simNet.Sync(func() { hash = c.simNet.ConfigHash() })
+			return string(out), hash
+		}
+		lOut, lHash := run()
+		eOut, eHash := run(WithTopology(Complete(len(ids))))
+		if lOut != eOut {
+			t.Errorf("ID cluster transcripts diverge:\n%s\nvs\n%s", lOut, eOut)
+		}
+		if lHash != eHash {
+			t.Error("ID cluster final configurations diverge")
+		}
+	})
+
+	t.Run("mutex", func(t *testing.T) {
+		t.Parallel()
+		run := func(extra ...Option) (int, string) {
+			opts := append([]Option{WithSeed(13)}, extra...)
+			c := NewMutexCluster(ids, opts...)
+			defer c.Close()
+			c.CorruptEverything(29)
+			for p := range ids {
+				if err := c.Acquire(p, func() {}); err != nil {
+					t.Fatalf("acquire at %d: %v", p, err)
+				}
+			}
+			if v := c.Violations(); len(v) != 0 {
+				t.Fatalf("mutex violations: %v", v)
+			}
+			var hash string
+			c.simNet.Sync(func() { hash = c.simNet.ConfigHash() })
+			return c.Entries(), hash
+		}
+		lEntries, lHash := run()
+		eEntries, eHash := run(WithTopology(Complete(len(ids))))
+		if lEntries != eEntries {
+			t.Errorf("mutex entry counts diverge: %d vs %d", lEntries, eEntries)
+		}
+		if lHash != eHash {
+			t.Error("mutex cluster final configurations diverge")
+		}
+	})
+}
+
+// TestSparseTopologyRejectedByCompleteClusters pins the gate: the
+// complete-graph protocols refuse to run on a graph they would route
+// incorrectly over, at construction time.
+func TestSparseTopologyRejectedByCompleteClusters(t *testing.T) {
+	t.Parallel()
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: constructor accepted a sparse topology", name)
+			}
+		}()
+		f()
+	}
+	ids := []int64{1, 2, 3, 4}
+	mustPanic("id", func() { NewIDCluster(ids, WithTopology(Ring(4))) })
+	mustPanic("mutex", func() { NewMutexCluster(ids, WithTopology(Ring(4))) })
+	mustPanic("reset", func() { NewResetCluster(4, func(int, int64) {}, WithTopology(Ring(4))) })
+	mustPanic("snapshot", func() { NewSnapshotCluster(4, func(int) Payload { return Payload{} }, WithTopology(Ring(4))) })
+}

@@ -1,0 +1,92 @@
+package snapstab
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTopologyByNameGrammar(t *testing.T) {
+	t.Parallel()
+	good := map[string]func(Topology) bool{
+		"complete": Topology.IsComplete,
+		"ring":     func(tp Topology) bool { return tp.EdgeCount() == 6 },
+		"line":     Topology.IsTree,
+		"star":     func(tp Topology) bool { return tp.Degree(0) == 5 },
+		"tree":     Topology.IsTree,
+		"gnp:0.5":  func(tp Topology) bool { return tp.N() == 6 },
+		" Ring ":   func(tp Topology) bool { return tp.EdgeCount() == 6 }, // case- and space-insensitive
+	}
+	for name, check := range good {
+		tp, err := TopologyByName(name, 6, 7)
+		if err != nil {
+			t.Errorf("TopologyByName(%q): %v", name, err)
+			continue
+		}
+		if !check(tp) {
+			t.Errorf("TopologyByName(%q) produced the wrong graph:\n%s", name, tp)
+		}
+	}
+	for _, name := range []string{"", "mesh", "gnp:", "gnp:1.5", "gnp:x"} {
+		if _, err := TopologyByName(name, 6, 7); err == nil {
+			t.Errorf("TopologyByName(%q) accepted an invalid name", name)
+		}
+	}
+	// Seeded families are deterministic in the seed.
+	a, _ := TopologyByName("tree", 9, 42)
+	b, _ := TopologyByName("tree", 9, 42)
+	if a.String() != b.String() {
+		t.Error("TopologyByName(tree) is not deterministic in its seed")
+	}
+}
+
+func TestResolveTopologyFileVsName(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "graph.txt")
+	if err := os.WriteFile(path, []byte(Ring(5).String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tp, err := ResolveTopology(path, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.EdgeCount() != 5 {
+		t.Errorf("loaded graph has %d edges, want 5", tp.EdgeCount())
+	}
+	if _, err := ResolveTopology(path, 6, 1); err == nil {
+		t.Error("ResolveTopology accepted a file with the wrong process count")
+	}
+	tp, err = ResolveTopology("star", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Degree(0) != 3 {
+		t.Error("ResolveTopology did not fall back to the name grammar")
+	}
+	if _, err := ResolveTopology(filepath.Join(dir, "missing.txt"), 4, 1); err == nil {
+		t.Error("ResolveTopology accepted a missing-file path as a name")
+	}
+}
+
+func TestTopologyZeroValueIsSafe(t *testing.T) {
+	t.Parallel()
+	var z Topology
+	if !z.IsZero() || z.N() != 0 || z.EdgeCount() != 0 || z.Edges() != nil ||
+		z.Degree(0) != 0 || z.Neighbors(0) != nil || z.HasEdge(0, 1) ||
+		z.Connected() || z.IsTree() || z.IsComplete() || z.String() != "" {
+		t.Error("zero Topology accessors are not inert")
+	}
+}
+
+func TestTopologyRoundTripThroughFacade(t *testing.T) {
+	t.Parallel()
+	orig := RandomTree(11, 99)
+	back, err := ParseTopology([]byte(orig.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != orig.String() {
+		t.Error("façade parse/serialize round-trip is not exact")
+	}
+}
