@@ -52,11 +52,17 @@ type clusterCore struct {
 func (c *clusterCore) init(o options, stacks []core.Stack, obs ...core.Observer) {
 	c.opt = o
 	c.stacks = stacks
-	kept := make([]core.Observer, 0, len(obs))
+	kept := make([]core.Observer, 0, len(obs)+len(o.eventHooks))
 	for _, ob := range obs {
 		if ob != nil {
 			kept = append(kept, ob)
 		}
+	}
+	for _, hook := range o.eventHooks {
+		hook := hook
+		kept = append(kept, core.ObserverFunc(func(e core.Event) {
+			hook(ObservedEvent{Kind: e.Kind.String(), Proc: int(e.Proc), Peer: int(e.Peer), Instance: e.Instance})
+		}))
 	}
 	sub, err := o.substrate.build(o, stacks, kept)
 	if err != nil {
@@ -95,39 +101,74 @@ func (c *clusterCore) Stats() sim.Stats {
 	return s
 }
 
-// TransportStats holds one UDP node's transport counters.
+// LinkStats counts one node's traffic with one peer on a network
+// substrate (TCP tracks per-link detail; UDP reports node totals only).
+type LinkStats struct {
+	// Peer is the other endpoint of the link.
+	Peer int
+	// Sent counts messages handed to the network toward Peer.
+	Sent int64
+	// Received counts messages delivered from Peer.
+	Received int64
+	// Dropped counts messages lost on this link at this node (dead or
+	// backlogged connection on the send side, full mailbox on the
+	// receive side).
+	Dropped int64
+}
+
+// TransportStats holds one node's transport counters, in the same shape
+// on every substrate (the mirror of core.TransportStats).
 type TransportStats struct {
-	// Addr is the node's bound local address.
+	// Addr is the node's bound local address ("" on the in-memory
+	// substrates, which have no transport).
 	Addr string
-	// Sends counts datagrams handed to the socket.
+	// Sends counts messages successfully handed to the network.
 	Sends int64
-	// SendDrops counts messages lost at the sender (failed sendto,
-	// unencodable payloads).
+	// Recvs counts messages received into the mailbox layer.
+	Recvs int64
+	// SendDrops counts messages lost at the sender (failed writes,
+	// unencodable payloads, dead or backlogged connections).
 	SendDrops int64
-	// MailboxDrops counts datagrams dropped at a full receive mailbox
+	// MailboxDrops counts messages dropped at a full receive mailbox
 	// (the model's lose-on-full rule).
 	MailboxDrops int64
+	// Redials counts reconnection attempts (TCP's dial/accept lifecycle
+	// re-establishing lost connections; zero elsewhere).
+	Redials int64
+	// Links holds per-link counters when the transport tracks them
+	// (TCP), nil otherwise.
+	Links []LinkStats
 	// Faults counts the faults injected at this node's mailbox boundary
 	// by the cluster's FaultPlan (zero without one).
 	Faults FaultStats
 }
 
-// TransportStats returns per-node transport counters when the cluster
-// runs on the UDP substrate, and nil otherwise.
+// TransportStats returns one entry per process on every substrate: real
+// socket counters on the network substrates (UDP, TCP), zero-valued
+// entries on the in-memory ones (sim, runtime), which have no transport.
 func (c *clusterCore) TransportStats() []TransportStats {
-	if c.udpNet == nil {
+	ts, ok := c.sub.(core.TransportStatser)
+	if !ok {
 		return nil
 	}
-	addrs := c.udpNet.Addrs()
-	stats := c.udpNet.NodeStats()
+	stats := ts.TransportStats()
 	out := make([]TransportStats, len(stats))
 	for i, s := range stats {
 		out[i] = TransportStats{
-			Addr:         addrs[i],
+			Addr:         s.Addr,
 			Sends:        s.Sends,
+			Recvs:        s.Recvs,
 			SendDrops:    s.SendDrops,
 			MailboxDrops: s.MailboxDrops,
+			Redials:      s.Redials,
 			Faults:       publicFaultStats(s.Faults),
+		}
+		if len(s.Links) > 0 {
+			links := make([]LinkStats, len(s.Links))
+			for j, l := range s.Links {
+				links[j] = LinkStats{Peer: int(l.Peer), Sent: l.Sent, Received: l.Received, Dropped: l.Dropped}
+			}
+			out[i].Links = links
 		}
 	}
 	return out

@@ -10,7 +10,8 @@
 //	snapbench -trials 500      # crank the statistics
 //	snapbench -parallel 8      # trial-runner workers (0 = GOMAXPROCS)
 //	snapbench -markdown        # emit EXPERIMENTS.md-style markdown
-//	snapbench -topo -out bench/BENCH_0006.json   # topology benchmark matrix
+//	snapbench -topo -out bench/BENCH_0006.json        # topology benchmark matrix
+//	snapbench -transport -out bench/BENCH_0008.json   # substrate comparison (runtime/udp/tcp)
 //
 // Tables are byte-identical at every -parallel setting: each trial's
 // randomness is a pure function of (seed, row, trial). The -topo mode is
@@ -38,12 +39,20 @@ func main() {
 		parallel = flag.Int("parallel", 0, "trial-runner workers (0 = GOMAXPROCS, 1 = sequential)")
 		markdown = flag.Bool("markdown", false, "emit markdown tables")
 		topo     = flag.Bool("topo", false, "run the topology benchmark matrix and emit BENCH_0006.json instead")
-		out      = flag.String("out", "-", "-topo only: output file (default stdout)")
+		trans    = flag.Bool("transport", false, "run the substrate comparison (runtime/udp/tcp) and emit BENCH_0008.json instead")
+		out      = flag.String("out", "-", "-topo/-transport only: output file (default stdout)")
 	)
 	flag.Parse()
 
 	if *topo {
 		if err := runTopoBench(*out, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "snapbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *trans {
+		if err := runTransportBench(*out, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "snapbench:", err)
 			os.Exit(1)
 		}

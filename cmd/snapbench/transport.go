@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	snapstab "github.com/snapstab/snapstab"
+)
+
+// This file is the -transport mode: the BENCH_0008.json artifact. It
+// benchmarks the same end-to-end PIF broadcast on the three concurrent
+// substrates — the in-memory runtime, loopback UDP datagrams, and
+// persistent loopback TCP connections — so the cost of real sockets,
+// and of TCP's framing and connection management relative to UDP, is
+// recorded next to the in-memory ceiling.
+//
+// Timings are hardware-dependent — the committed file is a recorded
+// baseline for trend reading, not a byte-stable artifact like the
+// experiment tables.
+
+// transportBenchResult is one (substrate, n) row.
+type transportBenchResult struct {
+	Substrate string `json:"substrate"`
+	N         int    `json:"n"`
+	// BroadcastNsOp is the wall time of one full PIF broadcast (request
+	// to decision).
+	BroadcastNsOp float64 `json:"broadcast_ns_op"`
+	// ThroughputOpsSec is its reciprocal in broadcasts per second.
+	ThroughputOpsSec float64 `json:"throughput_ops_sec"`
+	// SendsPerBroadcast is how many transport sends one broadcast costs
+	// across the cluster (zero on the in-memory runtime, which has no
+	// transport counters).
+	SendsPerBroadcast float64 `json:"sends_per_broadcast"`
+	// MailboxDropsPerBroadcast is the lose-on-full rate under the
+	// benchmark load (zero on the runtime).
+	MailboxDropsPerBroadcast float64 `json:"mailbox_drops_per_broadcast"`
+}
+
+// transportBenchFile is the schema of BENCH_0008.json.
+type transportBenchFile struct {
+	Bench     string                 `json:"bench"`
+	Schema    int                    `json:"schema"`
+	GoVersion string                 `json:"go_version"`
+	GoOS      string                 `json:"go_os"`
+	GoArch    string                 `json:"go_arch"`
+	Seed      uint64                 `json:"seed"`
+	Results   []transportBenchResult `json:"results"`
+}
+
+// runTransportBench runs the substrate comparison matrix and writes the
+// JSON artifact (stdout when out is "-").
+func runTransportBench(out string, seed uint64) error {
+	file := transportBenchFile{
+		Bench:     "BENCH_0008",
+		Schema:    1,
+		GoVersion: runtime.Version(),
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		Seed:      seed,
+	}
+	subs := []struct {
+		name string
+		sub  func() snapstab.Substrate
+	}{
+		{"runtime", snapstab.Runtime},
+		{"udp", snapstab.UDP},
+		{"tcp", snapstab.TCP},
+	}
+	for _, n := range []int{3, 5} {
+		for _, s := range subs {
+			r, err := benchTransport(s.name, s.sub(), n, seed)
+			if err != nil {
+				return err
+			}
+			file.Results = append(file.Results, r)
+			fmt.Fprintf(os.Stderr, "%-8s n=%-2d  %12.0f ns/broadcast  %8.1f ops/s  %7.1f sends/op\n",
+				s.name, n, r.BroadcastNsOp, r.ThroughputOpsSec, r.SendsPerBroadcast)
+		}
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// benchTransport measures one (substrate, n) cell: a PIF broadcast loop
+// with the cluster-wide transport counters read around the measured
+// window.
+func benchTransport(name string, sub snapstab.Substrate, n int, seed uint64) (transportBenchResult, error) {
+	c := snapstab.NewPIFCluster(n, snapstab.WithSeed(seed), snapstab.WithSubstrate(sub))
+	defer c.Close()
+	// Warm up once: connections dialed, lazily-built structures priced
+	// out of the loop.
+	if _, err := c.Broadcast(0, "warm", 0); err != nil {
+		return transportBenchResult{}, err
+	}
+	sum := func() (sends, drops int64) {
+		for _, s := range c.TransportStats() {
+			sends += s.Sends
+			drops += s.MailboxDrops
+		}
+		return
+	}
+	sendsBefore, dropsBefore := sum()
+	var benchErr error
+	totalOps := 0
+	br := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			totalOps++
+			if _, err := c.Broadcast(0, "bench", int64(i)); err != nil && benchErr == nil {
+				benchErr = err
+			}
+		}
+	})
+	if benchErr != nil {
+		return transportBenchResult{}, fmt.Errorf("%s n=%d: %w", name, n, benchErr)
+	}
+	sendsAfter, dropsAfter := sum()
+	nsOp := float64(br.NsPerOp())
+	r := transportBenchResult{
+		Substrate:     name,
+		N:             n,
+		BroadcastNsOp: nsOp,
+	}
+	if nsOp > 0 {
+		r.ThroughputOpsSec = 1e9 / nsOp
+	}
+	// testing.Benchmark reran the loop while calibrating b.N; the
+	// counters span every run, so normalize by totalOps.
+	if totalOps > 0 {
+		r.SendsPerBroadcast = float64(sendsAfter-sendsBefore) / float64(totalOps)
+		r.MailboxDropsPerBroadcast = float64(dropsAfter-dropsBefore) / float64(totalOps)
+	}
+	return r, nil
+}

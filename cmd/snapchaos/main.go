@@ -45,7 +45,7 @@ func main() {
 	var (
 		scenarioF  = flag.String("scenario", "all", "scenario to run (-list to enumerate), or all")
 		protocolF  = flag.String("protocol", "all", "cluster type: pif, typed, idl, mutex, reset, snap, or all")
-		substrateF = flag.String("substrate", "all", "execution substrate: sim, runtime, udp, or all")
+		substrateF = flag.String("substrate", "all", "execution substrate: sim, runtime, udp, tcp, or all")
 		n          = flag.Int("n", 4, "number of processes (>= 2)")
 		topologyF  = flag.String("topology", "", "route over this graph: a family name (complete, ring, line, star, tree, gnp:<p>) or a graph.txt file; default = each protocol's native graph")
 		seed       = flag.Uint64("seed", 1, "root seed for faults, corruption, and the sim scheduler")

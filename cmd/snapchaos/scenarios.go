@@ -11,7 +11,7 @@ import (
 
 var (
 	protocolNames  = []string{"pif", "typed", "idl", "mutex", "reset", "snap", "forward"}
-	substrateNames = []string{"sim", "runtime", "udp"}
+	substrateNames = []string{"sim", "runtime", "udp", "tcp"}
 )
 
 // completeOnly names the protocols that assume the paper's fully
@@ -39,8 +39,8 @@ type scenario struct {
 	name string
 	desc string
 	// plan builds the fault plan for an n-process cluster on substrate
-	// sub ("sim" ticks are scheduler steps; "runtime"/"udp" ticks are
-	// milliseconds of wall time).
+	// sub ("sim" ticks are scheduler steps; on the real-time substrates —
+	// runtime, udp, tcp — ticks are milliseconds of wall time).
 	plan func(n int, sub string, seed uint64) snapstab.FaultPlan
 	// corrupt additionally drives the cluster into an arbitrary initial
 	// configuration before the first request.
@@ -163,6 +163,8 @@ func substrateOf(sub string) snapstab.Substrate {
 		return snapstab.Runtime()
 	case "udp":
 		return snapstab.UDP()
+	case "tcp":
+		return snapstab.TCP()
 	}
 	panic("snapchaos: unknown substrate " + sub)
 }

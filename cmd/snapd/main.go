@@ -1,0 +1,73 @@
+// Command snapd is the snap-stabilization node daemon: it hosts ONE
+// process of a protocol fleet over the TCP substrate, driven by a JSON
+// config file, and serves an HTTP control API plus Prometheus metrics.
+// A fleet is n snapd processes — on one machine or many — whose config
+// files agree on the fleet-wide fields; cmd/fleetgen writes such config
+// sets and launch scripts.
+//
+// Usage:
+//
+//	snapd -config node0.json
+//
+// Endpoints (on the config's control address):
+//
+//	GET  /v1/status   node identity and transport counters
+//	POST /v1/request  protocol requests, NDJSON response stream
+//	GET  /metrics     Prometheus text exposition
+//
+// The daemon exits cleanly on SIGINT/SIGTERM. Killing it hard instead is
+// also fine by design: the protocols tolerate a crashed-and-restarted
+// peer as ordinary message loss, and the restarted daemon's transport
+// redials its links — kill-and-restart is one of the deployment smoke
+// test's scenarios, not an emergency.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/snapstab/snapstab/internal/deploy"
+	"github.com/snapstab/snapstab/internal/obs"
+)
+
+func main() {
+	configPath := flag.String("config", "", "path to the node's JSON config file (required)")
+	flag.Parse()
+	if *configPath == "" {
+		fmt.Fprintln(os.Stderr, "snapd: -config is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*configPath); err != nil {
+		fmt.Fprintln(os.Stderr, "snapd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(configPath string) error {
+	cfg, err := deploy.Load(configPath)
+	if err != nil {
+		return err
+	}
+	log := obs.NewLogger(os.Stderr, obs.ParseLevel(cfg.LogLevel), cfg.Node, cfg.Protocol)
+	d, err := deploy.New(cfg, log)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- d.Serve() }()
+	select {
+	case s := <-sig:
+		log.Info("shutting down", "signal", s.String())
+		return d.Close()
+	case err := <-done:
+		return err
+	}
+}

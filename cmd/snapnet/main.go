@@ -15,6 +15,7 @@
 //	snapnet -protocol idl|reset|snap ...
 //	snapnet -protocol forward -n 5 -topology tree -corrupt
 //	snapnet -protocol pif -n 4 -topology ring  # neighbourhood PIF
+//	snapnet -protocol pif -n 3 -transport tcp  # persistent connections
 package main
 
 import (
@@ -30,16 +31,17 @@ import (
 
 func main() {
 	var (
-		protocol = flag.String("protocol", "pif", "protocol to run: pif, typed, idl, mutex, reset, snap, or forward")
-		n        = flag.Int("n", 3, "number of nodes (>= 2)")
-		topology = flag.String("topology", "", "route over this graph: a family name (complete, ring, line, star, tree, gnp:<p>) or a graph.txt file")
-		corrupt  = flag.Bool("corrupt", false, "randomize every node's protocol state first")
-		seed     = flag.Uint64("seed", 1, "corruption seed")
-		timeout  = flag.Duration("timeout", 30*time.Second, "per-request deadline")
-		blob     = flag.Int("blob", 256, "typed protocol: opaque body size in bytes")
+		protocol  = flag.String("protocol", "pif", "protocol to run: pif, typed, idl, mutex, reset, snap, or forward")
+		transport = flag.String("transport", "udp", "network transport: udp (datagrams) or tcp (persistent connections)")
+		n         = flag.Int("n", 3, "number of nodes (>= 2)")
+		topology  = flag.String("topology", "", "route over this graph: a family name (complete, ring, line, star, tree, gnp:<p>) or a graph.txt file")
+		corrupt   = flag.Bool("corrupt", false, "randomize every node's protocol state first")
+		seed      = flag.Uint64("seed", 1, "corruption seed")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request deadline")
+		blob      = flag.Int("blob", 256, "typed protocol: opaque body size in bytes")
 	)
 	flag.Parse()
-	if err := run(*protocol, *n, *topology, *corrupt, *seed, *timeout, *blob); err != nil {
+	if err := run(*protocol, *transport, *n, *topology, *corrupt, *seed, *timeout, *blob); err != nil {
 		fmt.Fprintln(os.Stderr, "snapnet:", err)
 		os.Exit(1)
 	}
@@ -52,18 +54,27 @@ type statser interface {
 	Close() error
 }
 
-func run(protocol string, n int, topology string, corrupt bool, seed uint64, timeout time.Duration, blob int) error {
+func run(protocol, transport string, n int, topology string, corrupt bool, seed uint64, timeout time.Duration, blob int) error {
 	if n < 2 {
 		return fmt.Errorf("need n >= 2, got %d", n)
 	}
 	if blob < 0 {
 		return fmt.Errorf("need -blob >= 0, got %d", blob)
 	}
+	var sub snapstab.Substrate
+	switch transport {
+	case "udp":
+		sub = snapstab.UDP()
+	case "tcp":
+		sub = snapstab.TCP()
+	default:
+		return fmt.Errorf("unknown transport %q (want udp or tcp)", transport)
+	}
 	ids := make([]int64, n)
 	for i := range ids {
 		ids[i] = int64(i*13 + 5)
 	}
-	opts := []snapstab.Option{snapstab.WithSubstrate(snapstab.UDP()), snapstab.WithSeed(seed)}
+	opts := []snapstab.Option{snapstab.WithSubstrate(sub), snapstab.WithSeed(seed)}
 	var topo snapstab.Topology
 	if topology != "" {
 		var err error

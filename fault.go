@@ -165,6 +165,14 @@ func (c *clusterCore) FaultStats() FaultStats {
 		for _, s := range c.udpNet.NodeStats() {
 			agg.Add(s.Faults)
 		}
+	default:
+		// Network substrates beyond UDP (TCP cluster and host) surface
+		// their injector counters through the transport-stats interface.
+		if ts, ok := c.sub.(core.TransportStatser); ok {
+			for _, s := range ts.TransportStats() {
+				agg.Add(s.Faults)
+			}
+		}
 	}
 	return publicFaultStats(agg)
 }

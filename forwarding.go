@@ -189,11 +189,24 @@ func (c *ForwardingCluster[T]) SendAsync(p, dst int, v T) *ForwardRequest {
 	c.checker.Arm(req.key)
 	c.chkMu.Unlock()
 	machine := c.machines[p]
+	// On a substrate hosting a single process of a multi-daemon fleet the
+	// destination's delivery event fires in another daemon, where this
+	// checker cannot see it. There the request completes at hand-off —
+	// the next hop has accepted the item, and the protocol's no-loss
+	// guarantee carries it to dst; delivery confirmation lives at the
+	// destination daemon (Deliveries at dst).
+	handoff := false
+	if h, ok := c.sub.(interface{ Self() core.ProcID }); ok && int(h.Self()) == p && dst != p {
+		handoff = true
+	}
 	injected := false
 	c.start(req.Request, p, "send", func(env core.Env) bool {
 		if !injected {
 			machine.Submit(env, it)
 			injected = true
+		}
+		if handoff {
+			return !machine.Holds(it)
 		}
 		return c.delivered(req.key)
 	}, nil)

@@ -1,0 +1,126 @@
+// Client side of the control API, used by cmd/snapctl and the e2e
+// tests: plain HTTP against a daemon's control address, with /v1/request
+// responses consumed line by line as they stream.
+package deploy
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client talks to one daemon's control address.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the daemon at addr (a host:port or an
+// http:// URL).
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{base: strings.TrimRight(addr, "/"), http: &http.Client{}}
+}
+
+// Status fetches /v1/status.
+func (c *Client) Status(ctx context.Context) (Status, error) {
+	var st Status
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/status", nil)
+	if err != nil {
+		return st, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, httpError(resp)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// Metrics fetches the raw /metrics exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", httpError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}
+
+// Request submits one protocol request and consumes the NDJSON stream:
+// onLine (when non-nil) sees every line as it arrives, and the terminal
+// line ("done" or "error") is returned. A protocol-level failure comes
+// back as a non-nil error alongside the terminal line.
+func (c *Client) Request(ctx context.Context, body RequestBody, onLine func(StreamLine)) (StreamLine, error) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return StreamLine{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/request", bytes.NewReader(payload))
+	if err != nil {
+		return StreamLine{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return StreamLine{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return StreamLine{}, httpError(resp)
+	}
+	var last StreamLine
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	seen := false
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var line StreamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return last, fmt.Errorf("deploy: bad stream line %q: %w", sc.Text(), err)
+		}
+		seen = true
+		last = line
+		if onLine != nil {
+			onLine(line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return last, err
+	}
+	if !seen {
+		return last, fmt.Errorf("deploy: empty response stream")
+	}
+	switch last.Event {
+	case "done":
+		return last, nil
+	case "error":
+		return last, fmt.Errorf("deploy: %s failed: %s", last.Op, last.Error)
+	}
+	return last, fmt.Errorf("deploy: stream ended at %q without a terminal line", last.Event)
+}
+
+func httpError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return fmt.Errorf("deploy: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+}

@@ -479,6 +479,27 @@ func (f *Forwarder) Busy() bool {
 	return false
 }
 
+// Holds reports whether the process still holds an item with it's key:
+// queued locally, in an input buffer, or in an unacknowledged transfer.
+// Once false for a submitted item, the next hop has accepted it and the
+// protocol's no-loss guarantee carries it the rest of the way.
+func (f *Forwarder) Holds(it Item) bool {
+	for _, x := range f.Local {
+		if sameKey(x, it) {
+			return true
+		}
+	}
+	for _, q := range f.peers {
+		if f.Out[q].full && sameKey(f.Out[q].item, it) {
+			return true
+		}
+		if f.In[q].full && sameKey(f.In[q].item, it) {
+			return true
+		}
+	}
+	return false
+}
+
 // AppendState appends a canonical encoding of the machine state.
 func (f *Forwarder) AppendState(dst []byte) []byte {
 	dst = append(dst, 'F')

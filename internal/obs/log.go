@@ -1,0 +1,50 @@
+// Structured logging for the daemon: slog with the node identity on
+// every record and compact monotone request ids for correlating a
+// request's records across its lifecycle (and across daemons, since the
+// id embeds the node).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// NewLogger returns a JSON slog logger writing to w at the given level,
+// with the node identity attached to every record.
+func NewLogger(w io.Writer, level slog.Level, node int, protocol string) *slog.Logger {
+	h := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})
+	return slog.New(h).With("node", node, "protocol", protocol)
+}
+
+// ParseLevel maps the config file's level names onto slog levels,
+// defaulting to info for unknown values.
+func ParseLevel(s string) slog.Level {
+	switch s {
+	case "debug":
+		return slog.LevelDebug
+	case "warn":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// RequestIDs mints per-daemon request ids: "r<node>-<seq>". Monotone
+// within a daemon run; the node prefix keeps ids from different daemons
+// distinct in merged logs.
+type RequestIDs struct {
+	node int
+	seq  atomic.Int64
+}
+
+// NewRequestIDs returns a minter for the given node.
+func NewRequestIDs(node int) *RequestIDs { return &RequestIDs{node: node} }
+
+// Next returns a fresh id.
+func (r *RequestIDs) Next() string {
+	return fmt.Sprintf("r%d-%d", r.node, r.seq.Add(1))
+}

@@ -1,0 +1,302 @@
+// Package obs is the observability layer of the deployment plane: a
+// dependency-free Prometheus metrics registry (text exposition format
+// 0.0.4), an event observer mapping the protocol event stream onto
+// counters, transport-counter collection at scrape time, and structured
+// logging helpers with per-request ids.
+//
+// The registry implements the slice of the Prometheus data model the
+// daemon needs — counters, collect-time gauges, and cumulative
+// histograms, each with a fixed label set — rather than a general client
+// library. Series are identified by their rendered label values, metric
+// families render in registration order, and series within a family in
+// first-use order, so scrapes are deterministic for tests.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// family is one named metric with a fixed label schema.
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter", "gauge", "histogram"
+	labels []string
+
+	mu     sync.Mutex
+	series map[string]*series
+	order  []string
+
+	// collect, when non-nil, replaces the stored series at render time
+	// (gauge families sampled from live counters).
+	collect func(emit func(labelValues []string, v float64))
+	// histogram, when non-nil, renders the family as bucket series.
+	histogram *Histogram
+}
+
+// series is one labelled time series of a counter or gauge family.
+type series struct {
+	labelValues []string
+	bits        atomic.Uint64 // float64 bits
+}
+
+func (s *series) add(v float64) {
+	for {
+		old := s.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if s.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (s *series) value() float64 { return math.Float64frombits(s.bits.Load()) }
+
+// register appends the family, panicking on duplicate names or invalid
+// identifiers — both are programming errors in the daemon, not runtime
+// conditions.
+func (r *Registry) register(f *family) {
+	if !validName(f.name) {
+		panic("obs: invalid metric name " + f.name)
+	}
+	for _, l := range f.labels {
+		if !validName(l) {
+			panic("obs: invalid label name " + l)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, prev := range r.families {
+		if prev.name == f.name {
+			panic("obs: duplicate metric " + f.name)
+		}
+	}
+	r.families = append(r.families, f)
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// CounterVec is a counter family with a fixed label schema.
+type CounterVec struct{ f *family }
+
+// NewCounter registers a counter family. labelNames may be empty for a
+// single-series counter.
+func (r *Registry) NewCounter(name, help string, labelNames ...string) *CounterVec {
+	f := &family{name: name, help: help, typ: "counter", labels: labelNames, series: make(map[string]*series)}
+	r.register(f)
+	return &CounterVec{f: f}
+}
+
+// With returns the series for the given label values (created on first
+// use), for Add/Inc.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return &Counter{s: v.f.get(labelValues)}
+}
+
+// Counter is one series of a CounterVec.
+type Counter struct{ s *series }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.s.add(1) }
+
+// Add adds delta (must be >= 0 for counter semantics; not enforced).
+func (c *Counter) Add(delta float64) { c.s.add(delta) }
+
+// Value returns the current value (for tests).
+func (c *Counter) Value() float64 { return c.s.value() }
+
+func (f *family) get(labelValues []string) *series {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %s: %d label values for %d labels", f.name, len(labelValues), len(f.labels)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labelValues: append([]string(nil), labelValues...)}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// NewGaugeFunc registers a gauge family whose series are produced by
+// collect at every scrape: collect calls emit once per series, with one
+// value per label name. Use it to sample live counters (transport stats)
+// without maintaining parallel state.
+func (r *Registry) NewGaugeFunc(name, help string, labelNames []string, collect func(emit func(labelValues []string, v float64))) {
+	f := &family{name: name, help: help, typ: "gauge", labels: labelNames, collect: collect}
+	r.register(f)
+}
+
+// Histogram is a cumulative histogram with fixed upper bounds.
+type Histogram struct {
+	f      *family
+	bounds []float64
+	counts []atomic.Int64
+	count  atomic.Int64
+	sumMu  sync.Mutex
+	sum    float64
+}
+
+// DefaultLatencyBuckets spans 1ms..~16s exponentially — wide enough for
+// a protocol request on loopback and for a fleet crossing real networks.
+var DefaultLatencyBuckets = []float64{
+	0.001, 0.002, 0.004, 0.008, 0.016, 0.032, 0.064, 0.128,
+	0.256, 0.512, 1.024, 2.048, 4.096, 8.192, 16.384,
+}
+
+// NewHistogram registers a histogram family with the given upper bounds
+// (ascending; +Inf is implicit). No labels: the daemon keys histograms
+// by metric name.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds not ascending: " + name)
+		}
+	}
+	h := &Histogram{
+		f:      &family{name: name, help: help, typ: "histogram"},
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)),
+	}
+	h.f.histogram = h
+	r.register(h.f)
+	return h
+}
+
+// Observe records one value (in the metric's unit, seconds for
+// latencies).
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.counts) {
+		h.counts[i].Add(1)
+	}
+	h.count.Add(1)
+	h.sumMu.Lock()
+	h.sum += v
+	h.sumMu.Unlock()
+}
+
+// Count returns the total number of observations (for tests).
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Handler returns an http.Handler serving the registry in the text
+// exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write([]byte(r.Render()))
+	})
+}
+
+// Render produces the full exposition text.
+func (r *Registry) Render() string {
+	var b strings.Builder
+	r.mu.Lock()
+	families := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range families {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		switch {
+		case f.histogram != nil:
+			f.histogram.render(&b)
+		case f.collect != nil:
+			f.collect(func(labelValues []string, v float64) {
+				writeSample(&b, f.name, f.labels, labelValues, v)
+			})
+		default:
+			f.mu.Lock()
+			keys := append([]string(nil), f.order...)
+			f.mu.Unlock()
+			for _, key := range keys {
+				f.mu.Lock()
+				s := f.series[key]
+				f.mu.Unlock()
+				writeSample(&b, f.name, f.labels, s.labelValues, s.value())
+			}
+		}
+	}
+	return b.String()
+}
+
+func (h *Histogram) render(b *strings.Builder) {
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		writeSample(b, h.f.name+"_bucket", []string{"le"}, []string{formatFloat(bound)}, float64(cum))
+	}
+	writeSample(b, h.f.name+"_bucket", []string{"le"}, []string{"+Inf"}, float64(h.count.Load()))
+	h.sumMu.Lock()
+	sum := h.sum
+	h.sumMu.Unlock()
+	writeSample(b, h.f.name+"_sum", nil, nil, sum)
+	writeSample(b, h.f.name+"_count", nil, nil, float64(h.count.Load()))
+}
+
+func writeSample(b *strings.Builder, name string, labelNames, labelValues []string, v float64) {
+	b.WriteString(name)
+	if len(labelNames) > 0 {
+		b.WriteByte('{')
+		for i, ln := range labelNames {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			// %q escaping is a superset of the exposition format's
+			// (\\, \", \n), so label values need nothing further.
+			fmt.Fprintf(b, "%s=%q", ln, labelValues[i])
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+// formatFloat renders integral values without an exponent or trailing
+// zeros, matching what scrapers and humans expect from counters.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, "\\", "\\\\")
+	return strings.ReplaceAll(s, "\n", "\\n")
+}

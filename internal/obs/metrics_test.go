@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/snapstab/snapstab/internal/core"
+)
+
+// TestRenderExpositionFormat pins the exposition text for each family
+// type: HELP/TYPE headers, label escaping, histogram cumulative buckets.
+func TestRenderExpositionFormat(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("test_events_total", "Events by kind.", "kind")
+	c.With("send").Add(3)
+	c.With(`we"ird`).Inc()
+	reg.NewGaugeFunc("test_up", "Always one.", nil, func(emit func([]string, float64)) {
+		emit(nil, 1)
+	})
+	h := reg.NewHistogram("test_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	got := reg.Render()
+	for _, want := range []string{
+		"# HELP test_events_total Events by kind.\n# TYPE test_events_total counter\n",
+		`test_events_total{kind="send"} 3`,
+		`test_events_total{kind="we\"ird"} 1`,
+		"# TYPE test_up gauge\ntest_up 1\n",
+		`test_latency_seconds_bucket{le="0.1"} 1`,
+		`test_latency_seconds_bucket{le="1"} 2`,
+		`test_latency_seconds_bucket{le="+Inf"} 3`,
+		"test_latency_seconds_sum 5.55",
+		"test_latency_seconds_count 3",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRegistryRejectsBadNames pins the registration-time panics.
+func TestRegistryRejectsBadNames(t *testing.T) {
+	reg := NewRegistry()
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bad metric name", func() { reg.NewCounter("1bad", "x") })
+	mustPanic("bad label name", func() { reg.NewCounter("ok_total", "x", "bad-label") })
+	reg.NewCounter("dup_total", "x")
+	mustPanic("duplicate", func() { reg.NewCounter("dup_total", "x") })
+	v := reg.NewCounter("labelled_total", "x", "a", "b")
+	mustPanic("label arity", func() { v.With("only-one") })
+}
+
+// fakeStatser returns a fixed snapshot for the transport families.
+type fakeStatser struct{ stats []core.TransportStats }
+
+func (f fakeStatser) TransportStats() []core.TransportStats { return f.stats }
+
+// TestNodeMetricsEndToEnd wires the daemon metric set from a synthetic
+// event stream and transport snapshot and checks the scrape contains the
+// acceptance-critical series: nonzero per-link throughput and a nonzero
+// latency histogram.
+func TestNodeMetricsEndToEnd(t *testing.T) {
+	stats := fakeStatser{stats: []core.TransportStats{
+		{},
+		{
+			Addr: "127.0.0.1:9", Sends: 10, Recvs: 8, Redials: 1,
+			Links:  []core.LinkStats{{Peer: 0, Sent: 6, Received: 5}, {Peer: 2, Sent: 4, Received: 3, Dropped: 1}},
+			Faults: core.FaultStats{Drops: 2},
+		},
+		{},
+	}}
+	m := NewNodeMetrics(1, "pif", stats)
+	obs := m.Observer()
+	obs.OnEvent(core.Event{Kind: core.EvSend})
+	obs.OnEvent(core.Event{Kind: core.EvDecide})
+	obs.OnEvent(core.Event{Kind: core.EvDecide})
+	m.RequestLatency.Observe(0.01)
+	m.Requests.With("broadcast", "ok").Inc()
+
+	got := m.Registry().Render()
+	for _, want := range []string{
+		`snapstab_node_info{node="1",protocol="pif"} 1`,
+		`snapstab_events_total{kind="send"} 1`,
+		`snapstab_events_total{kind="decide"} 2`,
+		"snapstab_transport_sends_total 10",
+		"snapstab_transport_recvs_total 8",
+		"snapstab_transport_redials_total 1",
+		`snapstab_link_sent_total{peer="0"} 6`,
+		`snapstab_link_received_total{peer="2"} 3`,
+		`snapstab_link_dropped_total{peer="2"} 1`,
+		`snapstab_faults_injected_total{type="drop"} 2`,
+		`snapstab_requests_total{op="broadcast",outcome="ok"} 1`,
+		`snapstab_request_duration_seconds_bucket{le="0.016"} 1`,
+		"snapstab_request_duration_seconds_count 1",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("scrape missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Node-level metric assembly: the standard metric set a snapd daemon
+// exposes, wired from the protocol event stream and the transport
+// counters. Everything here is substrate-agnostic — it consumes
+// core.Observer events and core.TransportStatser snapshots, the same
+// interfaces the tests and tools already use.
+package obs
+
+import (
+	"strconv"
+
+	"github.com/snapstab/snapstab/internal/core"
+)
+
+// NodeMetrics is the daemon's metric set over one registry.
+type NodeMetrics struct {
+	reg *Registry
+
+	// events counts every observed protocol event by kind — the
+	// protocol-phase counters (sends, deliveries, losses, starts,
+	// decisions, CS entries, forward deliveries, ...).
+	events *CounterVec
+
+	// RequestLatency observes end-to-end request durations in seconds,
+	// labelled nowhere (one histogram per daemon).
+	RequestLatency *Histogram
+
+	// Requests counts control-plane requests by operation and outcome.
+	Requests *CounterVec
+}
+
+// NewNodeMetrics registers the daemon's standard metric set on a fresh
+// registry. node and protocol become constant labels on the info gauge;
+// stats, when non-nil, is sampled at every scrape for the transport and
+// fault families.
+func NewNodeMetrics(node int, protocol string, stats core.TransportStatser) *NodeMetrics {
+	reg := NewRegistry()
+	m := &NodeMetrics{
+		reg:            reg,
+		events:         reg.NewCounter("snapstab_events_total", "Protocol events observed at this node, by event kind.", "kind"),
+		RequestLatency: reg.NewHistogram("snapstab_request_duration_seconds", "End-to-end duration of control-plane requests.", DefaultLatencyBuckets),
+		Requests:       reg.NewCounter("snapstab_requests_total", "Control-plane requests, by operation and outcome.", "op", "outcome"),
+	}
+	reg.NewGaugeFunc("snapstab_node_info", "Constant 1, carrying the node identity as labels.",
+		[]string{"node", "protocol"},
+		func(emit func([]string, float64)) {
+			emit([]string{strconv.Itoa(node), protocol}, 1)
+		})
+	if stats != nil {
+		registerTransport(reg, node, stats)
+	}
+	return m
+}
+
+// Registry returns the underlying registry (for the /metrics handler and
+// for registering additional families).
+func (m *NodeMetrics) Registry() *Registry { return m.reg }
+
+// Observer returns the core.Observer feeding the event counters; it is
+// goroutine-safe and cheap (one atomic add per event).
+func (m *NodeMetrics) Observer() core.Observer {
+	return core.ObserverFunc(func(e core.Event) {
+		m.events.With(e.Kind.String()).Inc()
+	})
+}
+
+// CountEvent feeds the event counters by kind name — the entry point for
+// the façade's public WithEventHook, which surfaces kinds as strings.
+func (m *NodeMetrics) CountEvent(kind string) {
+	m.events.With(kind).Inc()
+}
+
+// transportFields maps the node-level counter names to their accessors,
+// shared by the gauge collectors below.
+var transportFields = []struct {
+	name string
+	help string
+	get  func(core.TransportStats) int64
+}{
+	{"snapstab_transport_sends_total", "Messages handed to the network by this node.", func(s core.TransportStats) int64 { return s.Sends }},
+	{"snapstab_transport_recvs_total", "Messages received into this node's mailbox layer.", func(s core.TransportStats) int64 { return s.Recvs }},
+	{"snapstab_transport_send_drops_total", "Messages lost at the sender (dead connections, full queues, failed writes).", func(s core.TransportStats) int64 { return s.SendDrops }},
+	{"snapstab_transport_mailbox_drops_total", "Messages dropped at a full receive mailbox (lose-on-full).", func(s core.TransportStats) int64 { return s.MailboxDrops }},
+	{"snapstab_transport_redials_total", "Connections re-established after a loss (TCP lifecycle).", func(s core.TransportStats) int64 { return s.Redials }},
+}
+
+// faultFields maps the injected-fault counters by fault type.
+var faultFields = []struct {
+	typ string
+	get func(core.FaultStats) int64
+}{
+	{"drop", func(f core.FaultStats) int64 { return f.Drops }},
+	{"duplicate", func(f core.FaultStats) int64 { return f.Duplicates }},
+	{"reorder", func(f core.FaultStats) int64 { return f.Reorders }},
+	{"delay", func(f core.FaultStats) int64 { return f.Delays }},
+	{"corrupt", func(f core.FaultStats) int64 { return f.Corrupts }},
+	{"partition_drop", func(f core.FaultStats) int64 { return f.PartitionDrops }},
+	{"crash_drop", func(f core.FaultStats) int64 { return f.CrashDrops }},
+}
+
+// registerTransport wires the scrape-time transport families: node-level
+// totals, per-directed-link throughput, and injected-fault counters. The
+// families render as gauges sampled from the live transport counters —
+// monotone in practice, but a daemon restart resets them, which gauge
+// semantics state honestly.
+func registerTransport(reg *Registry, node int, stats core.TransportStatser) {
+	// self returns this node's snapshot; on a Host substrate the slice
+	// has zero entries for remote processes and only index node is real.
+	self := func() core.TransportStats {
+		all := stats.TransportStats()
+		if node < 0 || node >= len(all) {
+			return core.TransportStats{}
+		}
+		return all[node]
+	}
+	for _, tf := range transportFields {
+		tf := tf
+		reg.NewGaugeFunc(tf.name, tf.help, nil, func(emit func([]string, float64)) {
+			emit(nil, float64(tf.get(self())))
+		})
+	}
+	reg.NewGaugeFunc("snapstab_link_sent_total", "Messages sent toward each peer over this node's links.",
+		[]string{"peer"}, func(emit func([]string, float64)) {
+			for _, l := range self().Links {
+				emit([]string{strconv.Itoa(int(l.Peer))}, float64(l.Sent))
+			}
+		})
+	reg.NewGaugeFunc("snapstab_link_received_total", "Messages received from each peer over this node's links.",
+		[]string{"peer"}, func(emit func([]string, float64)) {
+			for _, l := range self().Links {
+				emit([]string{strconv.Itoa(int(l.Peer))}, float64(l.Received))
+			}
+		})
+	reg.NewGaugeFunc("snapstab_link_dropped_total", "Messages lost per link at this node, either direction.",
+		[]string{"peer"}, func(emit func([]string, float64)) {
+			for _, l := range self().Links {
+				emit([]string{strconv.Itoa(int(l.Peer))}, float64(l.Dropped))
+			}
+		})
+	reg.NewGaugeFunc("snapstab_faults_injected_total", "Faults injected at this node's mailbox boundary by the fault plan, by type.",
+		[]string{"type"}, func(emit func([]string, float64)) {
+			f := self().Faults
+			for _, ff := range faultFields {
+				emit([]string{ff.typ}, float64(ff.get(f)))
+			}
+		})
+}

@@ -55,3 +55,11 @@ func (e *Engine) Close() error {
 	e.Stop()
 	return nil
 }
+
+// TransportStats implements core.TransportStatser with one zero-valued
+// entry per process: the runtime delivers through in-memory channels, so
+// there is no transport to count. Callers that range over per-node
+// transport counters work uniformly across substrates.
+func (e *Engine) TransportStats() []core.TransportStats {
+	return make([]core.TransportStats, e.N())
+}

@@ -174,3 +174,11 @@ func (net *Network) drive() {
 		net.subMu.Unlock()
 	}
 }
+
+// TransportStats implements core.TransportStatser with one zero-valued
+// entry per process: the simulator moves messages in memory, so there is
+// no transport to count. Callers that range over per-node transport
+// counters work uniformly across substrates.
+func (net *Network) TransportStats() []core.TransportStats {
+	return make([]core.TransportStats, net.N())
+}

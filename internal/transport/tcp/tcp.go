@@ -1,0 +1,839 @@
+// Package tcp runs protocol stacks over persistent TCP connections — the
+// multi-host deployment substrate. Where the UDP transport demonstrates
+// the paper's model on raw datagrams, this transport is the serving
+// layer: nodes on different machines dial each other, stream
+// length-prefixed wire-v2 frames, and survive connection loss with
+// exponential-backoff redial, so a snapd fleet can span real hosts.
+//
+// # Channel semantics on TCP
+//
+// TCP provides reliable in-order delivery per connection — but the
+// model's channels are lossy with a KNOWN capacity bound, and the
+// transport deliberately restores both properties at its edges:
+//
+//   - each directed link (p -> q) is one connection dialed by p, fed
+//     through a bounded outbound queue; a send finding the queue full is
+//     dropped at the sender (core.EvSendLost), and a send caught by a
+//     dead or timed-out connection is dropped in transit;
+//   - each (sender, instance) pair gets a bounded mailbox at the
+//     receiver; a frame arriving at a full mailbox is dropped
+//     (lose-on-full, the model's rule) and reported as core.EvLose;
+//   - AssumedCapacity reports the bound a protocol stack should declare
+//     (the handshake flag domain grows linearly in it, and must stay
+//     within the wire format's one-byte flag fields).
+//
+// Connection loss is therefore just message loss, which the protocols
+// tolerate by design: the retransmitting action A2 keeps fresh copies
+// coming while the writer redials, and snap-stabilization holds across a
+// peer's crash and restart without any connection-level recovery
+// protocol.
+//
+// # Dial/accept lifecycle
+//
+// Each node listens on one TCP address and runs one writer goroutine per
+// outgoing link. The writer owns the link's connection: it dials with
+// exponential backoff (jitter-free, bounded), identifies itself with a
+// hello frame, streams frames, and on any write error closes the
+// connection and redials. The accept loop spawns one reader per inbound
+// connection; the reader validates the hello (peer index, topology edge,
+// and — when the peer's address is configured — the source host) and
+// then moves frames into the bounded mailboxes. A peer restart simply
+// kills both directions: the reader sees EOF and exits, the writer's
+// next write fails and it redials until the new process accepts.
+//
+// # Concurrency structure
+//
+// The action mutex / mailbox lock split of the UDP transport (DESIGN.md
+// §7) carries over: readers append under the mailbox lock and signal a
+// wakeup; the activation loop swaps the mailbox map and delivers —
+// running any resulting sends — under the action mutex only. Sends
+// enqueue encoded frames and never block: a blocking socket write can
+// only stall its own link's writer goroutine, never a protocol action.
+package tcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/snapstab/snapstab/internal/core"
+	"github.com/snapstab/snapstab/internal/rng"
+	"github.com/snapstab/snapstab/internal/wire"
+)
+
+// DefaultAssumedCapacity is the per-link capacity bound the transport is
+// configured for by default: outbound queue plus mailbox slots plus a
+// conservative allowance for socket-buffered frames. The protocol flag
+// domain is 2c+2 values and must fit the wire format's one-byte flag
+// fields, so the bound must stay <= 126.
+const DefaultAssumedCapacity = 64
+
+// Frame format: a 4-byte big-endian length prefix followed by one
+// wire-encoded message (version 1 or 2). maxFrame bounds the declared
+// length against memory exhaustion from a malformed or hostile peer; a
+// violation is a protocol error and closes the connection.
+const maxFrame = 2*wire.MaxBlobLen + 4<<10
+
+// helloInstance marks the identification frame that opens every dialed
+// connection: a regular wire message whose B.Num carries the dialer's
+// process index. It is consumed by the transport and never delivered.
+const helloInstance = "tcp/hello"
+
+// tcpFaultSalt namespaces this substrate's injector seeds within the
+// plan's rng.Mix hierarchy (sim, runtime, and udp use their own salts).
+const tcpFaultSalt = 0x7c
+
+// Option configures a Node.
+type Option func(*Node)
+
+// WithMailbox sets the per-(sender, instance) mailbox size (default 8).
+func WithMailbox(slots int) Option {
+	return func(n *Node) { n.mailboxSlots = slots }
+}
+
+// WithSendQueue sets the per-link outbound queue length (default 32). A
+// send finding the queue full — a dead link under retransmission, a
+// backlogged connection — is dropped at the sender, the bounded-capacity
+// rule applied to the transport's own buffering.
+func WithSendQueue(slots int) Option {
+	return func(n *Node) { n.sendSlots = slots }
+}
+
+// WithTick sets the fallback mailbox sweep interval (default 1ms).
+// Mailbox drains are notification-driven; the sweep is a safety net and
+// the cadence at which delayed fault-plan messages are surfaced.
+func WithTick(d time.Duration) Option {
+	return func(n *Node) { n.tick = d }
+}
+
+// WithStepInterval sets the pacing of internal protocol actions (default
+// 2ms) — the retransmission interval, exactly as on UDP.
+func WithStepInterval(d time.Duration) Option {
+	return func(n *Node) { n.stepInterval = d }
+}
+
+// WithDialBackoff sets the redial backoff range (default 25ms..1s): the
+// first redial after a connection loss waits min, doubling up to max.
+func WithDialBackoff(min, max time.Duration) Option {
+	return func(n *Node) { n.dialMin, n.dialMax = min, max }
+}
+
+// WithWriteTimeout bounds every connect and frame write (default 2s). A
+// write that cannot complete within it is treated as a lost message and
+// a lost connection.
+func WithWriteTimeout(d time.Duration) Option {
+	return func(n *Node) { n.writeTimeout = d }
+}
+
+// WithObserver subscribes an event observer. Callbacks arrive
+// concurrently from reader goroutines (mailbox-full EvLose), writer
+// goroutines (EvSendLost on dead connections), and the activation loop,
+// so the observer must be goroutine-safe.
+func WithObserver(o core.Observer) Option {
+	return func(n *Node) { n.observers = append(n.observers, o) }
+}
+
+// WithTopology declares the communication graph: sends to non-neighbours
+// are dropped (and counted) at the sender, inbound connections from
+// non-neighbours are rejected at the hello, and the installed fault plan
+// is validated against the edge set. The default (nil) is the complete
+// graph.
+func WithTopology(t *core.Topology) Option {
+	return func(n *Node) { n.topo = t }
+}
+
+// WithFaults installs a fault-injection plan (see core.FaultPlan),
+// interposed at the mailbox boundary exactly as on UDP: every decoded
+// frame from a known peer passes the node's injector before it is boxed,
+// which may drop, duplicate, corrupt, reorder, or delay it, honor
+// partition windows, and silence the node inside crash windows (no
+// internal actions, no mailbox drains, arrivals consumed). The injector
+// is seeded rng.Mix(plan.Seed, salt, self); schedule windows are
+// measured in plan.Unit ticks of wall time from Start. TCP's own
+// connection losses compose underneath the plan.
+func WithFaults(plan *core.FaultPlan) Option {
+	return func(n *Node) { n.fault = plan }
+}
+
+// link is one outgoing directed edge: a bounded queue of encoded frames
+// drained by a writer goroutine that owns the connection lifecycle.
+type link struct {
+	peer core.ProcID
+	addr string
+	q    chan []byte
+}
+
+// Node is one process bound to a TCP listener.
+type Node struct {
+	self         core.ProcID
+	stack        core.Stack
+	routes       map[string]core.Machine
+	topo         *core.Topology
+	ln           net.Listener
+	peerAddrs    []string
+	mailboxSlots int
+	sendSlots    int
+	tick         time.Duration
+	stepInterval time.Duration
+	dialMin      time.Duration
+	dialMax      time.Duration
+	writeTimeout time.Duration
+	observers    core.MultiObserver
+
+	// mu is the action mutex: it makes stack actions (Step, Deliver, Do)
+	// atomic. Sends performed under it only encode and enqueue — socket
+	// writes happen on the writer goroutines — so no protocol action ever
+	// blocks on the network.
+	mu sync.Mutex
+
+	out []*link // indexed by peer; nil for self, unwired, or non-neighbour
+
+	// mbMu guards the double-buffered mailboxes (DESIGN.md §7) and is
+	// never held across socket operations or protocol actions.
+	mbMu      sync.Mutex
+	mailboxes map[mailKey][]core.Message
+	spare     map[mailKey][]core.Message
+	boxed     int
+	mail      chan struct{}
+
+	sends        atomic.Int64
+	recvs        atomic.Int64
+	sendDrops    atomic.Int64
+	mailboxDrops atomic.Int64
+	redials      atomic.Int64
+	linkSent     []atomic.Int64
+	linkRecvd    []atomic.Int64
+	linkDropped  []atomic.Int64
+
+	// injMu guards the injector: unlike UDP's single receive loop, TCP
+	// has one reader per inbound connection, so the (not goroutine-safe)
+	// injector needs its own lock.
+	injMu     sync.Mutex
+	fault     *core.FaultPlan
+	inj       *core.Injector
+	faultUnit time.Duration
+	epoch     time.Time // set by Start, before the loops launch
+
+	// connMu guards the accepted-connection registry used for teardown:
+	// Stop closes every registered connection to unblock its reader.
+	connMu   sync.Mutex
+	accepted map[net.Conn]struct{}
+	closed   bool
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+type mailKey struct {
+	from     core.ProcID
+	instance string
+}
+
+// Stats counts transport-level events. All counters are safe to read
+// concurrently with the node's loops.
+type Stats struct {
+	// Sends counts messages accepted into an outbound link queue (and
+	// therefore into the model's channel).
+	Sends int64
+	// Recvs counts frames accepted into a mailbox.
+	Recvs int64
+	// SendDrops counts messages lost at the sender: sends to
+	// non-neighbours, unencodable payloads, full outbound queues, and
+	// writes caught by a dead or timed-out connection.
+	SendDrops int64
+	// MailboxDrops counts frames dropped at a full receive mailbox (the
+	// model's lose-on-full rule, reported as core.EvLose).
+	MailboxDrops int64
+	// Redials counts connection establishments beyond each link's first —
+	// the dial/accept lifecycle recovering from a lost connection.
+	Redials int64
+	// Links holds per-directed-link counters for every peer.
+	Links []core.LinkStats
+	// Faults counts the faults injected at this node's mailbox boundary
+	// by the installed FaultPlan; zero without one.
+	Faults core.FaultStats
+}
+
+// Stats returns a snapshot of the transport counters.
+func (n *Node) Stats() Stats {
+	s := Stats{
+		Sends:        n.sends.Load(),
+		Recvs:        n.recvs.Load(),
+		SendDrops:    n.sendDrops.Load(),
+		MailboxDrops: n.mailboxDrops.Load(),
+		Redials:      n.redials.Load(),
+	}
+	for p := range n.linkSent {
+		if core.ProcID(p) == n.self {
+			continue
+		}
+		s.Links = append(s.Links, core.LinkStats{
+			Peer:     core.ProcID(p),
+			Sent:     n.linkSent[p].Load(),
+			Received: n.linkRecvd[p].Load(),
+			Dropped:  n.linkDropped[p].Load(),
+		})
+	}
+	if n.inj != nil {
+		n.injMu.Lock()
+		s.Faults = n.inj.Stats()
+		n.injMu.Unlock()
+	}
+	return s
+}
+
+// NewNode binds process self to laddr. peers maps every process ID
+// (including self, whose entry is ignored) to its address; empty entries
+// may be wired later with SetPeer, before Start.
+func NewNode(self core.ProcID, stack core.Stack, laddr string, peers []string, opts ...Option) (*Node, error) {
+	if int(self) >= len(peers) || self < 0 {
+		return nil, fmt.Errorf("tcp: self %d outside peer list of %d", self, len(peers))
+	}
+	ln, err := net.Listen("tcp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: listen %q: %w", laddr, err)
+	}
+	n := &Node{
+		self:         self,
+		stack:        stack,
+		routes:       stack.ByInstance(),
+		ln:           ln,
+		peerAddrs:    append([]string(nil), peers...),
+		mailboxSlots: 8,
+		sendSlots:    32,
+		tick:         time.Millisecond,
+		stepInterval: 2 * time.Millisecond,
+		dialMin:      25 * time.Millisecond,
+		dialMax:      time.Second,
+		writeTimeout: 2 * time.Second,
+		mailboxes:    make(map[mailKey][]core.Message),
+		spare:        make(map[mailKey][]core.Message),
+		mail:         make(chan struct{}, 1),
+		accepted:     make(map[net.Conn]struct{}),
+		stop:         make(chan struct{}),
+		linkSent:     make([]atomic.Int64, len(peers)),
+		linkRecvd:    make([]atomic.Int64, len(peers)),
+		linkDropped:  make([]atomic.Int64, len(peers)),
+	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	fail := func(err error) (*Node, error) {
+		ln.Close()
+		return nil, err
+	}
+	if n.mailboxSlots < 1 || n.sendSlots < 1 {
+		return fail(fmt.Errorf("tcp: invalid mailbox %d / send queue %d", n.mailboxSlots, n.sendSlots))
+	}
+	if n.dialMin <= 0 || n.dialMax < n.dialMin || n.writeTimeout <= 0 {
+		return fail(fmt.Errorf("tcp: invalid backoff %v..%v / write timeout %v", n.dialMin, n.dialMax, n.writeTimeout))
+	}
+	if n.topo != nil && n.topo.N() != len(peers) {
+		return fail(fmt.Errorf("tcp: topology over %d processes, %d peers", n.topo.N(), len(peers)))
+	}
+	if n.fault != nil {
+		if err := n.fault.Validate(); err != nil {
+			return fail(fmt.Errorf("tcp: %w", err))
+		}
+		if err := n.fault.ValidateTopology(n.topo); err != nil {
+			return fail(fmt.Errorf("tcp: %w", err))
+		}
+		n.faultUnit = n.fault.TickUnit()
+		n.inj = core.NewInjector(n.fault, rng.New(rng.Mix(n.fault.Seed, tcpFaultSalt, uint64(self))))
+	}
+	return n, nil
+}
+
+// Addr returns the bound local address (useful with port 0).
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// SetPeer sets the address of peer id after construction, enabling
+// two-phase setup: bind every listener with port 0 first, then wire the
+// learned addresses. Must be called before Start.
+func (n *Node) SetPeer(id core.ProcID, addr string) { n.peerAddrs[id] = addr }
+
+// Start launches the accept and activation loops and one writer per
+// wired outgoing link. Peers must not change after Start.
+func (n *Node) Start() {
+	n.epoch = time.Now() // fault-schedule tick zero
+	n.out = make([]*link, len(n.peerAddrs))
+	for p, addr := range n.peerAddrs {
+		id := core.ProcID(p)
+		if id == n.self || addr == "" {
+			continue
+		}
+		if n.topo != nil && !n.topo.HasEdge(n.self, id) {
+			// A wired address that is not a neighbour never gets a link:
+			// its sends vanish at the sender, counted, like on UDP.
+			continue
+		}
+		l := &link{peer: id, addr: addr, q: make(chan []byte, n.sendSlots)}
+		n.out[p] = l
+		n.wg.Add(1)
+		go n.writeLoop(l)
+	}
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.actLoop()
+}
+
+// framePool recycles encoded frames between Send (producer) and the
+// writer goroutines (consumer), so steady-state sending allocates only
+// when a frame outgrows its recycled buffer.
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// env implements core.Env; use only under n.mu.
+type env struct{ n *Node }
+
+func (v env) Self() core.ProcID { return v.n.self }
+func (v env) N() int            { return len(v.n.peerAddrs) }
+
+func (v env) Send(to core.ProcID, m core.Message) {
+	n := v.n
+	if int(to) < 0 || int(to) >= len(n.peerAddrs) {
+		return
+	}
+	if n.topo != nil && !n.topo.HasEdge(n.self, to) {
+		// Not a neighbour under the topology: no channel exists, the send
+		// vanishes at the sender (and is counted, unlike an unwired peer).
+		n.sendDrops.Add(1)
+		n.emit(core.Event{Kind: core.EvSendLost, Proc: n.self, Peer: to, Instance: m.Instance, Msg: m, Note: "no edge"})
+		return
+	}
+	l := n.out[to]
+	if l == nil {
+		return
+	}
+	bp := framePool.Get().(*[]byte)
+	buf := append((*bp)[:0], 0, 0, 0, 0)
+	buf, err := wire.AppendEncode(buf, m)
+	if err != nil {
+		*bp = buf[:0]
+		framePool.Put(bp)
+		n.sendDrops.Add(1)
+		n.linkDropped[to].Add(1)
+		n.emit(core.Event{Kind: core.EvSendLost, Proc: n.self, Peer: to, Instance: m.Instance, Msg: m})
+		return
+	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	*bp = buf
+	select {
+	case l.q <- buf:
+		n.sends.Add(1)
+		n.linkSent[to].Add(1)
+		n.emit(core.Event{Kind: core.EvSend, Proc: n.self, Peer: to, Instance: m.Instance, Msg: m})
+	default:
+		// Queue full: the bounded channel's lose-on-full rule applied at
+		// the sender (a dead link under retransmission fills it fast).
+		framePool.Put(bp)
+		n.sendDrops.Add(1)
+		n.linkDropped[to].Add(1)
+		n.emit(core.Event{Kind: core.EvSendLost, Proc: n.self, Peer: to, Instance: m.Instance, Msg: m, Note: "queue full"})
+	}
+}
+
+func (v env) Emit(ev core.Event) {
+	ev.Proc = v.n.self
+	v.n.emit(ev)
+}
+
+func (n *Node) emit(ev core.Event) {
+	if len(n.observers) > 0 {
+		n.observers.OnEvent(ev)
+	}
+}
+
+// helloFrame encodes this node's identification frame.
+func (n *Node) helloFrame() []byte {
+	buf := []byte{0, 0, 0, 0}
+	buf, err := wire.AppendEncode(buf, core.Message{
+		Instance: helloInstance,
+		Kind:     "HELLO",
+		B:        core.Payload{Num: int64(n.self)},
+	})
+	if err != nil {
+		panic("tcp: hello frame unencodable: " + err.Error())
+	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	return buf
+}
+
+// dial establishes one connection for l: connect, enable keepalive (so a
+// silently dead peer eventually fails the writer out of its connection),
+// and identify with the hello frame.
+func (n *Node) dial(l *link) (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", l.addr, n.writeTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetKeepAlive(true)
+		_ = tc.SetKeepAlivePeriod(30 * time.Second)
+		_ = tc.SetNoDelay(true)
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(n.writeTimeout))
+	if _, err := conn.Write(n.helloFrame()); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// writeLoop owns l's connection lifecycle: dial with exponential
+// backoff, stream frames, redial on any error. A frame caught by a write
+// error is lost in transit — the model's message loss; the protocols'
+// retransmission keeps fresh copies coming once the link is back.
+func (n *Node) writeLoop(l *link) {
+	defer n.wg.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	backoff := n.dialMin
+	dialed := 0
+	for {
+		if conn == nil {
+			c, err := n.dial(l)
+			if err != nil {
+				select {
+				case <-n.stop:
+					return
+				case <-time.After(backoff):
+				}
+				backoff *= 2
+				if backoff > n.dialMax {
+					backoff = n.dialMax
+				}
+				continue
+			}
+			conn = c
+			backoff = n.dialMin
+			dialed++
+			if dialed > 1 {
+				n.redials.Add(1)
+			}
+		}
+		select {
+		case <-n.stop:
+			return
+		case frame := <-l.q:
+			_ = conn.SetWriteDeadline(time.Now().Add(n.writeTimeout))
+			_, err := conn.Write(frame)
+			fp := frame[:0]
+			framePool.Put(&fp)
+			if err != nil {
+				// The message was in the channel and is lost with the
+				// connection; subsequent frames redial first.
+				conn.Close()
+				conn = nil
+				n.sendDrops.Add(1)
+				n.linkDropped[l.peer].Add(1)
+				n.emit(core.Event{Kind: core.EvSendLost, Proc: n.self, Peer: l.peer, Note: "connection lost"})
+			}
+		}
+	}
+}
+
+// register adds an accepted connection to the teardown registry; a false
+// return means the node already stopped and the caller must close conn.
+func (n *Node) register(conn net.Conn) bool {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	if n.closed {
+		return false
+	}
+	n.accepted[conn] = struct{}{}
+	return true
+}
+
+func (n *Node) unregister(conn net.Conn) {
+	n.connMu.Lock()
+	delete(n.accepted, conn)
+	n.connMu.Unlock()
+}
+
+// acceptLoop admits inbound connections and spawns one reader per
+// connection. Transient accept errors back off briefly; the loop exits
+// when the listener closes at Stop.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			select {
+			case <-n.stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+				continue
+			}
+		}
+		if !n.register(conn) {
+			conn.Close()
+			return
+		}
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+// errBadHello rejects connections that do not open with a valid
+// identification frame.
+var errBadHello = errors.New("tcp: invalid hello")
+
+// readHello consumes and validates the identification frame, returning
+// the peer index the connection speaks for.
+func (n *Node) readHello(conn net.Conn, buf []byte) (core.ProcID, error) {
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	m, _, err := readFrame(conn, buf)
+	if err != nil {
+		return 0, err
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	if m.Instance != helloInstance || m.Kind != "HELLO" {
+		return 0, errBadHello
+	}
+	id := core.ProcID(m.B.Num)
+	if int64(id) != m.B.Num || int(id) < 0 || int(id) >= len(n.peerAddrs) || id == n.self {
+		return 0, errBadHello
+	}
+	if n.topo != nil && !n.topo.HasEdge(id, n.self) {
+		return 0, fmt.Errorf("tcp: peer %d is not a neighbour", id)
+	}
+	// When the peer's address is configured, the connection must come
+	// from that host (ports are ephemeral on the dialing side). A fleet
+	// config is therefore also a minimal allowlist; an unwired peer is
+	// accepted on its own claim, mirroring UDP's unwired-sender drop in
+	// reverse (TCP must accept before it can identify).
+	if want := n.peerAddrs[id]; want != "" {
+		wantHost, _, err1 := net.SplitHostPort(want)
+		gotHost, _, err2 := net.SplitHostPort(conn.RemoteAddr().String())
+		if err1 == nil && err2 == nil {
+			wip, gip := net.ParseIP(wantHost), net.ParseIP(gotHost)
+			if wip != nil && gip != nil && !wip.IsUnspecified() && !wip.Equal(gip) {
+				return 0, fmt.Errorf("tcp: peer %d dialed from %s, configured at %s", id, gotHost, wantHost)
+			}
+		}
+	}
+	return id, nil
+}
+
+// readFrame reads one length-prefixed frame into buf (growing it as
+// needed) and decodes it. The returned buffer is reused by the caller;
+// wire.Decode copies all variable-length fields, so the message never
+// aliases it.
+func readFrame(r io.Reader, buf []byte) (core.Message, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return core.Message{}, buf, err
+	}
+	sz := binary.BigEndian.Uint32(hdr[:])
+	if sz == 0 || sz > maxFrame {
+		return core.Message{}, buf, fmt.Errorf("tcp: frame of %d bytes outside (0, %d]", sz, maxFrame)
+	}
+	if cap(buf) < int(sz) {
+		buf = make([]byte, sz)
+	}
+	buf = buf[:sz]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return core.Message{}, buf, err
+	}
+	m, err := wire.Decode(buf)
+	if err != nil {
+		// A stream that stops framing valid messages is broken — unlike
+		// UDP, where a malformed datagram can be skipped, the connection
+		// is the unit of trust here.
+		return core.Message{}, buf, err
+	}
+	return m, buf, nil
+}
+
+// readLoop moves one connection's frames into the bounded mailboxes. It
+// exits on any read error — EOF when the peer closes or restarts, a
+// local close from Stop — and the dialing side redials.
+func (n *Node) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer n.unregister(conn)
+	defer conn.Close()
+	buf := make([]byte, 0, 4096)
+	sender, err := n.readHello(conn, buf[:cap(buf)])
+	if err != nil {
+		return
+	}
+	for {
+		var m core.Message
+		m, buf, err = readFrame(conn, buf[:cap(buf)])
+		if err != nil {
+			return
+		}
+		if m.Instance == helloInstance {
+			continue // a duplicate hello is consumed, never delivered
+		}
+		if n.inj != nil {
+			n.injMu.Lock()
+			out, fate := n.inj.Filter(sender, n.self, m, n.faultNow())
+			// Filter returns the injector's reusable scratch slice; another
+			// connection's reader may call Filter (rewriting it) as soon as
+			// the lock drops, so snapshot it first.
+			if len(out) > 0 {
+				out = append([]core.Message(nil), out...)
+			}
+			n.injMu.Unlock()
+			if fate == core.FateDrop {
+				n.emit(core.Event{Kind: core.EvLose, Proc: n.self, Peer: sender, Instance: m.Instance, Msg: m})
+			}
+			for _, dm := range out {
+				n.box(sender, dm)
+			}
+			continue
+		}
+		n.box(sender, m)
+	}
+}
+
+// faultNow returns the fault-schedule tick: wall time since Start in
+// plan.Unit ticks.
+func (n *Node) faultNow() int64 {
+	return int64(time.Since(n.epoch) / n.faultUnit)
+}
+
+// box appends one in-transit message to its bounded mailbox (the model's
+// lose-on-full rule applies) and wakes the activation loop.
+func (n *Node) box(sender core.ProcID, m core.Message) {
+	key := mailKey{from: sender, instance: m.Instance}
+	n.mbMu.Lock()
+	b := n.mailboxes[key]
+	full := len(b) >= n.mailboxSlots
+	if !full {
+		n.mailboxes[key] = append(b, m)
+		n.boxed++
+	}
+	n.mbMu.Unlock()
+	if full {
+		// Lose-on-full: the message was in transit and is dropped at the
+		// receiver — the model's link loss, not a send failure.
+		n.mailboxDrops.Add(1)
+		n.linkDropped[sender].Add(1)
+		n.emit(core.Event{Kind: core.EvLose, Proc: n.self, Peer: sender, Instance: m.Instance, Msg: m})
+		return
+	}
+	n.recvs.Add(1)
+	n.linkRecvd[sender].Add(1)
+	select {
+	case n.mail <- struct{}{}:
+	default: // a wakeup is already pending
+	}
+}
+
+// actLoop delivers mailbox batches as soon as a reader signals them and
+// runs the stack's internal actions at the step interval; the tick timer
+// is the fallback sweep and the cadence at which delayed fault-plan
+// messages surface.
+func (n *Node) actLoop() {
+	defer n.wg.Done()
+	stepTimer := time.NewTicker(n.stepInterval)
+	defer stepTimer.Stop()
+	sweep := time.NewTicker(n.tick)
+	defer sweep.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-n.mail:
+			n.drainMail()
+		case <-sweep.C:
+			n.flushDelayed()
+			n.drainMail()
+		case <-stepTimer.C:
+			if n.fault != nil && n.fault.Down(n.self, n.faultNow()) {
+				continue // crash window: no internal actions until restart
+			}
+			n.mu.Lock()
+			ev := env{n: n}
+			for _, m := range n.stack {
+				m.Step(ev)
+			}
+			n.mu.Unlock()
+		}
+	}
+}
+
+// flushDelayed surfaces expired delayed messages even on quiet links.
+func (n *Node) flushDelayed() {
+	if n.inj == nil {
+		return
+	}
+	n.injMu.Lock()
+	rel := n.inj.Flush(n.faultNow())
+	n.injMu.Unlock()
+	for _, r := range rel {
+		n.box(r.From, r.Msg)
+	}
+}
+
+// drainMail swaps the filled mailbox buffer out (one pointer swap under
+// the mailbox lock, batching the handoff) and delivers its contents
+// under the action mutex.
+func (n *Node) drainMail() {
+	if n.fault != nil && n.fault.Down(n.self, n.faultNow()) {
+		// Crash window: boxed mail stays in transit until the restart.
+		return
+	}
+	n.mbMu.Lock()
+	if n.boxed == 0 {
+		n.mbMu.Unlock()
+		return
+	}
+	batch := n.mailboxes
+	n.mailboxes, n.spare = n.spare, n.mailboxes
+	n.boxed = 0
+	n.mbMu.Unlock()
+
+	n.mu.Lock()
+	ev := env{n: n}
+	for key, box := range batch {
+		if len(box) == 0 {
+			continue
+		}
+		if mach, ok := n.routes[key.instance]; ok {
+			for _, m := range box {
+				n.emit(core.Event{Kind: core.EvDeliver, Proc: n.self, Peer: key.from, Instance: key.instance, Msg: m})
+				mach.Deliver(ev, key.from, m)
+			}
+		}
+		// A message addressed to an unknown instance is consumed with no
+		// effect, like a receive action with a false guard.
+		batch[key] = box[:0]
+	}
+	n.mu.Unlock()
+}
+
+// Do runs f under the node's action mutex with its environment.
+func (n *Node) Do(f func(env core.Env)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	f(env{n: n})
+}
+
+// Stop terminates the loops, closes the listener and every connection.
+// It is idempotent and safe to call from multiple goroutines.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() {
+		close(n.stop)
+		n.ln.Close()
+		n.connMu.Lock()
+		n.closed = true
+		for c := range n.accepted {
+			c.Close()
+		}
+		n.connMu.Unlock()
+		n.wg.Wait()
+	})
+}

@@ -92,6 +92,27 @@ func (c *Cluster) NodeStats() []Stats {
 	return out
 }
 
+// TransportStats implements core.TransportStatser: one snapshot per node
+// in the substrate-agnostic shape. UDP tracks node-level counters only,
+// so Links stays nil.
+func (c *Cluster) TransportStats() []core.TransportStats {
+	out := make([]core.TransportStats, len(c.nodes))
+	for i, node := range c.nodes {
+		s := node.Stats()
+		out[i] = core.TransportStats{
+			Addr:         node.Addr(),
+			Sends:        s.Sends,
+			Recvs:        s.Recvs,
+			SendDrops:    s.SendDrops,
+			MailboxDrops: s.MailboxDrops,
+			Faults:       s.Faults,
+		}
+	}
+	return out
+}
+
+var _ core.TransportStatser = (*Cluster)(nil)
+
 // Do runs f under node p's action mutex with its environment.
 func (c *Cluster) Do(p core.ProcID, f func(env core.Env)) {
 	c.nodes[p].Do(f)

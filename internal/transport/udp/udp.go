@@ -143,6 +143,7 @@ type Node struct {
 	mail      chan struct{}              // capacity 1: drain wakeup
 
 	sends        atomic.Int64
+	recvs        atomic.Int64
 	sendDrops    atomic.Int64
 	mailboxDrops atomic.Int64
 
@@ -162,6 +163,9 @@ type Node struct {
 type Stats struct {
 	// Sends counts datagrams successfully handed to the socket.
 	Sends int64
+	// Recvs counts datagrams accepted into a mailbox (received from a
+	// known peer, surviving the fault plane, not dropped on full).
+	Recvs int64
 	// SendDrops counts messages lost at the sender — WriteToUDP failures
 	// and unencodable payloads. The simulator's analogue is
 	// sim.Stats.SendLosses; without this counter a misconfigured or
@@ -182,6 +186,7 @@ type Stats struct {
 func (n *Node) Stats() Stats {
 	s := Stats{
 		Sends:        n.sends.Load(),
+		Recvs:        n.recvs.Load(),
 		SendDrops:    n.sendDrops.Load(),
 		MailboxDrops: n.mailboxDrops.Load(),
 	}
@@ -422,6 +427,7 @@ func (n *Node) box(sender core.ProcID, m core.Message) {
 		n.emit(core.Event{Kind: core.EvLose, Proc: n.self, Peer: sender, Instance: m.Instance, Msg: m})
 		return
 	}
+	n.recvs.Add(1)
 	select {
 	case n.mail <- struct{}{}:
 	default: // a wakeup is already pending

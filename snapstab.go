@@ -75,6 +75,34 @@ type options struct {
 	// topology is the communication graph (nil = the paper's complete
 	// network; an explicit complete graph behaves byte-identically).
 	topology *core.Topology
+	// eventHooks are WithEventHook subscribers, wrapped into substrate
+	// observers at cluster construction.
+	eventHooks []func(ObservedEvent)
+}
+
+// ObservedEvent is one protocol event surfaced to WithEventHook
+// subscribers: the public projection of the internal event stream that
+// spec checkers and traces consume.
+type ObservedEvent struct {
+	// Kind names the event ("send", "deliver", "lose", "start", "decide",
+	// "enter-cs", "fwd-deliver", ...).
+	Kind string
+	// Proc is the process at which the event occurred.
+	Proc int
+	// Peer is the other endpoint when the event involves a message, -1
+	// otherwise.
+	Peer int
+	// Instance is the protocol instance involved, when meaningful.
+	Instance string
+}
+
+// WithEventHook subscribes fn to the cluster's protocol event stream —
+// the raw material for monitoring (cmd/snapd feeds its Prometheus
+// protocol-phase counters from it). fn runs inside the execution engine,
+// concurrently on the concurrent substrates: it must be fast and
+// goroutine-safe, and must not call back into the cluster.
+func WithEventHook(fn func(ObservedEvent)) Option {
+	return func(o *options) { o.eventHooks = append(o.eventHooks, fn) }
 }
 
 // Option configures a cluster.

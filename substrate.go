@@ -5,6 +5,7 @@ import (
 	"github.com/snapstab/snapstab/internal/pif"
 	"github.com/snapstab/snapstab/internal/runtime"
 	"github.com/snapstab/snapstab/internal/sim"
+	tcp "github.com/snapstab/snapstab/internal/transport/tcp"
 	udp "github.com/snapstab/snapstab/internal/transport/udp"
 )
 
@@ -130,6 +131,91 @@ func UDP() Substrate {
 		},
 	}
 }
+
+// tcpOptions assembles the transport options shared by TCP and TCPHost.
+func tcpOptions(o options, obs []core.Observer, extra ...tcp.Option) []tcp.Option {
+	topts := append([]tcp.Option(nil), extra...)
+	for _, ob := range obs {
+		topts = append(topts, tcp.WithObserver(ob))
+	}
+	if o.topology != nil {
+		topts = append(topts, tcp.WithTopology(o.topology))
+	}
+	if o.faults != nil {
+		topts = append(topts, tcp.WithFaults(o.faults))
+	}
+	return topts
+}
+
+// tcpCapacity is the machine capacity bound for the TCP substrates: the
+// transport's conservative assumed bound, or WithCapacity if larger.
+func tcpCapacity(o options) int {
+	if o.capacity > tcp.DefaultAssumedCapacity {
+		return o.capacity
+	}
+	return tcp.DefaultAssumedCapacity
+}
+
+// TCP selects the loopback stream transport: one listener per process,
+// persistent connections carrying length-prefixed wire frames, redial
+// with backoff on connection loss. TCP delivers reliably per connection,
+// so the transport restores the model's lossy bounded channels at its
+// edges: bounded outbound queues (overflow drops at the sender), bounded
+// receive mailboxes (lose-on-full), and connection loss as message loss.
+// The machines are built with the transport's conservative assumed
+// capacity bound (or WithCapacity, if larger); WithLossRate and
+// WithStepBudget are ignored — bound requests with Request.Wait contexts.
+// Listener binding happens at cluster construction and panics on failure.
+func TCP() Substrate {
+	return Substrate{
+		name:     "tcp",
+		capacity: tcpCapacity,
+		build: func(o options, stacks []core.Stack, obs []core.Observer) (core.Substrate, error) {
+			return tcp.NewCluster(stacks, tcpOptions(o, obs)...)
+		},
+	}
+}
+
+// TCPFleet describes one daemon's place in a multi-host TCP fleet, for
+// TCPHost.
+type TCPFleet struct {
+	// Self is the process this OS process hosts (the cluster's other
+	// processes run in other daemons).
+	Self int
+	// Listen is the local listen address; port 0 lets the kernel pick.
+	Listen string
+	// Peers maps every process ID to its advertised address (entry Self
+	// is ignored). Length must equal the cluster size. An empty entry
+	// leaves that link unwired.
+	Peers []string
+}
+
+// TCPHost selects single-process fleet hosting: the cluster API drives
+// ONE process over TCP while the rest of the fleet runs in other OS
+// processes (snapd daemons) built from the same cluster parameters.
+// Every cluster method that targets another daemon's process returns an
+// error wrapping ErrRemoteProcess — issue those requests at that
+// process's daemon. Whole-cluster seeded operations (CorruptEverything)
+// remain fleet-deterministic: each daemon holds inert copies of the
+// remote stacks so the seeded draws line up across the fleet.
+func TCPHost(f TCPFleet) Substrate {
+	return Substrate{
+		name:     "tcp-host",
+		capacity: tcpCapacity,
+		build: func(o options, stacks []core.Stack, obs []core.Observer) (core.Substrate, error) {
+			cfg := tcp.HostConfig{
+				Self:   core.ProcID(f.Self),
+				Listen: f.Listen,
+				Peers:  f.Peers,
+			}
+			return tcp.NewHost(cfg, stacks, tcpOptions(o, obs)...)
+		},
+	}
+}
+
+// ErrRemoteProcess is returned (wrapped) by requests addressed to a
+// process hosted by another daemon on the TCPHost substrate.
+var ErrRemoteProcess = tcp.ErrRemoteProcess
 
 // WithSubstrate selects the execution substrate (default Sim()).
 func WithSubstrate(s Substrate) Option {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -301,6 +302,83 @@ func TestUDPSubstrate(t *testing.T) {
 	}
 	if err := c.Close(); err != nil {
 		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestTCPSubstrate completes a corrupted broadcast over persistent
+// loopback TCP connections through the same façade code, and checks the
+// transport exposes per-link throughput counters.
+func TestTCPSubstrate(t *testing.T) {
+	t.Parallel()
+	c := snapstab.NewPIFCluster(3, snapstab.WithSubstrate(snapstab.TCP()), snapstab.WithSeed(11))
+	defer c.Close()
+	c.CorruptEverything(31)
+	req := c.BroadcastAsync(0, "wire", 9)
+	if err := req.Wait(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Feedbacks()) != 2 {
+		t.Fatalf("got %d feedbacks, want 2", len(req.Feedbacks()))
+	}
+	stats := c.TransportStats()
+	if len(stats) != 3 {
+		t.Fatalf("got %d transport stat rows, want 3", len(stats))
+	}
+	for i, s := range stats {
+		if s.Sends == 0 {
+			t.Errorf("node %d sent no frames", i)
+		}
+		if s.Addr == "" {
+			t.Errorf("node %d has no address", i)
+		}
+		var linkTraffic int64
+		for _, l := range s.Links {
+			linkTraffic += l.Sent + l.Received
+		}
+		if linkTraffic == 0 {
+			t.Errorf("node %d has no per-link traffic: %+v", i, s.Links)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestTCPHostFleet assembles a fleet of single-process TCPHost
+// substrates inside one test — the shape a multi-daemon deployment has
+// across machines — and completes a broadcast initiated at one host.
+func TestTCPHostFleet(t *testing.T) {
+	t.Parallel()
+	const n = 3
+	// Reserve loopback ports for the fleet by binding and releasing.
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	clusters := make([]*snapstab.PIFCluster, n)
+	for i := 0; i < n; i++ {
+		clusters[i] = snapstab.NewPIFCluster(n,
+			snapstab.WithSubstrate(snapstab.TCPHost(snapstab.TCPFleet{Self: i, Listen: addrs[i], Peers: addrs})),
+			snapstab.WithSeed(21))
+		defer clusters[i].Close()
+		clusters[i].CorruptEverything(33)
+	}
+	req := clusters[0].BroadcastAsync(0, "fleet", 5)
+	if err := req.Wait(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Feedbacks()) != 2 {
+		t.Fatalf("got %d feedbacks, want 2", len(req.Feedbacks()))
+	}
+	// A request at a process another host owns fails loudly, not silently.
+	wrong := clusters[0].BroadcastAsync(1, "misplaced", 6)
+	if err := wrong.Wait(testCtx(t)); !errors.Is(err, snapstab.ErrRemoteProcess) {
+		t.Fatalf("broadcast at a remote process: got %v, want ErrRemoteProcess", err)
 	}
 }
 
