@@ -11,6 +11,7 @@ import (
 	"github.com/snapstab/snapstab/internal/rng"
 	"github.com/snapstab/snapstab/internal/runtime"
 	"github.com/snapstab/snapstab/internal/sim"
+	tcp "github.com/snapstab/snapstab/internal/transport/tcp"
 	udp "github.com/snapstab/snapstab/internal/transport/udp"
 )
 
@@ -92,7 +93,8 @@ func (c *clusterCore) Close() error {
 
 // Stats returns the deterministic scheduler's counters for the whole
 // cluster lifetime. On the concurrent substrates — which count different
-// things — it returns the zero value; see TransportStats for UDP.
+// things — it returns the zero value; see TransportStats for the
+// network substrates (UDP, TCP, and their muxes).
 func (c *clusterCore) Stats() sim.Stats {
 	var s sim.Stats
 	if c.simNet != nil {
@@ -135,6 +137,20 @@ type TransportStats struct {
 	// Redials counts reconnection attempts (TCP's dial/accept lifecycle
 	// re-establishing lost connections; zero elsewhere).
 	Redials int64
+	// SendDatagrams and RecvDatagrams count wire frames moved by the
+	// socket layer — UDP datagrams, or length-prefixed frames on a TCP
+	// stream. With wire v3 batching one frame carries many messages, so
+	// Sends/SendDatagrams is the average batch occupancy. Zero on the
+	// in-memory substrates.
+	SendDatagrams int64
+	RecvDatagrams int64
+	// SendSyscalls and RecvSyscalls count socket system calls.
+	// sendmmsg/recvmmsg (UDP on Linux), vectored writes, and buffered
+	// reads (TCP) move several frames per call, so Sends/SendSyscalls
+	// measures the syscall amortization the batch path buys. Zero on the
+	// in-memory substrates.
+	SendSyscalls int64
+	RecvSyscalls int64
 	// Links holds per-link counters when the transport tracks them
 	// (TCP), nil otherwise.
 	Links []LinkStats
@@ -155,13 +171,17 @@ func (c *clusterCore) TransportStats() []TransportStats {
 	out := make([]TransportStats, len(stats))
 	for i, s := range stats {
 		out[i] = TransportStats{
-			Addr:         s.Addr,
-			Sends:        s.Sends,
-			Recvs:        s.Recvs,
-			SendDrops:    s.SendDrops,
-			MailboxDrops: s.MailboxDrops,
-			Redials:      s.Redials,
-			Faults:       publicFaultStats(s.Faults),
+			Addr:          s.Addr,
+			Sends:         s.Sends,
+			Recvs:         s.Recvs,
+			SendDrops:     s.SendDrops,
+			MailboxDrops:  s.MailboxDrops,
+			Redials:       s.Redials,
+			SendDatagrams: s.SendDatagrams,
+			RecvDatagrams: s.RecvDatagrams,
+			SendSyscalls:  s.SendSyscalls,
+			RecvSyscalls:  s.RecvSyscalls,
+			Faults:        publicFaultStats(s.Faults),
 		}
 		if len(s.Links) > 0 {
 			links := make([]LinkStats, len(s.Links))
@@ -220,7 +240,8 @@ func (c *clusterCore) describeErr(err error, label string, p int) error {
 	case errors.As(err, &budget):
 		return fmt.Errorf("%w: %s at %d", ErrBudget, label, p)
 	case errors.Is(err, sim.ErrClosed), errors.Is(err, runtime.ErrStopped),
-		errors.Is(err, udp.ErrStopped), c.ctx.Err() != nil:
+		errors.Is(err, udp.ErrStopped), errors.Is(err, tcp.ErrStopped),
+		c.ctx.Err() != nil:
 		return fmt.Errorf("%w: %s at %d", ErrClosed, label, p)
 	}
 	return fmt.Errorf("snapstab: %s at %d: %w", label, p, err)

@@ -1,0 +1,251 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/snapstab/snapstab/internal/core"
+	udp "github.com/snapstab/snapstab/internal/transport/udp"
+)
+
+// This file is the -transport -batch mode: the BENCH_0009.json artifact.
+// Where BENCH_0008 prices one end-to-end broadcast per substrate, this
+// matrix measures raw sustained message throughput over real UDP
+// sockets along the batch dimension — batch=1 (the pre-v3 one-datagram-
+// per-message path, byte-compatible with wire v2 peers) against the
+// coalescing ceilings — so the wire v3 syscall-amortization claim is a
+// recorded number, not prose. Each row also reports the achieved batch
+// occupancy (messages per datagram) and the syscall amortization
+// (messages per sendto/sendmmsg call) from the transport counters.
+//
+// Timings are hardware-dependent — the committed file is a recorded
+// baseline for trend reading, not a byte-stable artifact like the
+// experiment tables.
+
+// wireBenchResult is one (n, batch, blob) row of the flood matrix.
+type wireBenchResult struct {
+	Substrate string `json:"substrate"`
+	N         int    `json:"n"`
+	// Batch is the coalescing ceiling (WithBatch); 1 disables batching.
+	Batch int `json:"batch"`
+	// BlobBytes is the opaque payload body carried by every message.
+	BlobBytes int `json:"blob_bytes"`
+	// MsgsPerSec is the sustained delivery rate across the cluster.
+	MsgsPerSec float64 `json:"msgs_per_sec"`
+	// BatchOccupancy is messages per sent datagram (≈1 at batch=1).
+	BatchOccupancy float64 `json:"batch_occupancy"`
+	// SendsPerSyscall is messages per socket write call — occupancy
+	// times the sendmmsg amortization on Linux.
+	SendsPerSyscall float64 `json:"sends_per_syscall"`
+	// RecvsPerSyscall is messages per socket read call.
+	RecvsPerSyscall float64 `json:"recvs_per_syscall"`
+}
+
+// wireBenchFile is the schema of BENCH_0009.json.
+type wireBenchFile struct {
+	Bench     string            `json:"bench"`
+	Schema    int               `json:"schema"`
+	GoVersion string            `json:"go_version"`
+	GoOS      string            `json:"go_os"`
+	GoArch    string            `json:"go_arch"`
+	Results   []wireBenchResult `json:"results"`
+}
+
+// parseBatches parses the -batch flag ("1,16") into ceilings.
+func parseBatches(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, err := strconv.Atoi(part)
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("bad -batch entry %q", part)
+		}
+		out = append(out, k)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-batch lists no ceilings")
+	}
+	return out, nil
+}
+
+// runWireBench runs the UDP flood matrix over the batch dimension and
+// writes the JSON artifact (stdout when out is "-"). quick shrinks the
+// matrix and the measurement window to CI-smoke scale.
+func runWireBench(out string, batches []int, quick bool) error {
+	file := wireBenchFile{
+		Bench:     "BENCH_0009",
+		Schema:    1,
+		GoVersion: runtime.Version(),
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+	}
+	ns := []int{3, 8, 16}
+	blobs := []int{0, 256, 4096}
+	window := 3 * time.Second
+	if quick {
+		ns = []int{3}
+		blobs = []int{0}
+		window = 200 * time.Millisecond
+	}
+	for _, batch := range batches {
+		for _, n := range ns {
+			r, err := benchWireFlood(n, batch, 0, window)
+			if err != nil {
+				return err
+			}
+			file.Results = append(file.Results, r)
+			printWireRow(r)
+		}
+		// Payload scaling at fixed n=8: bigger bodies mean fewer
+		// messages fit under the datagram size cap, squeezing occupancy.
+		for _, blob := range blobs {
+			if blob == 0 {
+				continue // the n=8 row above IS the 0B point
+			}
+			r, err := benchWireFlood(8, batch, blob, window)
+			if err != nil {
+				return err
+			}
+			file.Results = append(file.Results, r)
+			printWireRow(r)
+		}
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+func printWireRow(r wireBenchResult) {
+	fmt.Fprintf(os.Stderr, "udp n=%-2d batch=%-4d blob=%-4dB  %12.0f msgs/sec  %6.2f msgs/datagram  %6.2f msgs/syscall\n",
+		r.N, r.Batch, r.BlobBytes, r.MsgsPerSec, r.BatchOccupancy, r.SendsPerSyscall)
+}
+
+// floodMachine seeds one message per peer on Step and echoes each
+// delivery back, so sustained traffic is driven by the delivery path —
+// the same shape as the transport package's own throughput benchmark.
+type floodMachine struct {
+	self      core.ProcID
+	n         int
+	blob      []byte
+	delivered *atomic.Int64
+}
+
+func (f *floodMachine) Instance() string { return "flood" }
+
+func (f *floodMachine) Step(env core.Env) bool {
+	for q := 0; q < f.n; q++ {
+		if core.ProcID(q) != f.self {
+			env.Send(core.ProcID(q), core.Message{Instance: "flood", Kind: "flood", B: core.Payload{Blob: f.blob}})
+		}
+	}
+	return true
+}
+
+func (f *floodMachine) Deliver(env core.Env, from core.ProcID, m core.Message) {
+	f.delivered.Add(1)
+	env.Send(from, core.Message{Instance: "flood", Kind: "flood", B: core.Payload{Blob: f.blob}})
+}
+
+// benchWireFlood measures one (n, batch, blob) cell: sustained
+// deliveries/sec over window, with the occupancy and amortization ratios
+// read from the transport counters across the same interval.
+func benchWireFlood(n, batch, blob int, window time.Duration) (wireBenchResult, error) {
+	var delivered atomic.Int64
+	var body []byte
+	if blob > 0 {
+		body = make([]byte, blob)
+		for i := range body {
+			body[i] = byte(i)
+		}
+	}
+	nodes := make([]*udp.Node, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		node, err := udp.NewNode(core.ProcID(i),
+			core.Stack{&floodMachine{self: core.ProcID(i), n: n, blob: body, delivered: &delivered}},
+			"127.0.0.1:0", make([]string, n), udp.WithBatch(batch))
+		if err != nil {
+			return wireBenchResult{}, fmt.Errorf("bind node %d: %w", i, err)
+		}
+		nodes[i] = node
+		addrs[i] = node.Addr()
+	}
+	defer func() {
+		for _, node := range nodes {
+			node.Stop()
+		}
+	}()
+	for i, node := range nodes {
+		for j, a := range addrs {
+			if i == j {
+				continue
+			}
+			peer, err := net.ResolveUDPAddr("udp", a)
+			if err != nil {
+				return wireBenchResult{}, fmt.Errorf("parse %q: %w", a, err)
+			}
+			node.SetPeer(core.ProcID(j), peer)
+		}
+	}
+	for _, node := range nodes {
+		node.Start()
+	}
+	// Let the flood reach steady state before timing.
+	warmup := time.Now().Add(10 * time.Second)
+	for delivered.Load() < int64(n) {
+		if time.Now().After(warmup) {
+			return wireBenchResult{}, fmt.Errorf("n=%d batch=%d: flood never started", n, batch)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	sum := func() (sends, dgrams, sendSys, recvs, recvSys int64) {
+		for _, node := range nodes {
+			s := node.Stats()
+			sends += s.Sends
+			dgrams += s.SendDatagrams
+			sendSys += s.SendSyscalls
+			recvs += s.Recvs
+			recvSys += s.RecvSyscalls
+		}
+		return
+	}
+	s0, d0, ss0, r0, rs0 := sum()
+	before := delivered.Load()
+	start := time.Now()
+	time.Sleep(window)
+	elapsed := time.Since(start).Seconds()
+	after := delivered.Load()
+	s1, d1, ss1, r1, rs1 := sum()
+
+	res := wireBenchResult{Substrate: "udp", N: n, Batch: batch, BlobBytes: blob}
+	if elapsed > 0 {
+		res.MsgsPerSec = float64(after-before) / elapsed
+	}
+	if d := d1 - d0; d > 0 {
+		res.BatchOccupancy = float64(s1-s0) / float64(d)
+	}
+	if d := ss1 - ss0; d > 0 {
+		res.SendsPerSyscall = float64(s1-s0) / float64(d)
+	}
+	if d := rs1 - rs0; d > 0 {
+		res.RecvsPerSyscall = float64(r1-r0) / float64(d)
+	}
+	return res, nil
+}

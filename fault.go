@@ -8,11 +8,13 @@ import (
 
 // This file is the public face of the fault-injection plane (DESIGN.md
 // §9): mirror types over core.FaultPlan, the WithFaults cluster option,
-// and the FaultStats accessor. The same plan value drives all three
-// substrates — the deterministic simulator applies it at Step delivery
+// and the FaultStats accessor. The same plan value drives every
+// substrate — the deterministic simulator applies it at Step delivery
 // (replaying exactly from the seed), the runtime at each receiver's link
-// table, and the UDP transport at the mailbox boundary (reproducible
-// decision streams under real concurrency).
+// table, and the network transports (UDP and TCP, dedicated or muxed) at
+// the mailbox boundary, per logical message regardless of how messages
+// were batched into wire frames (reproducible decision streams under
+// real concurrency).
 
 // LinkFaults is the fault policy of one directed link (or the plan-wide
 // default): independent probabilities, all in [0, 1), applied to each

@@ -39,6 +39,20 @@ type TransportStats struct {
 	// Redials counts transport reconnection attempts (TCP only: the
 	// dial/accept lifecycle re-establishing a lost connection).
 	Redials int64
+	// SendDatagrams and RecvDatagrams count wire frames (datagrams on
+	// UDP, length-prefixed frames on TCP). With wire v3 batching one
+	// frame carries many messages, so Sends/SendDatagrams is the
+	// outbound batch occupancy; zero on substrates without a framed
+	// wire.
+	SendDatagrams int64
+	RecvDatagrams int64
+	// SendSyscalls and RecvSyscalls count the socket system calls that
+	// moved those frames (sendmmsg/recvmmsg and vectored writes make
+	// them smaller than the frame counts); Sends/SendSyscalls is the
+	// syscall amortization the batching path exists to maximize. Zero
+	// where the transport cannot observe the syscall boundary.
+	SendSyscalls int64
+	RecvSyscalls int64
 	// Links holds per-link detail when the transport tracks it (TCP);
 	// nil when only node-level counters exist.
 	Links []LinkStats

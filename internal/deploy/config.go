@@ -48,6 +48,12 @@ type Config struct {
 	// CorruptSeed seeds the corruption draws (default: Seed). Must agree
 	// across the fleet.
 	CorruptSeed uint64 `json:"corrupt_seed,omitempty"`
+	// Batch bounds how many wire frames one socket write may carry on
+	// this daemon's transport (snapstab.WithBatch; 0 = the transport
+	// default, 1 disables write amortization). A local performance knob:
+	// it never changes the bytes on the wire, so daemons in one fleet may
+	// set it differently.
+	Batch int `json:"batch,omitempty"`
 	// Faults installs a fault plan on the transport. Must agree across
 	// the fleet for a coherent adversary (each daemon injects at its own
 	// mailbox boundary).
@@ -160,6 +166,9 @@ func (c Config) Validate() error {
 			return fmt.Errorf("peer %d has no address", i)
 		}
 	}
+	if c.Batch < 0 {
+		return fmt.Errorf("batch must be >= 0, got %d", c.Batch)
+	}
 	return nil
 }
 
@@ -187,6 +196,9 @@ func (c Config) options() ([]snapstab.Option, snapstab.Topology, error) {
 	}
 	if c.Seed != 0 {
 		opts = append(opts, snapstab.WithSeed(c.Seed))
+	}
+	if c.Batch > 0 {
+		opts = append(opts, snapstab.WithBatch(c.Batch))
 	}
 	var topo snapstab.Topology
 	if c.Topology != "" {

@@ -81,6 +81,10 @@ var transportFields = []struct {
 	{"snapstab_transport_send_drops_total", "Messages lost at the sender (dead connections, full queues, failed writes).", func(s core.TransportStats) int64 { return s.SendDrops }},
 	{"snapstab_transport_mailbox_drops_total", "Messages dropped at a full receive mailbox (lose-on-full).", func(s core.TransportStats) int64 { return s.MailboxDrops }},
 	{"snapstab_transport_redials_total", "Connections re-established after a loss (TCP lifecycle).", func(s core.TransportStats) int64 { return s.Redials }},
+	{"snapstab_transport_send_datagrams_total", "Datagrams (UDP) or wire frames (TCP) written by this node; messages batch into them.", func(s core.TransportStats) int64 { return s.SendDatagrams }},
+	{"snapstab_transport_recv_datagrams_total", "Datagrams (UDP) or wire frames (TCP) read by this node.", func(s core.TransportStats) int64 { return s.RecvDatagrams }},
+	{"snapstab_transport_send_syscalls_total", "Socket write system calls; sendmmsg and vectored writes keep this below the datagram count.", func(s core.TransportStats) int64 { return s.SendSyscalls }},
+	{"snapstab_transport_recv_syscalls_total", "Socket read system calls; recvmmsg and buffered reads keep this below the datagram count.", func(s core.TransportStats) int64 { return s.RecvSyscalls }},
 }
 
 // faultFields maps the injected-fault counters by fault type.
@@ -135,6 +139,29 @@ func registerTransport(reg *Registry, node int, stats core.TransportStatser) {
 			for _, l := range self().Links {
 				emit([]string{strconv.Itoa(int(l.Peer))}, float64(l.Dropped))
 			}
+		})
+	// Derived batching-efficiency gauges: cumulative ratios over the
+	// whole process lifetime, zero until the first write/read.
+	ratio := func(num, den int64) float64 {
+		if den == 0 {
+			return 0
+		}
+		return float64(num) / float64(den)
+	}
+	reg.NewGaugeFunc("snapstab_transport_send_batch_occupancy", "Messages per outbound datagram/frame (wire v3 batching efficiency).",
+		nil, func(emit func([]string, float64)) {
+			s := self()
+			emit(nil, ratio(s.Sends, s.SendDatagrams))
+		})
+	reg.NewGaugeFunc("snapstab_transport_sends_per_syscall", "Messages moved per socket write system call (syscall amortization).",
+		nil, func(emit func([]string, float64)) {
+			s := self()
+			emit(nil, ratio(s.Sends, s.SendSyscalls))
+		})
+	reg.NewGaugeFunc("snapstab_transport_recvs_per_syscall", "Messages accepted per socket read system call (syscall amortization).",
+		nil, func(emit func([]string, float64)) {
+			s := self()
+			emit(nil, ratio(s.Recvs, s.RecvSyscalls))
 		})
 	reg.NewGaugeFunc("snapstab_faults_injected_total", "Faults injected at this node's mailbox boundary by the fault plan, by type.",
 		[]string{"type"}, func(emit func([]string, float64)) {

@@ -57,7 +57,7 @@ func NewCluster(stacks []core.Stack, opts ...Option) (*Cluster, error) {
 	// Wire addresses along edges only: under a topology a node simply
 	// never learns where its non-neighbours live, mirroring a deployment
 	// where each host is configured with its neighbour list.
-	topo := c.nodes[0].topo
+	topo := c.nodes[0].topo0
 	for i, node := range c.nodes {
 		for j, other := range c.nodes {
 			if i == j {
@@ -101,25 +101,9 @@ func (c *Cluster) NodeStats() []Stats {
 func (c *Cluster) TransportStats() []core.TransportStats {
 	out := make([]core.TransportStats, len(c.nodes))
 	for i, node := range c.nodes {
-		out[i] = transportStats(node)
+		out[i] = node.transportStats(node.g0)
 	}
 	return out
-}
-
-// transportStats converts one node's counters to the substrate-agnostic
-// shape.
-func transportStats(node *Node) core.TransportStats {
-	s := node.Stats()
-	return core.TransportStats{
-		Addr:         node.Addr(),
-		Sends:        s.Sends,
-		Recvs:        s.Recvs,
-		SendDrops:    s.SendDrops,
-		MailboxDrops: s.MailboxDrops,
-		Redials:      s.Redials,
-		Links:        s.Links,
-		Faults:       s.Faults,
-	}
 }
 
 // Do runs f under node p's action mutex with its environment.
@@ -280,7 +264,7 @@ func (h *Host) Await(ctx context.Context, p core.ProcID, cond func(env core.Env)
 // other daemons).
 func (h *Host) TransportStats() []core.TransportStats {
 	out := make([]core.TransportStats, len(h.stacks))
-	out[h.self] = transportStats(h.node)
+	out[h.self] = h.node.transportStats(h.node.g0)
 	return out
 }
 

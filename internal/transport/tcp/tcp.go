@@ -2,7 +2,7 @@
 // multi-host deployment substrate. Where the UDP transport demonstrates
 // the paper's model on raw datagrams, this transport is the serving
 // layer: nodes on different machines dial each other, stream
-// length-prefixed wire-v2 frames, and survive connection loss with
+// length-prefixed wire frames, and survive connection loss with
 // exponential-backoff redial, so a snapd fleet can span real hosts.
 //
 // # Channel semantics on TCP
@@ -15,8 +15,8 @@
 //     through a bounded outbound queue; a send finding the queue full is
 //     dropped at the sender (core.EvSendLost), and a send caught by a
 //     dead or timed-out connection is dropped in transit;
-//   - each (sender, instance) pair gets a bounded mailbox at the
-//     receiver; a frame arriving at a full mailbox is dropped
+//   - each (group, sender, instance) triple gets a bounded mailbox at
+//     the receiver; a frame arriving at a full mailbox is dropped
 //     (lose-on-full, the model's rule) and reported as core.EvLose;
 //   - AssumedCapacity reports the bound a protocol stack should declare
 //     (the handshake flag domain grows linearly in it, and must stay
@@ -27,6 +27,28 @@
 // coming while the writer redials, and snap-stabilization holds across a
 // peer's crash and restart without any connection-level recovery
 // protocol.
+//
+// # Wire framing and groups
+//
+// Every frame on a connection is a 4-byte big-endian length prefix
+// followed by one wire-encoded unit. The default group (group 0) streams
+// bare wire v1/v2 frames, byte-compatible with peers that predate the v3
+// batch format; any other group wraps each message in a wire v3 batch
+// frame (count 1) whose uvarint group id routes it at the receiver. A
+// Node hosts one or more groups — independent protocol stacks with their
+// own routes, observers, topology, and fault plan — over one listener
+// and one set of connections; the legacy constructor installs its stack
+// as group 0 and Mux attaches further clusters with fresh ids (mux.go).
+//
+// # Amortized socket IO
+//
+// Writers coalesce: when a writer wakes it drains every frame already
+// queued on its link and hands them to the kernel as one vectored write
+// (writev via net.Buffers), so a retransmission burst costs one syscall,
+// not one per message. Readers amortize symmetrically through a buffered
+// reader sized to pull many frames per socket read. Stats separates
+// message counts from frame and syscall counts so the amortization is
+// observable.
 //
 // # Dial/accept lifecycle
 //
@@ -49,9 +71,15 @@
 // running any resulting sends — under the action mutex only. Sends
 // enqueue encoded frames and never block: a blocking socket write can
 // only stall its own link's writer goroutine, never a protocol action.
+//
+// The fault plane acts per logical message at the mailbox boundary:
+// every decoded message passes its group's injector individually, so §9
+// semantics are independent of connection framing, and each group's
+// injector stream is isolated from its siblings on the shared sockets.
 package tcp
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -73,11 +101,17 @@ import (
 // fields, so the bound must stay <= 126.
 const DefaultAssumedCapacity = 64
 
-// Frame format: a 4-byte big-endian length prefix followed by one
-// wire-encoded message (version 1 or 2). maxFrame bounds the declared
-// length against memory exhaustion from a malformed or hostile peer; a
-// violation is a protocol error and closes the connection.
-const maxFrame = 2*wire.MaxBlobLen + 4<<10
+// Frame format: a 4-byte big-endian length prefix followed by one wire
+// frame — bare v1/v2 for the default group, a v3 batch frame for any
+// other. maxFrame bounds the declared length against memory exhaustion
+// from a malformed or hostile peer; the headroom over a maximal v2
+// record covers the v3 batch header and per-record prefixes. A violation
+// is a protocol error and closes the connection.
+const maxFrame = 2*wire.MaxBlobLen + 8<<10
+
+// sendVecCap is the default bound on how many queued frames one
+// vectored write carries (see WithBatch).
+const sendVecCap = 32
 
 // helloInstance marks the identification frame that opens every dialed
 // connection: a regular wire message whose B.Num carries the dialer's
@@ -91,7 +125,8 @@ const tcpFaultSalt = 0x7c
 // Option configures a Node.
 type Option func(*Node)
 
-// WithMailbox sets the per-(sender, instance) mailbox size (default 8).
+// WithMailbox sets the per-(group, sender, instance) mailbox size
+// (default 8).
 func WithMailbox(slots int) Option {
 	return func(n *Node) { n.mailboxSlots = slots }
 }
@@ -102,6 +137,15 @@ func WithMailbox(slots int) Option {
 // rule applied to the transport's own buffering.
 func WithSendQueue(slots int) Option {
 	return func(n *Node) { n.sendSlots = slots }
+}
+
+// WithBatch bounds how many queued frames one vectored write may carry
+// (default 32). WithBatch(1) gives every frame its own write system
+// call — the pre-amortization behavior. Unlike UDP's coalescing knob
+// this is purely a syscall bound: frames are never merged or delayed,
+// so the bytes on the wire are identical at every setting.
+func WithBatch(k int) Option {
+	return func(n *Node) { n.vecCap = k }
 }
 
 // WithTick sets the fallback mailbox sweep interval (default 1ms).
@@ -130,34 +174,125 @@ func WithWriteTimeout(d time.Duration) Option {
 	return func(n *Node) { n.writeTimeout = d }
 }
 
-// WithObserver subscribes an event observer. Callbacks arrive
-// concurrently from reader goroutines (mailbox-full EvLose), writer
-// goroutines (EvSendLost on dead connections), and the activation loop,
-// so the observer must be goroutine-safe.
+// WithObserver subscribes an event observer on the node's default group.
+// Callbacks arrive concurrently from reader goroutines (mailbox-full
+// EvLose), writer goroutines (EvSendLost on dead connections), and the
+// activation loop, so the observer must be goroutine-safe.
 func WithObserver(o core.Observer) Option {
-	return func(n *Node) { n.observers = append(n.observers, o) }
+	return func(n *Node) { n.obs0 = append(n.obs0, o) }
 }
 
-// WithTopology declares the communication graph: sends to non-neighbours
-// are dropped (and counted) at the sender, inbound connections from
-// non-neighbours are rejected at the hello, and the installed fault plan
-// is validated against the edge set. The default (nil) is the complete
-// graph.
+// WithTopology declares the communication graph of the node's default
+// group: sends to non-neighbours are dropped (and counted) at the
+// sender, inbound connections from non-neighbours are rejected at the
+// hello, and the installed fault plan is validated against the edge set.
+// The default (nil) is the complete graph.
 func WithTopology(t *core.Topology) Option {
-	return func(n *Node) { n.topo = t }
+	return func(n *Node) { n.topo0 = t }
 }
 
-// WithFaults installs a fault-injection plan (see core.FaultPlan),
-// interposed at the mailbox boundary exactly as on UDP: every decoded
-// frame from a known peer passes the node's injector before it is boxed,
+// WithFaults installs a fault-injection plan (see core.FaultPlan) on the
+// node's default group, interposed at the mailbox boundary exactly as on
+// UDP: every decoded message from a known peer — individually, whatever
+// frame carried it — passes the group's injector before it is boxed,
 // which may drop, duplicate, corrupt, reorder, or delay it, honor
-// partition windows, and silence the node inside crash windows (no
+// partition windows, and silence the group inside crash windows (no
 // internal actions, no mailbox drains, arrivals consumed). The injector
 // is seeded rng.Mix(plan.Seed, salt, self); schedule windows are
 // measured in plan.Unit ticks of wall time from Start. TCP's own
 // connection losses compose underneath the plan.
 func WithFaults(plan *core.FaultPlan) Option {
-	return func(n *Node) { n.fault = plan }
+	return func(n *Node) { n.fault0 = plan }
+}
+
+// group is one protocol stack hosted on a node: an independent cluster
+// member with its own routing, observers, topology, fault plane, and
+// message counters, multiplexed with its siblings over the node's
+// connections by the wire v3 group id.
+type group struct {
+	id        uint64
+	stack     core.Stack
+	routes    map[string]core.Machine
+	topo      *core.Topology
+	observers core.MultiObserver
+	fault     *core.FaultPlan
+	faultUnit time.Duration
+	epoch     time.Time // fault-schedule tick zero; set before the group is visible to the loops
+
+	// injMu guards the injector: TCP has one reader per inbound
+	// connection, so the (not goroutine-safe) injector needs a lock even
+	// within one group.
+	injMu sync.Mutex
+	inj   *core.Injector
+
+	sends        atomic.Int64
+	recvs        atomic.Int64
+	sendDrops    atomic.Int64
+	mailboxDrops atomic.Int64
+}
+
+func (g *group) emit(ev core.Event) {
+	if len(g.observers) > 0 {
+		g.observers.OnEvent(ev)
+	}
+}
+
+// now returns the group's fault-schedule tick: wall time since its epoch
+// in plan.Unit ticks. Only meaningful when a fault plan is installed.
+func (g *group) now() int64 {
+	return int64(time.Since(g.epoch) / g.faultUnit)
+}
+
+// down reports whether the group is inside a crash window for self.
+func (g *group) down(self core.ProcID) bool {
+	return g.fault != nil && g.fault.Down(self, g.now())
+}
+
+// buildGroup assembles and validates one hosted group.
+func buildGroup(id uint64, stack core.Stack, topo *core.Topology, plan *core.FaultPlan,
+	obs core.MultiObserver, nProcs int, self core.ProcID) (*group, error) {
+	if topo != nil && topo.N() != nProcs {
+		return nil, fmt.Errorf("tcp: topology over %d processes, %d peers", topo.N(), nProcs)
+	}
+	g := &group{
+		id:        id,
+		stack:     stack,
+		routes:    stack.ByInstance(),
+		topo:      topo,
+		observers: obs,
+		fault:     plan,
+	}
+	if plan != nil {
+		if err := plan.Validate(); err != nil {
+			return nil, fmt.Errorf("tcp: %w", err)
+		}
+		if err := plan.ValidateTopology(topo); err != nil {
+			return nil, fmt.Errorf("tcp: %w", err)
+		}
+		g.faultUnit = plan.TickUnit()
+		seed := rng.Mix(plan.Seed, tcpFaultSalt, uint64(self))
+		if id != 0 {
+			// Extra groups get distinct injector streams; group 0 keeps the
+			// exact legacy seeding so recorded runs stay reproducible.
+			seed = rng.Mix(plan.Seed, tcpFaultSalt, uint64(self), id)
+		}
+		g.inj = core.NewInjector(plan, rng.New(seed))
+	}
+	return g, nil
+}
+
+// groupSet is the copy-on-write view of a node's hosted groups, swapped
+// atomically so the loops read it without locks.
+type groupSet struct {
+	byID map[uint64]*group
+	list []*group
+}
+
+// outFrame is one encoded frame queued on a link, tagged with the group
+// whose counters and observers account for its fate.
+type outFrame struct {
+	b []byte
+	g *group
 }
 
 // link is one outgoing directed edge: a bounded queue of encoded frames
@@ -165,31 +300,44 @@ func WithFaults(plan *core.FaultPlan) Option {
 type link struct {
 	peer core.ProcID
 	addr string
-	q    chan []byte
+	q    chan outFrame
 }
 
-// Node is one process bound to a TCP listener.
+// Node is one process bound to a TCP listener, hosting one or more
+// groups.
 type Node struct {
 	self         core.ProcID
-	stack        core.Stack
-	routes       map[string]core.Machine
-	topo         *core.Topology
 	ln           net.Listener
 	peerAddrs    []string
 	mailboxSlots int
 	sendSlots    int
+	vecCap       int
 	tick         time.Duration
 	stepInterval time.Duration
 	dialMin      time.Duration
 	dialMax      time.Duration
 	writeTimeout time.Duration
-	observers    core.MultiObserver
+
+	// Group-0 staging, written by options and consumed by NewNode; a
+	// mux-hosted node (nil stack) must not carry any of these. topo0 also
+	// shapes the socket layer itself — link wiring at Start and hello
+	// admission follow the default group's graph — and is nil on a mux
+	// node, whose groups restrict traffic per message instead.
+	topo0  *core.Topology
+	fault0 *core.FaultPlan
+	obs0   core.MultiObserver
+
+	g0 *group // the default group (nil on mux-hosted nodes)
+
+	gmu    sync.Mutex // serializes attach/detach
+	groups atomic.Pointer[groupSet]
 
 	// mu is the action mutex: it makes stack actions (Step, Deliver, Do)
 	// atomic. Sends performed under it only encode and enqueue — socket
 	// writes happen on the writer goroutines — so no protocol action ever
 	// blocks on the network.
-	mu sync.Mutex
+	mu      sync.Mutex
+	sendOne [1]core.Message // v3 single-record scratch, guarded by mu
 
 	out []*link // indexed by peer; nil for self, unwired, or non-neighbour
 
@@ -201,23 +349,16 @@ type Node struct {
 	boxed     int
 	mail      chan struct{}
 
-	sends        atomic.Int64
-	recvs        atomic.Int64
-	sendDrops    atomic.Int64
-	mailboxDrops atomic.Int64
-	redials      atomic.Int64
-	linkSent     []atomic.Int64
-	linkRecvd    []atomic.Int64
-	linkDropped  []atomic.Int64
+	redials     atomic.Int64
+	linkSent    []atomic.Int64
+	linkRecvd   []atomic.Int64
+	linkDropped []atomic.Int64
 
-	// injMu guards the injector: unlike UDP's single receive loop, TCP
-	// has one reader per inbound connection, so the (not goroutine-safe)
-	// injector needs its own lock.
-	injMu     sync.Mutex
-	fault     *core.FaultPlan
-	inj       *core.Injector
-	faultUnit time.Duration
-	epoch     time.Time // set by Start, before the loops launch
+	// Socket-level IO counters, shared by every group the node hosts.
+	sendFrames   atomic.Int64
+	sendSyscalls atomic.Int64
+	recvFrames   atomic.Int64
+	recvSyscalls atomic.Int64
 
 	// connMu guards the accepted-connection registry used for teardown:
 	// Stop closes every registered connection to unblock its reader.
@@ -231,28 +372,42 @@ type Node struct {
 }
 
 type mailKey struct {
+	gid      uint64
 	from     core.ProcID
 	instance string
 }
 
 // Stats counts transport-level events. All counters are safe to read
-// concurrently with the node's loops.
+// concurrently with the node's loops. The message counters (Sends,
+// Recvs, SendDrops, MailboxDrops, Faults) belong to the node's default
+// group; the frame, syscall, redial, and link counters are per socket
+// and therefore shared by every group the node hosts.
 type Stats struct {
 	// Sends counts messages accepted into an outbound link queue (and
 	// therefore into the model's channel).
 	Sends int64
-	// Recvs counts frames accepted into a mailbox.
+	// Recvs counts messages accepted into a mailbox.
 	Recvs int64
 	// SendDrops counts messages lost at the sender: sends to
 	// non-neighbours, unencodable payloads, full outbound queues, and
 	// writes caught by a dead or timed-out connection.
 	SendDrops int64
-	// MailboxDrops counts frames dropped at a full receive mailbox (the
+	// MailboxDrops counts messages dropped at a full receive mailbox (the
 	// model's lose-on-full rule, reported as core.EvLose).
 	MailboxDrops int64
 	// Redials counts connection establishments beyond each link's first —
 	// the dial/accept lifecycle recovering from a lost connection.
 	Redials int64
+	// SendFrames and RecvFrames count length-prefixed wire frames moved
+	// on the node's connections (the stream analogue of datagrams).
+	SendFrames int64
+	RecvFrames int64
+	// SendSyscalls counts vectored socket writes — each covers every
+	// frame queued on its link at wake-up — and RecvSyscalls counts
+	// buffered socket reads, each pulling as many frames as the kernel
+	// had; SendFrames/SendSyscalls is the write amortization.
+	SendSyscalls int64
+	RecvSyscalls int64
 	// Links holds per-directed-link counters for every peer.
 	Links []core.LinkStats
 	// Faults counts the faults injected at this node's mailbox boundary
@@ -260,14 +415,26 @@ type Stats struct {
 	Faults core.FaultStats
 }
 
-// Stats returns a snapshot of the transport counters.
+// Stats returns a snapshot of the transport counters for the default
+// group (plus the socket-wide frame/syscall counters).
 func (n *Node) Stats() Stats {
+	if n.g0 != nil {
+		return n.groupStats(n.g0)
+	}
+	return n.groupStats(&group{})
+}
+
+func (n *Node) groupStats(g *group) Stats {
 	s := Stats{
-		Sends:        n.sends.Load(),
-		Recvs:        n.recvs.Load(),
-		SendDrops:    n.sendDrops.Load(),
-		MailboxDrops: n.mailboxDrops.Load(),
+		Sends:        g.sends.Load(),
+		Recvs:        g.recvs.Load(),
+		SendDrops:    g.sendDrops.Load(),
+		MailboxDrops: g.mailboxDrops.Load(),
 		Redials:      n.redials.Load(),
+		SendFrames:   n.sendFrames.Load(),
+		RecvFrames:   n.recvFrames.Load(),
+		SendSyscalls: n.sendSyscalls.Load(),
+		RecvSyscalls: n.recvSyscalls.Load(),
 	}
 	for p := range n.linkSent {
 		if core.ProcID(p) == n.self {
@@ -280,17 +447,40 @@ func (n *Node) Stats() Stats {
 			Dropped:  n.linkDropped[p].Load(),
 		})
 	}
-	if n.inj != nil {
-		n.injMu.Lock()
-		s.Faults = n.inj.Stats()
-		n.injMu.Unlock()
+	if g.inj != nil {
+		g.injMu.Lock()
+		s.Faults = g.inj.Stats()
+		g.injMu.Unlock()
 	}
 	return s
 }
 
+// transportStats assembles the substrate-agnostic snapshot for one
+// hosted group. Frames map onto the datagram fields: on a stream
+// transport the length-prefixed frame is the unit the socket moves.
+func (n *Node) transportStats(g *group) core.TransportStats {
+	s := n.groupStats(g)
+	return core.TransportStats{
+		Addr:          n.Addr(),
+		Sends:         s.Sends,
+		Recvs:         s.Recvs,
+		SendDrops:     s.SendDrops,
+		MailboxDrops:  s.MailboxDrops,
+		Redials:       s.Redials,
+		SendDatagrams: s.SendFrames,
+		RecvDatagrams: s.RecvFrames,
+		SendSyscalls:  s.SendSyscalls,
+		RecvSyscalls:  s.RecvSyscalls,
+		Links:         s.Links,
+		Faults:        s.Faults,
+	}
+}
+
 // NewNode binds process self to laddr. peers maps every process ID
 // (including self, whose entry is ignored) to its address; empty entries
-// may be wired later with SetPeer, before Start.
+// may be wired later with SetPeer, before Start. stack becomes the
+// node's default group (group 0); a nil stack builds a bare mux-style
+// node hosting no groups yet.
 func NewNode(self core.ProcID, stack core.Stack, laddr string, peers []string, opts ...Option) (*Node, error) {
 	if int(self) >= len(peers) || self < 0 {
 		return nil, fmt.Errorf("tcp: self %d outside peer list of %d", self, len(peers))
@@ -301,12 +491,11 @@ func NewNode(self core.ProcID, stack core.Stack, laddr string, peers []string, o
 	}
 	n := &Node{
 		self:         self,
-		stack:        stack,
-		routes:       stack.ByInstance(),
 		ln:           ln,
 		peerAddrs:    append([]string(nil), peers...),
 		mailboxSlots: 8,
 		sendSlots:    32,
+		vecCap:       sendVecCap,
 		tick:         time.Millisecond,
 		stepInterval: 2 * time.Millisecond,
 		dialMin:      25 * time.Millisecond,
@@ -321,6 +510,7 @@ func NewNode(self core.ProcID, stack core.Stack, laddr string, peers []string, o
 		linkRecvd:    make([]atomic.Int64, len(peers)),
 		linkDropped:  make([]atomic.Int64, len(peers)),
 	}
+	n.groups.Store(&groupSet{byID: map[uint64]*group{}})
 	for _, opt := range opts {
 		opt(n)
 	}
@@ -328,26 +518,64 @@ func NewNode(self core.ProcID, stack core.Stack, laddr string, peers []string, o
 		ln.Close()
 		return nil, err
 	}
-	if n.mailboxSlots < 1 || n.sendSlots < 1 {
-		return fail(fmt.Errorf("tcp: invalid mailbox %d / send queue %d", n.mailboxSlots, n.sendSlots))
+	if n.mailboxSlots < 1 || n.sendSlots < 1 || n.vecCap < 1 {
+		return fail(fmt.Errorf("tcp: invalid mailbox %d / send queue %d / batch %d", n.mailboxSlots, n.sendSlots, n.vecCap))
 	}
 	if n.dialMin <= 0 || n.dialMax < n.dialMin || n.writeTimeout <= 0 {
 		return fail(fmt.Errorf("tcp: invalid backoff %v..%v / write timeout %v", n.dialMin, n.dialMax, n.writeTimeout))
 	}
-	if n.topo != nil && n.topo.N() != len(peers) {
-		return fail(fmt.Errorf("tcp: topology over %d processes, %d peers", n.topo.N(), len(peers)))
-	}
-	if n.fault != nil {
-		if err := n.fault.Validate(); err != nil {
-			return fail(fmt.Errorf("tcp: %w", err))
+	if stack == nil {
+		if n.topo0 != nil || n.fault0 != nil || len(n.obs0) > 0 {
+			return fail(fmt.Errorf("tcp: group option on a node with no default group"))
 		}
-		if err := n.fault.ValidateTopology(n.topo); err != nil {
-			return fail(fmt.Errorf("tcp: %w", err))
-		}
-		n.faultUnit = n.fault.TickUnit()
-		n.inj = core.NewInjector(n.fault, rng.New(rng.Mix(n.fault.Seed, tcpFaultSalt, uint64(self))))
+		return n, nil
 	}
+	g, err := buildGroup(0, stack, n.topo0, n.fault0, n.obs0, len(peers), self)
+	if err != nil {
+		return fail(err)
+	}
+	n.g0 = g
+	n.addGroup(g)
 	return n, nil
+}
+
+// addGroup publishes g to the loops (copy-on-write).
+func (n *Node) addGroup(g *group) {
+	n.gmu.Lock()
+	defer n.gmu.Unlock()
+	old := n.groups.Load()
+	gs := &groupSet{byID: make(map[uint64]*group, len(old.byID)+1)}
+	for id, og := range old.byID {
+		gs.byID[id] = og
+	}
+	gs.byID[g.id] = g
+	gs.list = make([]*group, 0, len(gs.byID))
+	for _, og := range gs.byID {
+		gs.list = append(gs.list, og)
+	}
+	n.groups.Store(gs)
+}
+
+// removeGroup detaches group id; its boxed mail is discarded on the next
+// drain and inbound frames for it are dropped.
+func (n *Node) removeGroup(id uint64) {
+	n.gmu.Lock()
+	defer n.gmu.Unlock()
+	old := n.groups.Load()
+	if _, ok := old.byID[id]; !ok {
+		return
+	}
+	gs := &groupSet{byID: make(map[uint64]*group, len(old.byID)-1)}
+	for gid, og := range old.byID {
+		if gid != id {
+			gs.byID[gid] = og
+		}
+	}
+	gs.list = make([]*group, 0, len(gs.byID))
+	for _, og := range gs.byID {
+		gs.list = append(gs.list, og)
+	}
+	n.groups.Store(gs)
 }
 
 // Addr returns the bound local address (useful with port 0).
@@ -361,19 +589,24 @@ func (n *Node) SetPeer(id core.ProcID, addr string) { n.peerAddrs[id] = addr }
 // Start launches the accept and activation loops and one writer per
 // wired outgoing link. Peers must not change after Start.
 func (n *Node) Start() {
-	n.epoch = time.Now() // fault-schedule tick zero
+	epoch := time.Now() // fault-schedule tick zero
+	for _, g := range n.groups.Load().list {
+		g.epoch = epoch
+	}
 	n.out = make([]*link, len(n.peerAddrs))
 	for p, addr := range n.peerAddrs {
 		id := core.ProcID(p)
 		if id == n.self || addr == "" {
 			continue
 		}
-		if n.topo != nil && !n.topo.HasEdge(n.self, id) {
-			// A wired address that is not a neighbour never gets a link:
-			// its sends vanish at the sender, counted, like on UDP.
+		if n.topo0 != nil && !n.topo0.HasEdge(n.self, id) {
+			// A wired address that is not a neighbour of the default group
+			// never gets a link: its sends vanish at the sender, counted,
+			// like on UDP. (A mux node has no default topology and wires
+			// everything; its groups restrict traffic per message.)
 			continue
 		}
-		l := &link{peer: id, addr: addr, q: make(chan []byte, n.sendSlots)}
+		l := &link{peer: id, addr: addr, q: make(chan outFrame, n.sendSlots)}
 		n.out[p] = l
 		n.wg.Add(1)
 		go n.writeLoop(l)
@@ -388,22 +621,25 @@ func (n *Node) Start() {
 // when a frame outgrows its recycled buffer.
 var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
 
-// env implements core.Env; use only under n.mu.
-type env struct{ n *Node }
+// env implements core.Env for one group; use only under n.mu.
+type env struct {
+	n *Node
+	g *group
+}
 
 func (v env) Self() core.ProcID { return v.n.self }
 func (v env) N() int            { return len(v.n.peerAddrs) }
 
 func (v env) Send(to core.ProcID, m core.Message) {
-	n := v.n
+	n, g := v.n, v.g
 	if int(to) < 0 || int(to) >= len(n.peerAddrs) {
 		return
 	}
-	if n.topo != nil && !n.topo.HasEdge(n.self, to) {
+	if g.topo != nil && !g.topo.HasEdge(n.self, to) {
 		// Not a neighbour under the topology: no channel exists, the send
 		// vanishes at the sender (and is counted, unlike an unwired peer).
-		n.sendDrops.Add(1)
-		n.emit(core.Event{Kind: core.EvSendLost, Proc: n.self, Peer: to, Instance: m.Instance, Msg: m, Note: "no edge"})
+		g.sendDrops.Add(1)
+		g.emit(core.Event{Kind: core.EvSendLost, Proc: n.self, Peer: to, Instance: m.Instance, Msg: m, Note: "no edge"})
 		return
 	}
 	l := n.out[to]
@@ -412,44 +648,48 @@ func (v env) Send(to core.ProcID, m core.Message) {
 	}
 	bp := framePool.Get().(*[]byte)
 	buf := append((*bp)[:0], 0, 0, 0, 0)
-	buf, err := wire.AppendEncode(buf, m)
+	var err error
+	if g.id == 0 {
+		// The default group keeps the bare v1/v2 framing, byte-compatible
+		// with peers that predate the v3 batch frame.
+		buf, err = wire.AppendEncode(buf, m)
+	} else {
+		n.sendOne[0] = m
+		buf, err = wire.AppendBatch(buf, g.id, n.sendOne[:])
+		n.sendOne[0] = core.Message{}
+	}
 	if err != nil {
 		*bp = buf[:0]
 		framePool.Put(bp)
-		n.sendDrops.Add(1)
+		g.sendDrops.Add(1)
 		n.linkDropped[to].Add(1)
-		n.emit(core.Event{Kind: core.EvSendLost, Proc: n.self, Peer: to, Instance: m.Instance, Msg: m})
+		g.emit(core.Event{Kind: core.EvSendLost, Proc: n.self, Peer: to, Instance: m.Instance, Msg: m})
 		return
 	}
 	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
 	*bp = buf
 	select {
-	case l.q <- buf:
-		n.sends.Add(1)
+	case l.q <- outFrame{b: buf, g: g}:
+		g.sends.Add(1)
 		n.linkSent[to].Add(1)
-		n.emit(core.Event{Kind: core.EvSend, Proc: n.self, Peer: to, Instance: m.Instance, Msg: m})
+		g.emit(core.Event{Kind: core.EvSend, Proc: n.self, Peer: to, Instance: m.Instance, Msg: m})
 	default:
 		// Queue full: the bounded channel's lose-on-full rule applied at
 		// the sender (a dead link under retransmission fills it fast).
 		framePool.Put(bp)
-		n.sendDrops.Add(1)
+		g.sendDrops.Add(1)
 		n.linkDropped[to].Add(1)
-		n.emit(core.Event{Kind: core.EvSendLost, Proc: n.self, Peer: to, Instance: m.Instance, Msg: m, Note: "queue full"})
+		g.emit(core.Event{Kind: core.EvSendLost, Proc: n.self, Peer: to, Instance: m.Instance, Msg: m, Note: "queue full"})
 	}
 }
 
 func (v env) Emit(ev core.Event) {
 	ev.Proc = v.n.self
-	v.n.emit(ev)
+	v.g.emit(ev)
 }
 
-func (n *Node) emit(ev core.Event) {
-	if len(n.observers) > 0 {
-		n.observers.OnEvent(ev)
-	}
-}
-
-// helloFrame encodes this node's identification frame.
+// helloFrame encodes this node's identification frame (always a bare
+// group-0 frame, so pre-v3 peers can validate it).
 func (n *Node) helloFrame() []byte {
 	buf := []byte{0, 0, 0, 0}
 	buf, err := wire.AppendEncode(buf, core.Message{
@@ -486,9 +726,12 @@ func (n *Node) dial(l *link) (net.Conn, error) {
 }
 
 // writeLoop owns l's connection lifecycle: dial with exponential
-// backoff, stream frames, redial on any error. A frame caught by a write
-// error is lost in transit — the model's message loss; the protocols'
-// retransmission keeps fresh copies coming once the link is back.
+// backoff, stream frames, redial on any error. Each wake-up drains every
+// frame already queued and hands the lot to the kernel as one vectored
+// write (writev), so a burst costs one syscall, not one per frame. A
+// frame caught by a write error is lost in transit — the model's message
+// loss; the protocols' retransmission keeps fresh copies coming once the
+// link is back.
 func (n *Node) writeLoop(l *link) {
 	defer n.wg.Done()
 	var conn net.Conn
@@ -499,6 +742,8 @@ func (n *Node) writeLoop(l *link) {
 	}()
 	backoff := n.dialMin
 	dialed := 0
+	batch := make([]outFrame, 0, n.vecCap)
+	vec := make(net.Buffers, 0, n.vecCap)
 	for {
 		if conn == nil {
 			c, err := n.dial(l)
@@ -524,19 +769,41 @@ func (n *Node) writeLoop(l *link) {
 		select {
 		case <-n.stop:
 			return
-		case frame := <-l.q:
+		case f := <-l.q:
+			batch = append(batch[:0], f)
+		drain:
+			for len(batch) < cap(batch) {
+				select {
+				case f2 := <-l.q:
+					batch = append(batch, f2)
+				default:
+					break drain
+				}
+			}
+			vec = vec[:0]
+			for _, bf := range batch {
+				vec = append(vec, bf.b)
+			}
 			_ = conn.SetWriteDeadline(time.Now().Add(n.writeTimeout))
-			_, err := conn.Write(frame)
-			fp := frame[:0]
-			framePool.Put(&fp)
+			_, err := (&vec).WriteTo(conn)
+			n.sendSyscalls.Add(1)
+			// WriteTo consumed the written prefix of vec; what remains (a
+			// partially written first frame included) was lost with the
+			// connection.
+			lost := len(vec)
+			for _, bf := range batch {
+				fp := bf.b[:0]
+				framePool.Put(&fp)
+			}
+			n.sendFrames.Add(int64(len(batch) - lost))
 			if err != nil {
-				// The message was in the channel and is lost with the
-				// connection; subsequent frames redial first.
 				conn.Close()
 				conn = nil
-				n.sendDrops.Add(1)
-				n.linkDropped[l.peer].Add(1)
-				n.emit(core.Event{Kind: core.EvSendLost, Proc: n.self, Peer: l.peer, Note: "connection lost"})
+				for _, bf := range batch[len(batch)-lost:] {
+					bf.g.sendDrops.Add(1)
+					n.linkDropped[l.peer].Add(1)
+					bf.g.emit(core.Event{Kind: core.EvSendLost, Proc: n.self, Peer: l.peer, Note: "connection lost"})
+				}
 			}
 		}
 	}
@@ -590,13 +857,17 @@ var errBadHello = errors.New("tcp: invalid hello")
 
 // readHello consumes and validates the identification frame, returning
 // the peer index the connection speaks for.
-func (n *Node) readHello(conn net.Conn, buf []byte) (core.ProcID, error) {
+func (n *Node) readHello(conn net.Conn, src io.Reader, buf []byte) (core.ProcID, error) {
 	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
-	m, _, err := readFrame(conn, buf)
+	gid, msgs, _, err := readFrame(src, buf, nil)
 	if err != nil {
 		return 0, err
 	}
 	_ = conn.SetReadDeadline(time.Time{})
+	if gid != 0 || len(msgs) != 1 {
+		return 0, errBadHello
+	}
+	m := msgs[0]
 	if m.Instance != helloInstance || m.Kind != "HELLO" {
 		return 0, errBadHello
 	}
@@ -604,7 +875,7 @@ func (n *Node) readHello(conn net.Conn, buf []byte) (core.ProcID, error) {
 	if int64(id) != m.B.Num || int(id) < 0 || int(id) >= len(n.peerAddrs) || id == n.self {
 		return 0, errBadHello
 	}
-	if n.topo != nil && !n.topo.HasEdge(id, n.self) {
+	if n.topo0 != nil && !n.topo0.HasEdge(id, n.self) {
 		return 0, fmt.Errorf("tcp: peer %d is not a neighbour", id)
 	}
 	// When the peer's address is configured, the connection must come
@@ -626,88 +897,114 @@ func (n *Node) readHello(conn net.Conn, buf []byte) (core.ProcID, error) {
 }
 
 // readFrame reads one length-prefixed frame into buf (growing it as
-// needed) and decodes it. The returned buffer is reused by the caller;
-// wire.Decode copies all variable-length fields, so the message never
-// aliases it.
-func readFrame(r io.Reader, buf []byte) (core.Message, []byte, error) {
+// needed) and decodes it with the version-dispatching batch decoder: a
+// bare v1/v2 frame yields group 0 and one message, a v3 frame its group
+// id and records. The returned message slice reuses msgs's capacity and
+// never aliases buf (wire.Decode copies all variable-length fields).
+func readFrame(r io.Reader, buf []byte, msgs []core.Message) (uint64, []core.Message, []byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return core.Message{}, buf, err
+		return 0, msgs, buf, err
 	}
 	sz := binary.BigEndian.Uint32(hdr[:])
 	if sz == 0 || sz > maxFrame {
-		return core.Message{}, buf, fmt.Errorf("tcp: frame of %d bytes outside (0, %d]", sz, maxFrame)
+		return 0, msgs, buf, fmt.Errorf("tcp: frame of %d bytes outside (0, %d]", sz, maxFrame)
 	}
 	if cap(buf) < int(sz) {
 		buf = make([]byte, sz)
 	}
 	buf = buf[:sz]
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return core.Message{}, buf, err
+		return 0, msgs, buf, err
 	}
-	m, err := wire.Decode(buf)
+	gid, out, err := wire.DecodeBatch(msgs[:0], buf)
 	if err != nil {
 		// A stream that stops framing valid messages is broken — unlike
 		// UDP, where a malformed datagram can be skipped, the connection
 		// is the unit of trust here.
-		return core.Message{}, buf, err
+		return 0, msgs, buf, err
 	}
-	return m, buf, nil
+	return gid, out, buf, nil
 }
 
-// readLoop moves one connection's frames into the bounded mailboxes. It
-// exits on any read error — EOF when the peer closes or restarts, a
-// local close from Stop — and the dialing side redials.
+// countingReader counts socket reads underneath the buffered reader, so
+// RecvSyscalls reflects actual kernel round-trips, not frames.
+type countingReader struct {
+	conn  net.Conn
+	calls *atomic.Int64
+}
+
+func (r *countingReader) Read(p []byte) (int, error) {
+	sz, err := r.conn.Read(p)
+	if sz > 0 {
+		r.calls.Add(1)
+	}
+	return sz, err
+}
+
+// readLoop moves one connection's frames into the bounded mailboxes,
+// routing each decoded message to its group. It exits on any read error
+// — EOF when the peer closes or restarts, a local close from Stop — and
+// the dialing side redials. Reads go through a buffered reader sized to
+// pull many frames per socket read.
 func (n *Node) readLoop(conn net.Conn) {
 	defer n.wg.Done()
 	defer n.unregister(conn)
 	defer conn.Close()
+	src := bufio.NewReaderSize(&countingReader{conn: conn, calls: &n.recvSyscalls}, 64<<10)
 	buf := make([]byte, 0, 4096)
-	sender, err := n.readHello(conn, buf[:cap(buf)])
+	var msgs []core.Message
+	sender, err := n.readHello(conn, src, buf[:cap(buf)])
 	if err != nil {
 		return
 	}
 	for {
-		var m core.Message
-		m, buf, err = readFrame(conn, buf[:cap(buf)])
+		var gid uint64
+		gid, msgs, buf, err = readFrame(src, buf[:cap(buf)], msgs)
 		if err != nil {
 			return
 		}
-		if m.Instance == helloInstance {
-			continue // a duplicate hello is consumed, never delivered
+		n.recvFrames.Add(1)
+		g := n.groups.Load().byID[gid]
+		if g == nil {
+			continue // no such group here (stale or stray traffic): dropped
 		}
-		if n.inj != nil {
-			n.injMu.Lock()
-			out, fate := n.inj.Filter(sender, n.self, m, n.faultNow())
-			// Filter returns the injector's reusable scratch slice; another
-			// connection's reader may call Filter (rewriting it) as soon as
-			// the lock drops, so snapshot it first.
-			if len(out) > 0 {
-				out = append([]core.Message(nil), out...)
-			}
-			n.injMu.Unlock()
-			if fate == core.FateDrop {
-				n.emit(core.Event{Kind: core.EvLose, Proc: n.self, Peer: sender, Instance: m.Instance, Msg: m})
-			}
-			for _, dm := range out {
-				n.box(sender, dm)
-			}
-			continue
+		if g.topo != nil && !g.topo.HasEdge(sender, n.self) {
+			continue // not a neighbour in this group's graph: dropped
 		}
-		n.box(sender, m)
+		for _, m := range msgs {
+			if m.Instance == helloInstance {
+				continue // a duplicate hello is consumed, never delivered
+			}
+			if g.inj != nil {
+				// Per logical message, never per frame: framing is invisible
+				// to the fault plane.
+				g.injMu.Lock()
+				out, fate := g.inj.Filter(sender, n.self, m, g.now())
+				// Filter returns the injector's reusable scratch slice; another
+				// connection's reader may call Filter (rewriting it) as soon as
+				// the lock drops, so snapshot it first.
+				if len(out) > 0 {
+					out = append([]core.Message(nil), out...)
+				}
+				g.injMu.Unlock()
+				if fate == core.FateDrop {
+					g.emit(core.Event{Kind: core.EvLose, Proc: n.self, Peer: sender, Instance: m.Instance, Msg: m})
+				}
+				for _, dm := range out {
+					n.box(g, sender, dm)
+				}
+				continue
+			}
+			n.box(g, sender, m)
+		}
 	}
-}
-
-// faultNow returns the fault-schedule tick: wall time since Start in
-// plan.Unit ticks.
-func (n *Node) faultNow() int64 {
-	return int64(time.Since(n.epoch) / n.faultUnit)
 }
 
 // box appends one in-transit message to its bounded mailbox (the model's
 // lose-on-full rule applies) and wakes the activation loop.
-func (n *Node) box(sender core.ProcID, m core.Message) {
-	key := mailKey{from: sender, instance: m.Instance}
+func (n *Node) box(g *group, sender core.ProcID, m core.Message) {
+	key := mailKey{gid: g.id, from: sender, instance: m.Instance}
 	n.mbMu.Lock()
 	b := n.mailboxes[key]
 	full := len(b) >= n.mailboxSlots
@@ -719,12 +1016,12 @@ func (n *Node) box(sender core.ProcID, m core.Message) {
 	if full {
 		// Lose-on-full: the message was in transit and is dropped at the
 		// receiver — the model's link loss, not a send failure.
-		n.mailboxDrops.Add(1)
+		g.mailboxDrops.Add(1)
 		n.linkDropped[sender].Add(1)
-		n.emit(core.Event{Kind: core.EvLose, Proc: n.self, Peer: sender, Instance: m.Instance, Msg: m})
+		g.emit(core.Event{Kind: core.EvLose, Proc: n.self, Peer: sender, Instance: m.Instance, Msg: m})
 		return
 	}
-	n.recvs.Add(1)
+	g.recvs.Add(1)
 	n.linkRecvd[sender].Add(1)
 	select {
 	case n.mail <- struct{}{}:
@@ -733,9 +1030,9 @@ func (n *Node) box(sender core.ProcID, m core.Message) {
 }
 
 // actLoop delivers mailbox batches as soon as a reader signals them and
-// runs the stack's internal actions at the step interval; the tick timer
-// is the fallback sweep and the cadence at which delayed fault-plan
-// messages surface.
+// runs every group's internal actions at the step interval; the tick
+// timer is the fallback sweep and the cadence at which delayed
+// fault-plan messages surface.
 func (n *Node) actLoop() {
 	defer n.wg.Done()
 	stepTimer := time.NewTicker(n.stepInterval)
@@ -752,13 +1049,16 @@ func (n *Node) actLoop() {
 			n.flushDelayed()
 			n.drainMail()
 		case <-stepTimer.C:
-			if n.fault != nil && n.fault.Down(n.self, n.faultNow()) {
-				continue // crash window: no internal actions until restart
-			}
+			gs := n.groups.Load()
 			n.mu.Lock()
-			ev := env{n: n}
-			for _, m := range n.stack {
-				m.Step(ev)
+			for _, g := range gs.list {
+				if g.down(n.self) {
+					continue // crash window: no internal actions until restart
+				}
+				ev := env{n: n, g: g}
+				for _, m := range g.stack {
+					m.Step(ev)
+				}
 			}
 			n.mu.Unlock()
 		}
@@ -767,23 +1067,29 @@ func (n *Node) actLoop() {
 
 // flushDelayed surfaces expired delayed messages even on quiet links.
 func (n *Node) flushDelayed() {
-	if n.inj == nil {
-		return
-	}
-	n.injMu.Lock()
-	rel := n.inj.Flush(n.faultNow())
-	n.injMu.Unlock()
-	for _, r := range rel {
-		n.box(r.From, r.Msg)
+	for _, g := range n.groups.Load().list {
+		if g.inj == nil {
+			continue
+		}
+		g.injMu.Lock()
+		rel := g.inj.Flush(g.now())
+		g.injMu.Unlock()
+		for _, r := range rel {
+			n.box(g, r.From, r.Msg)
+		}
 	}
 }
 
 // drainMail swaps the filled mailbox buffer out (one pointer swap under
 // the mailbox lock, batching the handoff) and delivers its contents
-// under the action mutex.
+// under the action mutex, routing each mailbox to its group. Mail for a
+// group inside a crash window stays in transit: it is re-boxed untouched
+// and the sweep retries after the window (re-boxed mail that no longer
+// fits is dropped and counted, the lose-on-full rule again).
 func (n *Node) drainMail() {
-	if n.fault != nil && n.fault.Down(n.self, n.faultNow()) {
-		// Crash window: boxed mail stays in transit until the restart.
+	gs := n.groups.Load()
+	if len(gs.list) == 1 && gs.list[0].down(n.self) {
+		// Sole group crashed: leave everything boxed without swapping.
 		return
 	}
 	n.mbMu.Lock()
@@ -796,15 +1102,31 @@ func (n *Node) drainMail() {
 	n.boxed = 0
 	n.mbMu.Unlock()
 
+	type heldBox struct {
+		key  mailKey
+		msgs []core.Message
+	}
+	var held []heldBox
 	n.mu.Lock()
-	ev := env{n: n}
 	for key, box := range batch {
 		if len(box) == 0 {
 			continue
 		}
-		if mach, ok := n.routes[key.instance]; ok {
+		g := gs.byID[key.gid]
+		if g == nil {
+			// Group detached: its in-transit mail evaporates.
+			batch[key] = box[:0]
+			continue
+		}
+		if g.down(n.self) {
+			held = append(held, heldBox{key: key, msgs: append([]core.Message(nil), box...)})
+			batch[key] = box[:0]
+			continue
+		}
+		if mach, ok := g.routes[key.instance]; ok {
+			ev := env{n: n, g: g}
 			for _, m := range box {
-				n.emit(core.Event{Kind: core.EvDeliver, Proc: n.self, Peer: key.from, Instance: key.instance, Msg: m})
+				g.emit(core.Event{Kind: core.EvDeliver, Proc: n.self, Peer: key.from, Instance: key.instance, Msg: m})
 				mach.Deliver(ev, key.from, m)
 			}
 		}
@@ -813,13 +1135,40 @@ func (n *Node) drainMail() {
 		batch[key] = box[:0]
 	}
 	n.mu.Unlock()
+
+	if len(held) > 0 {
+		n.mbMu.Lock()
+		for _, h := range held {
+			b := n.mailboxes[h.key]
+			for _, m := range h.msgs {
+				if len(b) >= n.mailboxSlots {
+					if g := gs.byID[h.key.gid]; g != nil {
+						g.mailboxDrops.Add(1)
+					}
+					continue
+				}
+				b = append(b, m)
+				n.boxed++
+			}
+			n.mailboxes[h.key] = b
+		}
+		n.mbMu.Unlock()
+	}
 }
 
-// Do runs f under the node's action mutex with its environment.
+// Do runs f under the node's action mutex with its default group's
+// environment.
 func (n *Node) Do(f func(env core.Env)) {
+	if n.g0 == nil {
+		panic("tcp: Do on a node with no default group")
+	}
+	n.doGroup(n.g0, f)
+}
+
+func (n *Node) doGroup(g *group, f func(env core.Env)) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	f(env{n: n})
+	f(env{n: n, g: g})
 }
 
 // Stop terminates the loops, closes the listener and every connection.

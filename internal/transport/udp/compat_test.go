@@ -1,0 +1,176 @@
+package udp
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/snapstab/snapstab/internal/core"
+	"github.com/snapstab/snapstab/internal/wire"
+)
+
+// recorder is a sink machine: it keeps every delivered message.
+type recorder struct {
+	inst string
+	mu   sync.Mutex
+	got  []core.Message
+}
+
+func (r *recorder) Instance() string   { return r.inst }
+func (r *recorder) Step(core.Env) bool { return false }
+func (r *recorder) Deliver(_ core.Env, _ core.ProcID, m core.Message) {
+	r.mu.Lock()
+	r.got = append(r.got, m)
+	r.mu.Unlock()
+}
+
+func (r *recorder) snapshot() []core.Message {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]core.Message(nil), r.got...)
+}
+
+// rawPeer pairs a node with a hand-driven UDP socket standing in for
+// peer 1, so tests can watch the node's exact wire bytes and feed it
+// arbitrary frames.
+func rawPeer(t *testing.T, opts ...Option) (*Node, *recorder, *net.UDPConn) {
+	t.Helper()
+	rec := &recorder{inst: "rec"}
+	node, err := NewNode(0, core.Stack{rec}, "127.0.0.1:0", make([]string, 2), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		node.Stop()
+		t.Fatal(err)
+	}
+	node.SetPeer(1, raw.LocalAddr().(*net.UDPAddr))
+	node.Start()
+	t.Cleanup(func() { node.Stop(); raw.Close() })
+	return node, rec, raw
+}
+
+// TestBatchOneIsWireV2OnTheWire pins the cross-version contract at the
+// socket: a WithBatch(1) node's datagrams are bare wire v1/v2 frames
+// that a pre-v3 peer decodes with the single-message wire.Decode, and
+// bare v1/v2 frames from such a peer are delivered by the node.
+func TestBatchOneIsWireV2OnTheWire(t *testing.T) {
+	// Not parallel: shares the loopback path with the cluster tests.
+	node, rec, raw := rawPeer(t, WithBatch(1))
+	out := core.Message{Instance: "rec", Kind: "K", B: core.Payload{Tag: "m", Num: 42, Blob: []byte("body")}}
+	node.Do(func(env core.Env) { env.Send(1, out) })
+
+	buf := make([]byte, 64*1024)
+	_ = raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	sz, _, err := raw.ReadFromUDP(buf)
+	if err != nil {
+		t.Fatalf("no datagram from the batch=1 node: %v", err)
+	}
+	got, err := wire.Decode(buf[:sz]) // the pre-v3 decoder, not DecodeBatch
+	if err != nil {
+		t.Fatalf("batch=1 datagram is not a plain v1/v2 frame: %v", err)
+	}
+	if !got.Equal(out) {
+		t.Fatalf("wire-v2 peer decoded %v, want %v", got, out)
+	}
+
+	// The reverse direction: a legacy frame into the node.
+	in := core.Message{Instance: "rec", Kind: "K", B: core.Payload{Tag: "legacy", Num: 7}}
+	data, err := wire.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.WriteToUDP(data, mustUDPAddr(t, node.Addr())); err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 5*time.Second, func() bool { return len(rec.snapshot()) == 1 }) {
+		t.Fatal("legacy v1 frame was not delivered")
+	}
+	if got := rec.snapshot()[0]; !got.Equal(in) {
+		t.Fatalf("delivered %v, want %v", got, in)
+	}
+}
+
+// TestBatchedSendCoalescesAndCounts pins the amortization arithmetic: a
+// burst of sends to one destination inside one atomic section leaves as
+// a single v3 datagram, and the datagram/syscall counters expose it.
+func TestBatchedSendCoalescesAndCounts(t *testing.T) {
+	// Not parallel: shares the loopback path with the cluster tests.
+	node, _, raw := rawPeer(t) // default batching
+	const burst = 10
+	node.Do(func(env core.Env) {
+		for i := 0; i < burst; i++ {
+			env.Send(1, core.Message{Instance: "rec", Kind: "K", B: core.Payload{Num: int64(i)}})
+		}
+	})
+	buf := make([]byte, 64*1024)
+	_ = raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	sz, _, err := raw.ReadFromUDP(buf)
+	if err != nil {
+		t.Fatalf("no datagram: %v", err)
+	}
+	group, msgs, err := wire.DecodeBatch(nil, buf[:sz])
+	if err != nil {
+		t.Fatalf("burst datagram does not decode: %v", err)
+	}
+	if group != 0 || len(msgs) != burst {
+		t.Fatalf("burst arrived as group %d with %d messages, want group 0 with %d", group, len(msgs), burst)
+	}
+	for i, m := range msgs {
+		if m.B.Num != int64(i) {
+			t.Fatalf("record %d carries Num %d: batch reordered", i, m.B.Num)
+		}
+	}
+	s := node.Stats()
+	if s.Sends != burst {
+		t.Fatalf("Sends = %d, want %d", s.Sends, burst)
+	}
+	if s.SendDatagrams != 1 {
+		t.Fatalf("SendDatagrams = %d for one coalesced burst, want 1", s.SendDatagrams)
+	}
+	if s.SendSyscalls != 1 {
+		t.Fatalf("SendSyscalls = %d for one coalesced burst, want 1", s.SendSyscalls)
+	}
+}
+
+// TestV3BatchDeliveredPerMessage: a hand-built v3 batch frame from a
+// known peer is unpacked into individual mailbox deliveries.
+func TestV3BatchDeliveredPerMessage(t *testing.T) {
+	// Not parallel: shares the loopback path with the cluster tests.
+	node, rec, raw := rawPeer(t)
+	msgs := []core.Message{
+		{Instance: "rec", Kind: "K", B: core.Payload{Num: 1}},
+		{Instance: "rec", Kind: "K", B: core.Payload{Num: 2, Blob: []byte("x")}},
+		{Instance: "rec", Kind: "K", B: core.Payload{Num: 3}},
+	}
+	data, err := wire.AppendBatch(nil, 0, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.WriteToUDP(data, mustUDPAddr(t, node.Addr())); err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 5*time.Second, func() bool { return len(rec.snapshot()) == len(msgs) }) {
+		t.Fatalf("v3 batch delivered %d of %d messages", len(rec.snapshot()), len(msgs))
+	}
+	for i, m := range rec.snapshot() {
+		if !m.Equal(msgs[i]) {
+			t.Fatalf("delivery %d = %v, want %v", i, m, msgs[i])
+		}
+	}
+	s := node.Stats()
+	if s.Recvs != int64(len(msgs)) || s.RecvDatagrams != 1 {
+		t.Fatalf("Recvs = %d, RecvDatagrams = %d; want %d and 1", s.Recvs, s.RecvDatagrams, len(msgs))
+	}
+}
+
+func mustUDPAddr(t *testing.T, s string) *net.UDPAddr {
+	t.Helper()
+	a, err := net.ResolveUDPAddr("udp", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}

@@ -1,0 +1,8 @@
+//go:build linux
+
+package udp
+
+// The frozen stdlib syscall tables predate sendmmsg(2) (Linux 3.0), so
+// its number is spelled here per architecture; recvmmsg comes from
+// syscall.SYS_RECVMMSG, which the tables do carry.
+const sysSENDMMSG = 269

@@ -53,7 +53,7 @@ func NewCluster(stacks []core.Stack, opts ...Option) (*Cluster, error) {
 	// Wire addresses along edges only: under a topology a node simply
 	// never learns where its non-neighbours live, mirroring a deployment
 	// where each host is configured with its neighbour list.
-	topo := c.nodes[0].topo
+	topo := c.nodes[0].topo0
 	for i, node := range c.nodes {
 		for j, a := range addrs {
 			if i == j {
@@ -94,19 +94,13 @@ func (c *Cluster) NodeStats() []Stats {
 
 // TransportStats implements core.TransportStatser: one snapshot per node
 // in the substrate-agnostic shape. UDP tracks node-level counters only,
-// so Links stays nil.
+// so Links stays nil; the datagram and syscall counters expose the wire
+// v3 batching path's amortization (Sends/SendDatagrams is the batch
+// occupancy, Sends/SendSyscalls the syscall amortization).
 func (c *Cluster) TransportStats() []core.TransportStats {
 	out := make([]core.TransportStats, len(c.nodes))
 	for i, node := range c.nodes {
-		s := node.Stats()
-		out[i] = core.TransportStats{
-			Addr:         node.Addr(),
-			Sends:        s.Sends,
-			Recvs:        s.Recvs,
-			SendDrops:    s.SendDrops,
-			MailboxDrops: s.MailboxDrops,
-			Faults:       s.Faults,
-		}
+		out[i] = node.transportStats(node.g0)
 	}
 	return out
 }

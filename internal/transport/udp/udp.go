@@ -10,8 +10,8 @@
 // capacity bound that Theorem 1 makes mandatory. The transport restores
 // it conservatively:
 //
-//   - each (sender, instance) pair gets a bounded mailbox at the
-//     receiver; a datagram arriving at a full mailbox is dropped
+//   - each (group, sender, instance) triple gets a bounded mailbox at
+//     the receiver; a message arriving at a full mailbox is dropped
 //     (lose-on-full, the model's rule) and reported as core.EvLose — a
 //     receive-side loss, distinct from the sender-side core.EvSendLost;
 //   - the socket receive buffer is capped, bounding the kernel-queued
@@ -20,19 +20,49 @@
 //     bound a stack should use (the flag domain grows linearly in it, so
 //     being conservative is cheap: 2c+2 flag values for bound c).
 //
+// # Batched datagrams (wire v3)
+//
+// Outbound messages are coalesced per (destination, group) into wire v3
+// batch frames and flushed at the end of every atomic section (a Step
+// round, a mailbox drain, a Do body), when a batch reaches WithBatch
+// messages or the datagram budget, and on the sweep tick as a deadline.
+// Flushing hands all pending frames — across destinations — to the
+// kernel in one sendmmsg call where the platform supports it (Linux
+// amd64/arm64; elsewhere a portable write loop), and the receive loop
+// pulls multiple datagrams per recvmmsg. One syscall therefore moves
+// many protocol messages in both directions; Stats separates message
+// counts from datagram and syscall counts so the amortization is
+// observable. With WithBatch(1) every message is written immediately in
+// its own datagram and default-group traffic keeps the bare wire v1/v2
+// framing, byte-compatible with pre-v3 peers.
+//
+// # Groups: many clusters, one socket
+//
+// A Node hosts one or more groups, each an independent protocol stack
+// with its own routes, observers, topology, and fault plan, all sharing
+// the node's socket and loops. The wire v3 group id routes every
+// received message to its group's mailboxes. The legacy constructor
+// installs its stack as group 0; Mux attaches further clusters with
+// fresh group ids (see mux.go).
+//
 // # Concurrency structure
 //
 // Two goroutines per node, coupled only through the double-buffered
-// mailboxes (DESIGN.md §7): the receive loop appends decoded datagrams
+// mailboxes (DESIGN.md §7): the receive loop appends decoded messages
 // under the mailbox lock and signals a wakeup channel; the activation
 // loop swaps the whole mailbox map out under that lock, then delivers
-// the batch — and performs any resulting sendto calls — under the action
-// mutex only. A blocking sendto therefore never stalls the receive loop,
-// and mailbox handoff costs one pointer swap per batch regardless of how
-// many datagrams arrived.
+// the batch — and performs any resulting sends — under the action mutex
+// only. A blocking send therefore never stalls the receive loop, and
+// mailbox handoff costs one pointer swap per batch regardless of how
+// many messages arrived.
 //
-// Malformed datagrams fail wire.Decode and are dropped — in the model,
-// that is just message loss, which the protocols tolerate by design.
+// The fault plane acts per logical message, never per datagram: every
+// message decoded out of a batch passes its group's injector
+// individually before it is boxed, so §9 semantics and seed
+// reproducibility are independent of how messages were packed on the
+// wire. Malformed datagrams fail wire.DecodeBatch and are dropped whole
+// — in the model, that is just the loss of the messages they carried,
+// which the protocols tolerate by design.
 package udp
 
 import (
@@ -53,18 +83,35 @@ import (
 // for kernel-buffered datagrams.
 const DefaultAssumedCapacity = 64
 
+// DefaultBatch is the default ceiling on messages coalesced into one
+// datagram (see WithBatch).
+const DefaultBatch = 16
+
+// maxRecordBytes conservatively bounds one batched record (a maximal v2
+// frame plus its length prefix); flushCut is the batch size past which
+// the next record could overflow the datagram, so the batch is flushed
+// first.
+const (
+	maxRecordBytes = 2*wire.MaxBlobLen + 2048
+	flushCut       = wire.MaxDatagram - maxRecordBytes
+)
+
 // Option configures a Node.
 type Option func(*Node)
 
-// WithMailbox sets the per-(sender, instance) mailbox size (default 8).
+// WithMailbox sets the per-(sender, instance) mailbox size. The default
+// scales with the batch ceiling — 2×WithBatch slots, so one full
+// inbound batch never mass-drops at a quiet mailbox — and is 8 when
+// batching is disabled (WithBatch(1)).
 func WithMailbox(slots int) Option {
-	return func(n *Node) { n.mailboxSlots = slots }
+	return func(n *Node) { n.mailboxSlots, n.mailboxSet = slots, true }
 }
 
 // WithTick sets the fallback mailbox sweep interval (default 1ms).
 // Mailbox drains are notification-driven — the receive loop wakes the
 // activation loop as soon as a datagram is boxed — so the periodic sweep
-// is only a safety net; it no longer paces delivery.
+// is only a safety net; it also bounds how long a coalesced send can sit
+// unflushed (the batching deadline).
 func WithTick(d time.Duration) Option {
 	return func(n *Node) { n.tick = d }
 }
@@ -78,61 +125,167 @@ func WithStepInterval(d time.Duration) Option {
 	return func(n *Node) { n.stepInterval = d }
 }
 
+// WithBatch sets the maximum number of messages coalesced into one
+// datagram (default DefaultBatch; ceiling wire.MaxBatch). Batches also
+// flush at the end of every atomic section and on the sweep tick, so
+// raising the ceiling never delays a message past the tick. WithBatch(1)
+// disables coalescing entirely: every message is written immediately in
+// its own datagram and default-group traffic uses the bare wire v1/v2
+// framing, byte-compatible with peers that predate the v3 batch frame.
+func WithBatch(k int) Option {
+	return func(n *Node) { n.batchMsgs, n.batchSet = k, true }
+}
+
 // WithObserver subscribes an event observer. Callbacks arrive
 // concurrently from the receive loop (mailbox-full EvLose) and the
 // activation loop (everything else), so the observer must be
 // goroutine-safe.
 func WithObserver(o core.Observer) Option {
-	return func(n *Node) { n.observers = append(n.observers, o) }
+	return func(n *Node) { n.obs0 = append(n.obs0, o) }
 }
 
-// WithTopology declares the communication graph the node belongs to:
-// sends to non-neighbours are dropped (and counted) at the sender even if
-// an address is wired, datagrams from non-neighbours are rejected at the
-// sender lookup, and the installed fault plan is validated against the
-// edge set. NewCluster additionally uses it to wire only neighbour
-// addresses. The default (nil) is the complete graph.
+// WithTopology declares the communication graph the node's default group
+// belongs to: sends to non-neighbours are dropped (and counted) at the
+// sender even if an address is wired, messages from non-neighbours are
+// rejected at the receiver, and the installed fault plan is validated
+// against the edge set. NewCluster additionally uses it to wire only
+// neighbour addresses. The default (nil) is the complete graph.
 func WithTopology(t *core.Topology) Option {
-	return func(n *Node) { n.topo = t }
+	return func(n *Node) { n.topo0 = t }
 }
 
 // udpFaultSalt namespaces this substrate's injector seeds within the
 // plan's rng.Mix hierarchy (sim and runtime use their own salts).
 const udpFaultSalt = 0x53
 
-// WithFaults installs a fault-injection plan (see core.FaultPlan),
-// interposed at the mailbox boundary: every decoded datagram from a known
-// peer passes the node's injector before it is boxed, which may drop,
-// duplicate, corrupt, reorder, or delay it, honor partition windows, and
-// silence the node inside crash windows (no internal actions, no mailbox
-// drains, arrivals consumed). The injector is owned by the receive loop
-// and seeded rng.Mix(plan.Seed, salt, self); schedule windows are
-// measured in plan.Unit ticks of wall time from Start. UDP's natural
-// losses compose underneath the plan, exactly as on a real adversarial
-// network.
+// WithFaults installs a fault-injection plan (see core.FaultPlan) on the
+// node's default group, interposed at the mailbox boundary: every
+// decoded message from a known peer — individually, regardless of how
+// messages were batched into datagrams — passes the group's injector
+// before it is boxed, which may drop, duplicate, corrupt, reorder, or
+// delay it, honor partition windows, and silence the group inside crash
+// windows (no internal actions, no mailbox drains, arrivals consumed).
+// The injector is owned by the receive loop and seeded
+// rng.Mix(plan.Seed, salt, self); schedule windows are measured in
+// plan.Unit ticks of wall time from Start. UDP's natural losses compose
+// underneath the plan, exactly as on a real adversarial network.
 func WithFaults(plan *core.FaultPlan) Option {
-	return func(n *Node) { n.fault = plan }
+	return func(n *Node) { n.fault0 = plan }
 }
 
-// Node is one process bound to a UDP socket.
+// group is one protocol stack hosted on a node: an independent cluster
+// member with its own routing, observers, topology, fault plane, and
+// message counters, multiplexed with its siblings over the node's
+// socket by the wire v3 group id.
+type group struct {
+	id        uint64
+	stack     core.Stack
+	routes    map[string]core.Machine
+	topo      *core.Topology
+	observers core.MultiObserver
+	fault     *core.FaultPlan
+	inj       *core.Injector // owned by recvLoop; counters readable anywhere
+	faultUnit time.Duration
+	epoch     time.Time // fault-schedule tick zero; set before the group is visible to the loops
+
+	sends        atomic.Int64
+	recvs        atomic.Int64
+	sendDrops    atomic.Int64
+	mailboxDrops atomic.Int64
+}
+
+func (g *group) emit(ev core.Event) {
+	if len(g.observers) > 0 {
+		g.observers.OnEvent(ev)
+	}
+}
+
+// now returns the group's fault-schedule tick: wall time since its epoch
+// in plan.Unit ticks. Only meaningful when a fault plan is installed.
+func (g *group) now() int64 {
+	return int64(time.Since(g.epoch) / g.faultUnit)
+}
+
+// down reports whether the group is inside a crash window for self.
+func (g *group) down(self core.ProcID) bool {
+	return g.fault != nil && g.fault.Down(self, g.now())
+}
+
+// buildGroup assembles and validates one hosted group.
+func buildGroup(id uint64, stack core.Stack, topo *core.Topology, plan *core.FaultPlan,
+	obs core.MultiObserver, nProcs int, self core.ProcID) (*group, error) {
+	if topo != nil && topo.N() != nProcs {
+		return nil, fmt.Errorf("udp: topology over %d processes, %d peers", topo.N(), nProcs)
+	}
+	g := &group{
+		id:        id,
+		stack:     stack,
+		routes:    stack.ByInstance(),
+		topo:      topo,
+		observers: obs,
+		fault:     plan,
+	}
+	if plan != nil {
+		if err := plan.Validate(); err != nil {
+			return nil, fmt.Errorf("udp: %w", err)
+		}
+		if err := plan.ValidateTopology(topo); err != nil {
+			return nil, fmt.Errorf("udp: %w", err)
+		}
+		g.faultUnit = plan.TickUnit()
+		seed := rng.Mix(plan.Seed, udpFaultSalt, uint64(self))
+		if id != 0 {
+			// Extra groups get distinct injector streams; group 0 keeps the
+			// exact legacy seeding so recorded runs stay reproducible.
+			seed = rng.Mix(plan.Seed, udpFaultSalt, uint64(self), id)
+		}
+		g.inj = core.NewInjector(plan, rng.New(seed))
+	}
+	return g, nil
+}
+
+// groupSet is the copy-on-write view of a node's hosted groups, swapped
+// atomically so the loops read it without locks.
+type groupSet struct {
+	byID map[uint64]*group
+	list []*group
+}
+
+// Node is one process bound to a UDP socket, hosting one or more groups.
 type Node struct {
 	self         core.ProcID
-	stack        core.Stack
-	routes       map[string]core.Machine
-	topo         *core.Topology
 	conn         *net.UDPConn
 	peers        []*net.UDPAddr
 	senders      map[netip.AddrPort]core.ProcID // canonical ip:port -> peer, built at Start
 	mailboxSlots int
+	mailboxSet   bool
 	tick         time.Duration
 	stepInterval time.Duration
-	observers    core.MultiObserver
+	batchMsgs    int
+	batchSet     bool
+
+	// Group-0 staging, written by options and consumed by NewNode; a
+	// mux-hosted node (nil stack) must not carry any of these.
+	topo0  *core.Topology
+	fault0 *core.FaultPlan
+	obs0   core.MultiObserver
+
+	g0 *group // the default group (nil on mux-hosted nodes)
+
+	gmu    sync.Mutex // serializes attach/detach
+	groups atomic.Pointer[groupSet]
 
 	// mu is the action mutex: it makes stack actions (Step, Deliver, Do)
 	// atomic. Socket writes happen under it — never under mbMu — so a
-	// blocking sendto cannot stall the receive loop.
-	mu     sync.Mutex
-	encBuf []byte // send-path scratch, guarded by mu
+	// blocking send cannot stall the receive loop. The pending outbound
+	// batches live under it too; every atomic section flushes them on
+	// exit.
+	mu      sync.Mutex
+	sendBuf []byte // flush scratch: rendered frames, guarded by mu
+	frames  []frameRef
+	pending map[sendKey]*outBatch
+	queue   []*outBatch // pending in insertion order
+	free    []*outBatch
 
 	// mbMu guards the double-buffered mailboxes and is never held across
 	// socket operations or protocol actions.
@@ -142,15 +295,14 @@ type Node struct {
 	boxed     int                        // messages currently in mailboxes
 	mail      chan struct{}              // capacity 1: drain wakeup
 
-	sends        atomic.Int64
-	recvs        atomic.Int64
-	sendDrops    atomic.Int64
-	mailboxDrops atomic.Int64
+	sendDatagrams atomic.Int64
+	sendSyscalls  atomic.Int64
+	recvDatagrams atomic.Int64
+	recvSyscalls  atomic.Int64
 
-	fault     *core.FaultPlan
-	inj       *core.Injector // owned by recvLoop; counters readable anywhere
-	faultUnit time.Duration
-	epoch     time.Time // set by Start, before the loops launch
+	decMsgs []core.Message // recvLoop-owned decode scratch
+
+	mm mmsgState // platform batch-IO state (see mmsg_*.go)
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -159,50 +311,120 @@ type Node struct {
 
 // Stats counts transport-level events, mirroring sim.Stats where the model
 // concepts coincide. All counters are safe to read concurrently with the
-// node's loops.
+// node's loops. The message counters (Sends, Recvs, SendDrops,
+// MailboxDrops, Faults) belong to the node's default group; the datagram
+// and syscall counters are per-socket and therefore shared by every
+// group the node hosts.
 type Stats struct {
-	// Sends counts datagrams successfully handed to the socket.
+	// Sends counts messages successfully handed to the socket (inside a
+	// datagram whose write succeeded).
 	Sends int64
-	// Recvs counts datagrams accepted into a mailbox (received from a
+	// Recvs counts messages accepted into a mailbox (received from a
 	// known peer, surviving the fault plane, not dropped on full).
 	Recvs int64
-	// SendDrops counts messages lost at the sender — WriteToUDP failures
-	// and unencodable payloads. The simulator's analogue is
+	// SendDrops counts messages lost at the sender — failed writes and
+	// unencodable payloads. The simulator's analogue is
 	// sim.Stats.SendLosses; without this counter a misconfigured or
 	// saturated transport is indistinguishable from fair loss.
 	SendDrops int64
-	// MailboxDrops counts datagrams dropped at a full receive mailbox,
+	// MailboxDrops counts messages dropped at a full receive mailbox,
 	// the transport's lose-on-full rule (reported as core.EvLose: the
 	// message was in transit and was lost at the receiver).
 	MailboxDrops int64
-	// Faults counts the faults injected at this node's mailbox boundary
+	// SendDatagrams and RecvDatagrams count datagrams on the socket;
+	// Sends/SendDatagrams is the outbound batch occupancy.
+	SendDatagrams int64
+	RecvDatagrams int64
+	// SendSyscalls and RecvSyscalls count the socket system calls that
+	// moved those datagrams; sendmmsg/recvmmsg make them smaller than
+	// the datagram counts, and Sends/SendSyscalls is the syscall
+	// amortization the batching path exists to maximize.
+	SendSyscalls int64
+	RecvSyscalls int64
+	// Faults counts the faults injected at this group's mailbox boundary
 	// by the installed FaultPlan (WithFaults); zero without one. Injected
 	// drops are not folded into MailboxDrops, so injected adversity stays
 	// distinguishable from genuine backpressure.
 	Faults core.FaultStats
 }
 
-// Stats returns a snapshot of the transport counters.
+// Stats returns a snapshot of the transport counters for the default
+// group (plus the socket-wide datagram/syscall counters).
 func (n *Node) Stats() Stats {
-	s := Stats{
-		Sends:        n.sends.Load(),
-		Recvs:        n.recvs.Load(),
-		SendDrops:    n.sendDrops.Load(),
-		MailboxDrops: n.mailboxDrops.Load(),
+	if n.g0 != nil {
+		return n.groupStats(n.g0)
 	}
-	if n.inj != nil {
-		s.Faults = n.inj.Stats()
+	return n.groupStats(&group{})
+}
+
+func (n *Node) groupStats(g *group) Stats {
+	s := Stats{
+		Sends:         g.sends.Load(),
+		Recvs:         g.recvs.Load(),
+		SendDrops:     g.sendDrops.Load(),
+		MailboxDrops:  g.mailboxDrops.Load(),
+		SendDatagrams: n.sendDatagrams.Load(),
+		RecvDatagrams: n.recvDatagrams.Load(),
+		SendSyscalls:  n.sendSyscalls.Load(),
+		RecvSyscalls:  n.recvSyscalls.Load(),
+	}
+	if g.inj != nil {
+		s.Faults = g.inj.Stats()
 	}
 	return s
 }
 
+// transportStats assembles the substrate-agnostic snapshot for one
+// hosted group.
+func (n *Node) transportStats(g *group) core.TransportStats {
+	s := n.groupStats(g)
+	return core.TransportStats{
+		Addr:          n.Addr(),
+		Sends:         s.Sends,
+		Recvs:         s.Recvs,
+		SendDrops:     s.SendDrops,
+		MailboxDrops:  s.MailboxDrops,
+		SendDatagrams: s.SendDatagrams,
+		RecvDatagrams: s.RecvDatagrams,
+		SendSyscalls:  s.SendSyscalls,
+		RecvSyscalls:  s.RecvSyscalls,
+		Faults:        s.Faults,
+	}
+}
+
 type mailKey struct {
+	gid      uint64
 	from     core.ProcID
 	instance string
 }
 
+// sendKey addresses one pending outbound batch.
+type sendKey struct {
+	to  core.ProcID
+	gid uint64
+}
+
+// outBatch is one coalesced datagram under construction.
+type outBatch struct {
+	to   core.ProcID
+	g    *group
+	b    wire.BatchBuilder
+	live bool
+}
+
+// frameRef locates one rendered datagram in the flush buffer, with the
+// accounting context needed after the write.
+type frameRef struct {
+	off, len int
+	to       core.ProcID
+	g        *group
+	count    int
+}
+
 // NewNode binds process self to laddr. peers maps every process ID
-// (including self, whose entry is ignored) to its address.
+// (including self, whose entry is ignored) to its address. stack becomes
+// the node's default group (group 0); a nil stack builds a bare
+// mux-style node hosting no groups yet.
 func NewNode(self core.ProcID, stack core.Stack, laddr string, peers []string, opts ...Option) (*Node, error) {
 	if int(self) >= len(peers) {
 		return nil, fmt.Errorf("udp: self %d outside peer list of %d", self, len(peers))
@@ -220,19 +442,16 @@ func NewNode(self core.ProcID, stack core.Stack, laddr string, peers []string, o
 	_ = conn.SetReadBuffer(64 * 1024)
 
 	n := &Node{
-		self:         self,
-		stack:        stack,
-		routes:       stack.ByInstance(),
-		conn:         conn,
-		peers:        make([]*net.UDPAddr, len(peers)),
-		mailboxSlots: 8,
-		tick:         time.Millisecond,
-		stepInterval: 2 * time.Millisecond,
-		mailboxes:    make(map[mailKey][]core.Message),
-		spare:        make(map[mailKey][]core.Message),
-		mail:         make(chan struct{}, 1),
-		stop:         make(chan struct{}),
+		self:      self,
+		conn:      conn,
+		peers:     make([]*net.UDPAddr, len(peers)),
+		mailboxes: make(map[mailKey][]core.Message),
+		spare:     make(map[mailKey][]core.Message),
+		pending:   make(map[sendKey]*outBatch),
+		mail:      make(chan struct{}, 1),
+		stop:      make(chan struct{}),
 	}
+	n.groups.Store(&groupSet{byID: map[uint64]*group{}})
 	for i, p := range peers {
 		if core.ProcID(i) == self {
 			continue
@@ -247,27 +466,87 @@ func NewNode(self core.ProcID, stack core.Stack, laddr string, peers []string, o
 	for _, opt := range opts {
 		opt(n)
 	}
-	if n.mailboxSlots < 1 {
+	if n.batchSet && (n.batchMsgs < 1 || n.batchMsgs > wire.MaxBatch) {
+		conn.Close()
+		return nil, fmt.Errorf("udp: invalid batch size %d", n.batchMsgs)
+	}
+	if !n.batchSet {
+		n.batchMsgs = DefaultBatch
+	}
+	if n.mailboxSet && n.mailboxSlots < 1 {
 		conn.Close()
 		return nil, fmt.Errorf("udp: invalid mailbox size %d", n.mailboxSlots)
 	}
-	if n.topo != nil && n.topo.N() != len(peers) {
+	if !n.mailboxSet {
+		// A full inbound batch lands in one (group, sender, instance)
+		// mailbox; give it headroom so batching does not mass-drop at a
+		// momentarily quiet receiver.
+		if n.batchMsgs > 1 {
+			n.mailboxSlots = 2 * n.batchMsgs
+		} else {
+			n.mailboxSlots = 8
+		}
+	}
+	if n.tick <= 0 {
+		n.tick = time.Millisecond
+	}
+	if n.stepInterval <= 0 {
+		n.stepInterval = 2 * time.Millisecond
+	}
+	if stack == nil {
+		if n.topo0 != nil || n.fault0 != nil || len(n.obs0) > 0 {
+			conn.Close()
+			return nil, fmt.Errorf("udp: group option on a node with no default group")
+		}
+		return n, nil
+	}
+	g, err := buildGroup(0, stack, n.topo0, n.fault0, n.obs0, len(peers), self)
+	if err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("udp: topology over %d processes, %d peers", n.topo.N(), len(peers))
+		return nil, err
 	}
-	if n.fault != nil {
-		if err := n.fault.Validate(); err != nil {
-			conn.Close()
-			return nil, fmt.Errorf("udp: %w", err)
-		}
-		if err := n.fault.ValidateTopology(n.topo); err != nil {
-			conn.Close()
-			return nil, fmt.Errorf("udp: %w", err)
-		}
-		n.faultUnit = n.fault.TickUnit()
-		n.inj = core.NewInjector(n.fault, rng.New(rng.Mix(n.fault.Seed, udpFaultSalt, uint64(self))))
-	}
+	n.g0 = g
+	n.addGroup(g)
 	return n, nil
+}
+
+// addGroup publishes g to the loops (copy-on-write).
+func (n *Node) addGroup(g *group) {
+	n.gmu.Lock()
+	defer n.gmu.Unlock()
+	old := n.groups.Load()
+	gs := &groupSet{byID: make(map[uint64]*group, len(old.byID)+1)}
+	for id, og := range old.byID {
+		gs.byID[id] = og
+	}
+	gs.byID[g.id] = g
+	gs.list = make([]*group, 0, len(gs.byID))
+	for _, og := range gs.byID {
+		gs.list = append(gs.list, og)
+	}
+	n.groups.Store(gs)
+}
+
+// removeGroup detaches group id; its boxed mail is discarded on the next
+// drain and inbound datagrams for it are dropped.
+func (n *Node) removeGroup(id uint64) {
+	n.gmu.Lock()
+	defer n.gmu.Unlock()
+	old := n.groups.Load()
+	if _, ok := old.byID[id]; !ok {
+		return
+	}
+	gs := &groupSet{byID: make(map[uint64]*group, len(old.byID)-1)}
+	for gid, og := range old.byID {
+		if gid != id {
+			gs.byID[gid] = og
+		}
+	}
+	gs.list = make([]*group, 0, len(gs.byID))
+	for _, og := range gs.byID {
+		gs.list = append(gs.list, og)
+	}
+	n.groups.Store(gs)
 }
 
 // Addr returns the bound local address (useful with port 0).
@@ -278,52 +557,170 @@ func (n *Node) Addr() string { return n.conn.LocalAddr().String() }
 // learned addresses. Must be called before Start.
 func (n *Node) SetPeer(id core.ProcID, addr *net.UDPAddr) { n.peers[id] = addr }
 
-// env implements core.Env; use only under n.mu.
-type env struct{ n *Node }
+// env implements core.Env for one group; use only under n.mu.
+type env struct {
+	n *Node
+	g *group
+}
 
 func (v env) Self() core.ProcID { return v.n.self }
 func (v env) N() int            { return len(v.n.peers) }
 
 func (v env) Send(to core.ProcID, m core.Message) {
-	n := v.n
-	if n.topo != nil && !n.topo.HasEdge(n.self, to) {
+	n, g := v.n, v.g
+	if g.topo != nil && !g.topo.HasEdge(n.self, to) {
 		// Not a neighbour under the topology: no channel exists, the send
 		// vanishes at the sender (and is counted, unlike an unwired peer).
-		n.sendDrops.Add(1)
-		n.emit(core.Event{Kind: core.EvSendLost, Proc: n.self, Peer: to, Instance: m.Instance, Msg: m, Note: "no edge"})
+		g.sendDrops.Add(1)
+		g.emit(core.Event{Kind: core.EvSendLost, Proc: n.self, Peer: to, Instance: m.Instance, Msg: m, Note: "no edge"})
 		return
 	}
-	peer := n.peers[to]
-	if peer == nil {
+	if n.peers[to] == nil {
 		return
 	}
-	data, err := wire.AppendEncode(n.encBuf[:0], m)
-	if err != nil {
+	ob := n.outFor(to, g)
+	if ob.b.Count() > 0 && ob.b.Size() > flushCut {
+		// The next record could overflow the datagram: ship what we have.
+		n.flushBatch(ob)
+		ob = n.outFor(to, g)
+	}
+	if err := ob.b.Add(m); err != nil {
 		// Unencodable payloads are dropped: message loss, but counted so
 		// the loss is observable.
-		n.sendDrops.Add(1)
-		n.emit(core.Event{Kind: core.EvSendLost, Proc: n.self, Peer: to, Instance: m.Instance, Msg: m})
+		g.sendDrops.Add(1)
+		g.emit(core.Event{Kind: core.EvSendLost, Proc: n.self, Peer: to, Instance: m.Instance, Msg: m})
 		return
 	}
-	n.encBuf = data[:0]
-	if _, err := n.conn.WriteToUDP(data, peer); err != nil {
-		n.sendDrops.Add(1)
-		n.emit(core.Event{Kind: core.EvSendLost, Proc: n.self, Peer: to, Instance: m.Instance, Msg: m})
-		return
+	// The send event fires at enqueue so observers see protocol order;
+	// the Sends counter increments at the write, when the datagram
+	// actually left.
+	g.emit(core.Event{Kind: core.EvSend, Proc: n.self, Peer: to, Instance: m.Instance, Msg: m})
+	if ob.b.Count() >= n.batchMsgs {
+		n.flushBatch(ob)
 	}
-	n.sends.Add(1)
-	n.emit(core.Event{Kind: core.EvSend, Proc: n.self, Peer: to, Instance: m.Instance, Msg: m})
 }
 
 func (v env) Emit(ev core.Event) {
 	ev.Proc = v.n.self
-	v.n.emit(ev)
+	v.g.emit(ev)
 }
 
-func (n *Node) emit(ev core.Event) {
-	if len(n.observers) > 0 {
-		n.observers.OnEvent(ev)
+// outFor returns the pending batch for (to, g), creating one from the
+// free list if needed. Callers hold n.mu.
+func (n *Node) outFor(to core.ProcID, g *group) *outBatch {
+	k := sendKey{to: to, gid: g.id}
+	if ob := n.pending[k]; ob != nil {
+		return ob
 	}
+	var ob *outBatch
+	if len(n.free) > 0 {
+		ob = n.free[len(n.free)-1]
+		n.free = n.free[:len(n.free)-1]
+	} else {
+		ob = new(outBatch)
+	}
+	ob.to, ob.g, ob.live = to, g, true
+	ob.b.Reset(g.id)
+	n.pending[k] = ob
+	n.queue = append(n.queue, ob)
+	return ob
+}
+
+// flushBatch renders and writes one pending batch immediately (count or
+// size threshold reached). Callers hold n.mu.
+func (n *Node) flushBatch(ob *outBatch) {
+	n.sendBuf = ob.b.AppendFrame(n.sendBuf[:0])
+	n.frames = append(n.frames[:0], frameRef{
+		off: 0, len: len(n.sendBuf), to: ob.to, g: ob.g, count: ob.b.Count(),
+	})
+	n.retire(ob)
+	n.sendFrames(n.sendBuf, n.frames)
+}
+
+// flushAll renders every pending batch into the flush buffer and hands
+// the lot to the kernel — one sendmmsg covering all destinations where
+// the platform allows. Called at the end of every atomic section and on
+// the sweep tick. Callers hold n.mu.
+func (n *Node) flushAll() {
+	if len(n.queue) == 0 {
+		return
+	}
+	n.sendBuf = n.sendBuf[:0]
+	n.frames = n.frames[:0]
+	for _, ob := range n.queue {
+		if !ob.live || ob.b.Count() == 0 {
+			if ob.live {
+				n.retirePending(ob)
+			}
+			ob.live = false
+			n.free = append(n.free, ob)
+			continue
+		}
+		off := len(n.sendBuf)
+		n.sendBuf = ob.b.AppendFrame(n.sendBuf)
+		n.frames = append(n.frames, frameRef{
+			off: off, len: len(n.sendBuf) - off, to: ob.to, g: ob.g, count: ob.b.Count(),
+		})
+		n.retirePending(ob)
+		ob.live = false
+		n.free = append(n.free, ob)
+	}
+	n.queue = n.queue[:0]
+	if len(n.frames) > 0 {
+		n.sendFrames(n.sendBuf, n.frames)
+	}
+}
+
+// retire removes a threshold-flushed batch from the pending map; it
+// stays in the queue as a dead entry that flushAll recycles.
+func (n *Node) retire(ob *outBatch) {
+	n.retirePending(ob)
+	ob.live = false
+}
+
+func (n *Node) retirePending(ob *outBatch) {
+	delete(n.pending, sendKey{to: ob.to, gid: ob.g.id})
+}
+
+// frameFailed accounts one datagram the kernel refused: every message it
+// carried is a sender-side loss.
+func (n *Node) frameFailed(fr frameRef) {
+	fr.g.sendDrops.Add(int64(fr.count))
+	for i := 0; i < fr.count; i++ {
+		// The coalesced messages are not retained past encoding, so the
+		// loss events carry the link, not the message body.
+		fr.g.emit(core.Event{Kind: core.EvSendLost, Proc: n.self, Peer: fr.to, Note: "batched write failed"})
+	}
+}
+
+// frameSent accounts one datagram the kernel accepted.
+func (n *Node) frameSent(fr frameRef) {
+	fr.g.sends.Add(int64(fr.count))
+	n.sendDatagrams.Add(1)
+}
+
+// sendFramesLoop is the portable writer: one sendto per frame. The
+// Linux batch path falls back to it when raw access is unavailable.
+func (n *Node) sendFramesLoop(buf []byte, frames []frameRef) {
+	for _, fr := range frames {
+		n.sendSyscalls.Add(1)
+		if _, err := n.conn.WriteToUDP(buf[fr.off:fr.off+fr.len], n.peers[fr.to]); err != nil {
+			n.frameFailed(fr)
+			continue
+		}
+		n.frameSent(fr)
+	}
+}
+
+// readPortable is the portable reader: one datagram per recvfrom.
+func (n *Node) readPortable(buf []byte, h func([]byte, netip.AddrPort)) {
+	sz, from, err := n.conn.ReadFromUDPAddrPort(buf)
+	if err != nil {
+		return // timeout or transient error: try again
+	}
+	n.recvSyscalls.Add(1)
+	n.recvDatagrams.Add(1)
+	h(buf[:sz], from)
 }
 
 // canonical normalizes an address for sender lookup: 4-in-6 mapped
@@ -336,19 +733,18 @@ func canonical(ap netip.AddrPort) netip.AddrPort {
 // Start builds the sender lookup table from the wired peers and launches
 // the receive and activation loops. Peers must not change after Start.
 func (n *Node) Start() {
-	n.epoch = time.Now() // fault-schedule tick zero
+	epoch := time.Now() // fault-schedule tick zero
+	for _, g := range n.groups.Load().list {
+		g.epoch = epoch
+	}
 	n.senders = make(map[netip.AddrPort]core.ProcID, len(n.peers))
 	for i, p := range n.peers {
 		if p == nil || core.ProcID(i) == n.self {
 			continue
 		}
-		if n.topo != nil && !n.topo.HasEdge(core.ProcID(i), n.self) {
-			// A wired address that is not a neighbour never enters the
-			// sender table: its datagrams are dropped like any stranger's.
-			continue
-		}
 		n.senders[canonical(p.AddrPort())] = core.ProcID(i)
 	}
+	n.initTransportIO()
 	n.wg.Add(2)
 	go n.recvLoop()
 	go n.actLoop()
@@ -356,62 +752,72 @@ func (n *Node) Start() {
 
 // recvLoop moves datagrams from the socket into the bounded mailboxes and
 // wakes the activation loop. It takes only the mailbox lock, so a stalled
-// activation loop (slow actions, blocking sendto) cannot back it up into
+// activation loop (slow actions, blocking sends) cannot back it up into
 // kernel-buffer drops.
 func (n *Node) recvLoop() {
 	defer n.wg.Done()
-	buf := make([]byte, 64*1024)
+	r := n.newReader()
 	for {
 		select {
 		case <-n.stop:
 			return
 		default:
 		}
-		if n.inj != nil {
-			// Surface expired delayed messages even on quiet links; the
-			// read deadline below bounds the flush latency.
-			for _, rel := range n.inj.Flush(n.faultNow()) {
-				n.box(rel.From, rel.Msg)
+		for _, g := range n.groups.Load().list {
+			if g.inj != nil {
+				// Surface expired delayed messages even on quiet links; the
+				// read deadline below bounds the flush latency.
+				for _, rel := range g.inj.Flush(g.now()) {
+					n.box(g, rel.From, rel.Msg)
+				}
 			}
 		}
 		_ = n.conn.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
-		sz, from, err := n.conn.ReadFromUDPAddrPort(buf)
-		if err != nil {
-			continue // timeout or transient error: try again
-		}
-		m, err := wire.Decode(buf[:sz])
-		if err != nil {
-			continue // malformed datagram: dropped (message loss)
-		}
-		sender, ok := n.senders[canonical(from)]
-		if !ok {
-			continue // not a known peer: dropped
-		}
-		if n.inj != nil {
-			now := n.faultNow()
-			out, fate := n.inj.Filter(sender, n.self, m, now)
-			if fate == core.FateDrop {
-				n.emit(core.Event{Kind: core.EvLose, Proc: n.self, Peer: sender, Instance: m.Instance, Msg: m})
-			}
-			for _, dm := range out {
-				n.box(sender, dm)
-			}
-			continue
-		}
-		n.box(sender, m)
+		r.read(n.handleDatagram)
 	}
 }
 
-// faultNow returns the fault-schedule tick: wall time since Start in
-// plan.Unit ticks.
-func (n *Node) faultNow() int64 {
-	return int64(time.Since(n.epoch) / n.faultUnit)
+// handleDatagram decodes one datagram (any wire version) and pushes each
+// carried message through its group's fault plane into the mailboxes.
+// Runs on the receive loop.
+func (n *Node) handleDatagram(data []byte, from netip.AddrPort) {
+	gid, msgs, err := wire.DecodeBatch(n.decMsgs[:0], data)
+	if err != nil {
+		return // malformed datagram: dropped whole (message loss)
+	}
+	n.decMsgs = msgs[:0] // keep the grown capacity for the next datagram
+	sender, ok := n.senders[canonical(from)]
+	if !ok {
+		return // not a known peer: dropped
+	}
+	g := n.groups.Load().byID[gid]
+	if g == nil {
+		return // no such group here (stale or stray traffic): dropped
+	}
+	if g.topo != nil && !g.topo.HasEdge(sender, n.self) {
+		return // not a neighbour in this group's graph: dropped
+	}
+	for _, m := range msgs {
+		if g.inj != nil {
+			// Per logical message, never per datagram: batching is
+			// invisible to the fault plane.
+			out, fate := g.inj.Filter(sender, n.self, m, g.now())
+			if fate == core.FateDrop {
+				g.emit(core.Event{Kind: core.EvLose, Proc: n.self, Peer: sender, Instance: m.Instance, Msg: m})
+			}
+			for _, dm := range out {
+				n.box(g, sender, dm)
+			}
+			continue
+		}
+		n.box(g, sender, m)
+	}
 }
 
 // box appends one in-transit message to its bounded mailbox (the model's
 // lose-on-full rule applies) and wakes the activation loop.
-func (n *Node) box(sender core.ProcID, m core.Message) {
-	key := mailKey{from: sender, instance: m.Instance}
+func (n *Node) box(g *group, sender core.ProcID, m core.Message) {
+	key := mailKey{gid: g.id, from: sender, instance: m.Instance}
 	n.mbMu.Lock()
 	b := n.mailboxes[key]
 	full := len(b) >= n.mailboxSlots
@@ -423,11 +829,11 @@ func (n *Node) box(sender core.ProcID, m core.Message) {
 	if full {
 		// Lose-on-full: the message was in transit and is dropped at
 		// the receiver — the model's link loss, not a send failure.
-		n.mailboxDrops.Add(1)
-		n.emit(core.Event{Kind: core.EvLose, Proc: n.self, Peer: sender, Instance: m.Instance, Msg: m})
+		g.mailboxDrops.Add(1)
+		g.emit(core.Event{Kind: core.EvLose, Proc: n.self, Peer: sender, Instance: m.Instance, Msg: m})
 		return
 	}
-	n.recvs.Add(1)
+	g.recvs.Add(1)
 	select {
 	case n.mail <- struct{}{}:
 	default: // a wakeup is already pending
@@ -435,8 +841,8 @@ func (n *Node) box(sender core.ProcID, m core.Message) {
 }
 
 // actLoop delivers mailbox batches as soon as the receive loop signals
-// them and runs the stack's internal actions at the step interval. The
-// tick timer is only a fallback sweep.
+// them and runs every group's internal actions at the step interval. The
+// tick timer is a fallback sweep and the batching deadline.
 func (n *Node) actLoop() {
 	defer n.wg.Done()
 	stepTimer := time.NewTicker(n.stepInterval)
@@ -451,15 +857,24 @@ func (n *Node) actLoop() {
 			n.drainMail()
 		case <-sweep.C:
 			n.drainMail()
-		case <-stepTimer.C:
-			if n.fault != nil && n.fault.Down(n.self, n.faultNow()) {
-				continue // crash window: no internal actions until restart
-			}
+			// Deadline flush: a Send whose section somehow did not flush
+			// (or a threshold edge) never waits longer than one tick.
 			n.mu.Lock()
-			ev := env{n: n}
-			for _, m := range n.stack {
-				m.Step(ev)
+			n.flushAll()
+			n.mu.Unlock()
+		case <-stepTimer.C:
+			gs := n.groups.Load()
+			n.mu.Lock()
+			for _, g := range gs.list {
+				if g.down(n.self) {
+					continue // crash window: no internal actions until restart
+				}
+				ev := env{n: n, g: g}
+				for _, m := range g.stack {
+					m.Step(ev)
+				}
 			}
+			n.flushAll()
 			n.mu.Unlock()
 		}
 	}
@@ -467,10 +882,14 @@ func (n *Node) actLoop() {
 
 // drainMail swaps the filled mailbox buffer out (one pointer swap under
 // the mailbox lock, batching the handoff) and delivers its contents
-// under the action mutex.
+// under the action mutex, routing each mailbox to its group. Mail for a
+// group inside a crash window stays in transit: it is re-boxed untouched
+// and the sweep retries after the window (re-boxed mail that no longer
+// fits is dropped and counted, the lose-on-full rule again).
 func (n *Node) drainMail() {
-	if n.fault != nil && n.fault.Down(n.self, n.faultNow()) {
-		// Crash window: boxed mail stays in transit until the restart.
+	gs := n.groups.Load()
+	if len(gs.list) == 1 && gs.list[0].down(n.self) {
+		// Sole group crashed: leave everything boxed without swapping.
 		return
 	}
 	n.mbMu.Lock()
@@ -483,15 +902,31 @@ func (n *Node) drainMail() {
 	n.boxed = 0
 	n.mbMu.Unlock()
 
+	type heldBox struct {
+		key  mailKey
+		msgs []core.Message
+	}
+	var held []heldBox
 	n.mu.Lock()
-	ev := env{n: n}
 	for key, box := range batch {
 		if len(box) == 0 {
 			continue
 		}
-		if mach, ok := n.routes[key.instance]; ok {
+		g := gs.byID[key.gid]
+		if g == nil {
+			// Group detached: its in-transit mail evaporates.
+			batch[key] = box[:0]
+			continue
+		}
+		if g.down(n.self) {
+			held = append(held, heldBox{key: key, msgs: append([]core.Message(nil), box...)})
+			batch[key] = box[:0]
+			continue
+		}
+		if mach, ok := g.routes[key.instance]; ok {
+			ev := env{n: n, g: g}
 			for _, m := range box {
-				n.emit(core.Event{Kind: core.EvDeliver, Proc: n.self, Peer: key.from, Instance: key.instance, Msg: m})
+				g.emit(core.Event{Kind: core.EvDeliver, Proc: n.self, Peer: key.from, Instance: key.instance, Msg: m})
 				mach.Deliver(ev, key.from, m)
 			}
 		}
@@ -499,14 +934,43 @@ func (n *Node) drainMail() {
 		// effect, like a receive action with a false guard.
 		batch[key] = box[:0]
 	}
+	n.flushAll()
 	n.mu.Unlock()
+
+	if len(held) > 0 {
+		n.mbMu.Lock()
+		for _, h := range held {
+			b := n.mailboxes[h.key]
+			for _, m := range h.msgs {
+				if len(b) >= n.mailboxSlots {
+					if g := gs.byID[h.key.gid]; g != nil {
+						g.mailboxDrops.Add(1)
+					}
+					continue
+				}
+				b = append(b, m)
+				n.boxed++
+			}
+			n.mailboxes[h.key] = b
+		}
+		n.mbMu.Unlock()
+	}
 }
 
-// Do runs f under the node's action mutex with its environment.
+// Do runs f under the node's action mutex with its default group's
+// environment, then flushes any sends f made.
 func (n *Node) Do(f func(env core.Env)) {
+	if n.g0 == nil {
+		panic("udp: Do on a node with no default group")
+	}
+	n.doGroup(n.g0, f)
+}
+
+func (n *Node) doGroup(g *group, f func(env core.Env)) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	f(env{n: n})
+	f(env{n: n, g: g})
+	n.flushAll()
 }
 
 // Stop terminates the loops and closes the socket. It is idempotent and

@@ -1,0 +1,145 @@
+package snapstab
+
+import (
+	"fmt"
+
+	"github.com/snapstab/snapstab/internal/core"
+	tcp "github.com/snapstab/snapstab/internal/transport/tcp"
+	udp "github.com/snapstab/snapstab/internal/transport/udp"
+)
+
+// Mux is a shared transport layer hosting many clusters over one set of
+// sockets: n UDP sockets (UDPMux) or n TCP listeners with one persistent
+// connection mesh (TCPMux), where n is the process count every attached
+// cluster must share. Each cluster built on Mux.Substrate() attaches as
+// a wire v3 group: its messages ride the shared sockets tagged with a
+// group id, batched and coalesced together with its siblings' traffic,
+// while routing, topology, observers, the fault plane, and the message
+// counters stay strictly per cluster.
+//
+//	mux, err := snapstab.UDPMux(5)
+//	defer mux.Close()
+//	a := snapstab.NewPIFCluster(5, snapstab.WithSubstrate(mux.Substrate()))
+//	b := snapstab.NewPIFCluster(5, snapstab.WithSubstrate(mux.Substrate()))
+//
+// Closing a cluster detaches its group and leaves the mux — and every
+// sibling cluster — running; the mux itself must be closed by its owner
+// to release the sockets (which also tears down any still-attached
+// clusters).
+type Mux struct {
+	udp *udp.Mux
+	tcp *tcp.Mux
+}
+
+// UDPMux binds one loopback datagram socket per process and returns a
+// mux ready to host clusters. The only cluster option read here is
+// WithBatch, fixing the coalescing ceiling of the shared sockets (the
+// batch is a socket-level knob, so it cannot vary per attached cluster);
+// everything else — topology, faults, receivers, capacity — is given to
+// the cluster constructors instead. Socket binding failures are
+// returned, not panicked: the mux is built before any cluster exists.
+func UDPMux(nProcs int, opts ...Option) (*Mux, error) {
+	o := buildOptions(opts)
+	var uopts []udp.Option
+	if o.batch > 0 {
+		uopts = append(uopts, udp.WithBatch(o.batch))
+	}
+	m, err := udp.NewMux(nProcs, uopts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Mux{udp: m}, nil
+}
+
+// TCPMux binds one loopback listener per process, dials the full
+// connection mesh, and returns a mux ready to host clusters. As with
+// UDPMux, the only cluster option read here is WithBatch — on TCP it
+// bounds the frames per vectored write on the shared connections;
+// per-cluster options belong to the cluster constructors.
+func TCPMux(nProcs int, opts ...Option) (*Mux, error) {
+	o := buildOptions(opts)
+	var topts []tcp.Option
+	if o.batch > 0 {
+		topts = append(topts, tcp.WithBatch(o.batch))
+	}
+	m, err := tcp.NewMux(nProcs, topts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Mux{tcp: m}, nil
+}
+
+// N returns the process count every attached cluster must match.
+func (m *Mux) N() int {
+	if m.udp != nil {
+		return m.udp.N()
+	}
+	return m.tcp.N()
+}
+
+// Addrs returns every node's bound local address.
+func (m *Mux) Addrs() []string {
+	if m.udp != nil {
+		return m.udp.Addrs()
+	}
+	return m.tcp.Addrs()
+}
+
+// Substrate returns the substrate specification that attaches a cluster
+// to this mux. Each cluster constructed with it becomes a fresh group on
+// the shared sockets; the specification is reusable — build as many
+// clusters from it as the application needs. Cluster topology, faults,
+// and event hooks apply per attached cluster as on the dedicated
+// UDP()/TCP() substrates; WithBatch does not (the batch ceiling was
+// fixed when the mux was built) and is ignored.
+func (m *Mux) Substrate() Substrate {
+	if m.udp != nil {
+		return Substrate{
+			name: "udp-mux",
+			capacity: func(o options) int {
+				if o.capacity > udp.DefaultAssumedCapacity {
+					return o.capacity
+				}
+				return udp.DefaultAssumedCapacity
+			},
+			build: func(o options, stacks []core.Stack, obs []core.Observer) (core.Substrate, error) {
+				if len(stacks) != m.udp.N() {
+					return nil, fmt.Errorf("snapstab: %d-process cluster on a %d-process mux", len(stacks), m.udp.N())
+				}
+				uopts := make([]udp.Option, 0, len(obs)+2)
+				for _, ob := range obs {
+					uopts = append(uopts, udp.WithObserver(ob))
+				}
+				if o.topology != nil {
+					uopts = append(uopts, udp.WithTopology(o.topology))
+				}
+				if o.faults != nil {
+					uopts = append(uopts, udp.WithFaults(o.faults))
+				}
+				return m.udp.Attach(stacks, uopts...)
+			},
+		}
+	}
+	return Substrate{
+		name:     "tcp-mux",
+		capacity: tcpCapacity,
+		build: func(o options, stacks []core.Stack, obs []core.Observer) (core.Substrate, error) {
+			if len(stacks) != m.tcp.N() {
+				return nil, fmt.Errorf("snapstab: %d-process cluster on a %d-process mux", len(stacks), m.tcp.N())
+			}
+			// The batch bound is a socket-level knob fixed at TCPMux; a
+			// cluster-level WithBatch is ignored, as documented.
+			o.batch = 0
+			return m.tcp.Attach(stacks, tcpOptions(o, obs)...)
+		},
+	}
+}
+
+// Close releases the shared sockets, tearing down every still-attached
+// cluster. Idempotent.
+func (m *Mux) Close() error {
+	if m.udp != nil {
+		return m.udp.Close()
+	}
+	return m.tcp.Close()
+}

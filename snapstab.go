@@ -30,8 +30,9 @@
 // The default substrate is the deterministic simulator (Sim()), under
 // which the synchronous calls behave exactly as in earlier revisions. The
 // underlying machines, substrates, checkers, model checker, and adversary
-// constructions live in the internal packages and are exercised by
-// cmd/snapsim, cmd/snapcheck, cmd/snapbench, and cmd/snapnet.
+// constructions live in the internal packages and are exercised by the
+// tools under cmd/ (snapsim, snapcheck, snapbench, snapnet, snapchaos,
+// and the snapd/snapctl deployment pair).
 package snapstab
 
 import (
@@ -71,7 +72,10 @@ type options struct {
 	// generic constructor asserts it back to func(proc, from int, b T) T.
 	onReceiveTyped any
 	substrate      Substrate
-	faults         *core.FaultPlan
+	// batch is the WithBatch coalescing ceiling for the UDP transport
+	// (0 = the transport's default).
+	batch  int
+	faults *core.FaultPlan
 	// topology is the communication graph (nil = the paper's complete
 	// network; an explicit complete graph behaves byte-identically).
 	topology *core.Topology
@@ -123,6 +127,21 @@ func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
 // to {0..2c+2} automatically. The UDP substrate enforces its own larger
 // conservative bound when this one is smaller.
 func WithCapacity(c int) Option { return func(o *options) { o.capacity = c } }
+
+// WithBatch tunes the transports' syscall amortization; the in-memory
+// substrates (Sim, Runtime) have no wire and ignore it. On UDP it sets
+// how many messages may coalesce into one wire v3 batch datagram
+// (default 16): batches flush when full, at the end of every atomic
+// protocol section, and on the transport's sweep tick, so raising the
+// ceiling amortizes syscalls without delaying any message past the
+// tick. WithBatch(1) disables coalescing — every message travels alone
+// in the bare wire v1/v2 framing, byte-compatible with peers that
+// predate the v3 batch frame. On TCP it bounds how many queued frames
+// one vectored write may carry (default 32); the bytes on the wire are
+// identical at every setting. On a mux, pass it to UDPMux/TCPMux
+// instead — the sockets are shared, so the knob cannot vary per
+// attached cluster.
+func WithBatch(k int) Option { return func(o *options) { o.batch = k } }
 
 // WithStepBudget bounds each request's simulation steps on the Sim
 // substrate (default 50M). The concurrent substrates have no step

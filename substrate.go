@@ -12,7 +12,7 @@ import (
 // Substrate selects the execution engine a cluster runs on. The paper's
 // guarantee — every request satisfied from an arbitrary initial
 // configuration — is substrate-independent, and so is the cluster API:
-// the same cluster code runs on all three engines.
+// the same cluster code runs on every engine.
 //
 //   - Sim: the deterministic seeded simulator (default). Executions
 //     replay exactly from (topology, options); Stats reports scheduler
@@ -22,7 +22,14 @@ import (
 //     deadlines instead of step budgets.
 //   - UDP: one loopback socket per process exchanging wire-encoded
 //     datagrams — the paper's concluding "future challenge". Natural
-//     loss plus bounded mailboxes restoring the known capacity bound.
+//     loss plus bounded mailboxes restoring the known capacity bound;
+//     messages coalesce into wire v3 batch datagrams (WithBatch).
+//   - TCP: one loopback listener per process with persistent
+//     connections; bounded queues and mailboxes restore the model's
+//     lossy channels at the stream's edges.
+//   - TCPHost: one real process of a multi-daemon TCP fleet.
+//   - Mux.Substrate(): a cluster attached as a wire v3 group on a
+//     shared UDPMux/TCPMux socket layer.
 //
 // A Substrate value is a specification; the engine itself is built when
 // the cluster is constructed and released by the cluster's Close.
@@ -117,9 +124,12 @@ func UDP() Substrate {
 			return udp.DefaultAssumedCapacity
 		},
 		build: func(o options, stacks []core.Stack, obs []core.Observer) (core.Substrate, error) {
-			uopts := make([]udp.Option, 0, len(obs)+1)
+			uopts := make([]udp.Option, 0, len(obs)+2)
 			for _, ob := range obs {
 				uopts = append(uopts, udp.WithObserver(ob))
+			}
+			if o.batch > 0 {
+				uopts = append(uopts, udp.WithBatch(o.batch))
 			}
 			if o.topology != nil {
 				uopts = append(uopts, udp.WithTopology(o.topology))
@@ -137,6 +147,9 @@ func tcpOptions(o options, obs []core.Observer, extra ...tcp.Option) []tcp.Optio
 	topts := append([]tcp.Option(nil), extra...)
 	for _, ob := range obs {
 		topts = append(topts, tcp.WithObserver(ob))
+	}
+	if o.batch > 0 {
+		topts = append(topts, tcp.WithBatch(o.batch))
 	}
 	if o.topology != nil {
 		topts = append(topts, tcp.WithTopology(o.topology))
