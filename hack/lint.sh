@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# lint.sh — the repository's single lint entry point.
+#
+# Run it before pushing; CI's lint job executes this exact script, so a
+# clean local run is a clean CI lint job. Order is cheapest-first:
+# formatting, go vet, then the snapvet analyzer suite (which itself
+# finishes with vet's copylocks and atomic passes over the tree).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+  echo "gofmt needed:"
+  echo "$unformatted"
+  exit 1
+fi
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> snapvet"
+go run ./cmd/snapvet ./...
+
+echo "lint OK"

@@ -1,0 +1,259 @@
+// Package analysis implements snapvet, the repository's static-analysis
+// suite. It mechanically enforces the conventions the reproduction's
+// correctness argument leans on — deterministic replay, transport lock
+// order, pooled-buffer ownership, sentinel-error wrapping, and loss-event
+// attribution — which PRs 1–8 defended only by comment and after-the-fact
+// invariance tests (DESIGN.md §14).
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Reportf) but is self-contained on the standard
+// library: packages are enumerated with `go list -e -test -deps -export
+// -json`, target packages are type-checked from source, and their
+// dependencies are imported from the compiler's export data, so the suite
+// needs no module requirements beyond the toolchain itself.
+//
+// Suppression: a diagnostic is silenced by a directive comment
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <justification>
+//
+// placed on the flagged line or on the line directly above it. The
+// justification is mandatory — a bare directive is itself reported — and
+// should say why the invariant may be broken at that site (e.g. "pinned
+// seed derivation: E6 tables are byte-frozen").
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in lint:ignore
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// A Pass presents one type-checked package to one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Path is the canonical import path with any test-variant suffix
+	// (" [pkg.test]") stripped, so path-scoped analyzers treat a package
+	// and its test-augmented variant alike.
+	Path string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Analyzers use
+// it for rules whose strictness differs between production and test code
+// (the determinism analyzer's test-file mode).
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// A Diagnostic is one finding, located in the file system.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Run applies every analyzer to every package, resolves lint:ignore
+// directives, and returns the surviving diagnostics sorted by position.
+// Malformed or unknown-name directives are themselves reported under the
+// pseudo-analyzer "lint".
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Path:     pkg.Path,
+				diags:    &raw,
+			}
+			if err := a.Run(pass); err != nil {
+				raw = append(raw, Diagnostic{
+					Pos:      pkg.Fset.Position(pkg.Files[0].Pos()),
+					Analyzer: a.Name,
+					Message:  fmt.Sprintf("analyzer failed: %v", err),
+				})
+			}
+		}
+		ignores, bad := directives(pkg, known)
+		raw = append(raw, bad...)
+		for _, d := range raw {
+			// A test-augmented variant re-checks the package's
+			// non-test files; only its _test.go findings are new.
+			if pkg.IsTestVariant && !strings.HasSuffix(d.Pos.Filename, "_test.go") {
+				continue
+			}
+			if d.Analyzer != "lint" && ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	// A finding can surface once from the base package and once from a
+	// test-variant pass; keep one.
+	dedup := out[:0]
+	for i, d := range out {
+		if i > 0 && d == out[i-1] {
+			continue
+		}
+		dedup = append(dedup, d)
+	}
+	return dedup
+}
+
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+const directivePrefix = "//lint:ignore"
+
+// directives collects lint:ignore suppressions for pkg. A directive
+// suppresses the named analyzers on its own line and on the following
+// line, covering both trailing and preceding-comment placement.
+func directives(pkg *Package, known map[string]bool) (map[ignoreKey]bool, []Diagnostic) {
+	ignores := make(map[ignoreKey]bool)
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if pkg.IsTestVariant && !strings.HasSuffix(pos.Filename, "_test.go") {
+					continue // already validated on the base pass
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // some other lint: directive family
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{Pos: pos, Analyzer: "lint",
+						Message: "lint:ignore needs an analyzer name and a justification: //lint:ignore <analyzer> <why>"})
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				for _, name := range names {
+					if !known[name] {
+						bad = append(bad, Diagnostic{Pos: pos, Analyzer: "lint",
+							Message: fmt.Sprintf("lint:ignore names unknown analyzer %q", name)})
+						continue
+					}
+					ignores[ignoreKey{pos.Filename, pos.Line, name}] = true
+					ignores[ignoreKey{pos.Filename, pos.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	return ignores, bad
+}
+
+// pathMatches reports whether the canonical package path matches one of
+// the configured path suffixes: either the whole path equals the suffix
+// or the path ends with "/"+suffix. "internal/sim" therefore matches both
+// the module's internal/sim package and a fixture package of that path.
+func pathMatches(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcOf resolves the *types.Func a call expression invokes, looking
+// through parentheses; nil for builtins, conversions, and indirect calls.
+func funcOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is the package-level function
+// pkgPath.name (declared at package scope, not a method).
+func isPkgFunc(obj *types.Func, pkgPath, name string) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	if sig == nil || sig.Recv() != nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// baseName returns the rightmost identifier of an expression: x → "x",
+// a.b.c → "c", f(x) → "", stripping parens and unary &.
+func baseName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.UnaryExpr:
+		return baseName(e.X)
+	}
+	return ""
+}

@@ -1,0 +1,255 @@
+// Package analysistest runs snapvet analyzers over fixture packages and
+// checks their diagnostics against // want expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// only.
+//
+// Fixtures live under testdata/src/<importpath>/, GOPATH-style. A
+// fixture file marks each expected diagnostic with a trailing comment
+//
+//	x := time.Now() // want `wall clock`
+//
+// holding one Go string literal (quoted or backquoted) per expected
+// diagnostic on that line; each is a regexp matched against the
+// diagnostic message. Diagnostics without a matching expectation, and
+// expectations without a matching diagnostic, fail the test. Imports are
+// resolved first against testdata/src (so fixtures can stub repository
+// packages like internal/core), then against the standard library via
+// compiler export data.
+package analysistest
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/scanner"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/snapstab/snapstab/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads each fixture package below testdata/src, applies the
+// analyzer (through the driver, so lint:ignore directives participate),
+// and compares diagnostics against the // want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	l := newLoader(filepath.Join(testdata, "src"))
+	for _, path := range paths {
+		pkg, err := l.load(path)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", path, err)
+			continue
+		}
+		diags := analysis.Run([]*analysis.Package{pkg.analysisPkg}, []*analysis.Analyzer{a})
+		checkWants(t, l.fset, pkg, diags)
+	}
+}
+
+type wantExpectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, pkg *fixturePkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*wantExpectation
+	for _, f := range pkg.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if !strings.HasPrefix(strings.TrimSpace(text), "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, raw := range stringLits(text[idx+len("want "):]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+						continue
+					}
+					wants = append(wants, &wantExpectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// stringLits scans the Go string literals out of a want payload.
+func stringLits(s string) []string {
+	var out []string
+	var sc scanner.Scanner
+	fset := token.NewFileSet()
+	file := fset.AddFile("", fset.Base(), len(s))
+	sc.Init(file, []byte(s), nil, 0)
+	for {
+		_, tok, lit := sc.Scan()
+		if tok == token.EOF || tok == token.SEMICOLON {
+			break
+		}
+		if tok == token.STRING {
+			if u, err := strconv.Unquote(lit); err == nil {
+				out = append(out, u)
+			}
+		}
+	}
+	return out
+}
+
+// loader type-checks fixture packages, resolving sibling fixtures by
+// path and everything else from stdlib export data.
+type loader struct {
+	src     string
+	fset    *token.FileSet
+	gc      types.Importer
+	pkgs    map[string]*fixturePkg
+	exports map[string]string
+}
+
+type fixturePkg struct {
+	files       []*ast.File
+	analysisPkg *analysis.Package
+}
+
+func newLoader(src string) *loader {
+	l := &loader{
+		src:     src,
+		fset:    token.NewFileSet(),
+		pkgs:    make(map[string]*fixturePkg),
+		exports: make(map[string]string),
+	}
+	l.gc = importer.ForCompiler(l.fset, "gc", l.exportData)
+	return l
+}
+
+// exportData locates compiler export data for a standard-library (or
+// module-cached) package by asking the go command, memoized per path.
+func (l *loader) exportData(path string) (io.ReadCloser, error) {
+	file, ok := l.exports[path]
+	if !ok {
+		cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		if err := cmd.Run(); err != nil {
+			return nil, fmt.Errorf("go list -export %s: %w\n%s", path, err, stderr.Bytes())
+		}
+		file = strings.TrimSpace(stdout.String())
+		l.exports[path] = file
+	}
+	if file == "" {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+func (l *loader) load(path string) (*fixturePkg, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: fixtureImporter{l},
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	pkg := &fixturePkg{
+		files: files,
+		analysisPkg: &analysis.Package{
+			Path:        path,
+			VariantPath: path,
+			Dir:         dir,
+			Fset:        l.fset,
+			Files:       files,
+			Types:       tpkg,
+			Info:        info,
+		},
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+type fixtureImporter struct{ l *loader }
+
+func (fi fixtureImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, err := os.Stat(filepath.Join(fi.l.src, filepath.FromSlash(path))); err == nil {
+		pkg, err := fi.l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.analysisPkg.Types, nil
+	}
+	return fi.l.gc.Import(path)
+}

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// reportFuncs is a test analyzer that flags every function declaration,
+// giving the directive machinery something on every line we choose.
+var reportFuncs = &Analyzer{
+	Name: "reportfuncs",
+	Doc:  "test analyzer: report every function declaration",
+	Run: func(p *Pass) error {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					p.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func testPkg(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	tpkg, err := (&types.Config{}).Check("fix", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Path: "fix", VariantPath: "fix", Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+}
+
+func messages(diags []Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.Analyzer + ": " + d.Message
+	}
+	return out
+}
+
+func TestIgnoreDirectivePrecedingLine(t *testing.T) {
+	pkg := testPkg(t, `package fix
+
+//lint:ignore reportfuncs pinned for the test
+func a() {}
+
+func b() {}
+`)
+	diags := Run([]*Package{pkg}, []*Analyzer{reportFuncs})
+	if len(diags) != 1 || diags[0].Message != "func b" {
+		t.Fatalf("want only [func b], got %v", messages(diags))
+	}
+}
+
+func TestIgnoreDirectiveSameLine(t *testing.T) {
+	pkg := testPkg(t, `package fix
+
+func a() {} //lint:ignore reportfuncs pinned for the test
+`)
+	diags := Run([]*Package{pkg}, []*Analyzer{reportFuncs})
+	if len(diags) != 0 {
+		t.Fatalf("want no diagnostics, got %v", messages(diags))
+	}
+}
+
+func TestBareDirectiveReported(t *testing.T) {
+	pkg := testPkg(t, `package fix
+
+//lint:ignore reportfuncs
+func a() {}
+`)
+	diags := Run([]*Package{pkg}, []*Analyzer{reportFuncs})
+	// The malformed directive suppresses nothing, so both the lint
+	// complaint and the analyzer's own finding surface.
+	if len(diags) != 2 {
+		t.Fatalf("want 2 diagnostics, got %v", messages(diags))
+	}
+	var sawLint, sawFunc bool
+	for _, d := range diags {
+		if d.Analyzer == "lint" && strings.Contains(d.Message, "justification") {
+			sawLint = true
+		}
+		if d.Message == "func a" {
+			sawFunc = true
+		}
+	}
+	if !sawLint || !sawFunc {
+		t.Fatalf("want a lint justification complaint and the unsuppressed finding, got %v", messages(diags))
+	}
+}
+
+func TestUnknownAnalyzerReported(t *testing.T) {
+	pkg := testPkg(t, `package fix
+
+//lint:ignore nosuch the analyzer name is wrong
+func a() {}
+`)
+	diags := Run([]*Package{pkg}, []*Analyzer{reportFuncs})
+	if len(diags) != 2 {
+		t.Fatalf("want 2 diagnostics, got %v", messages(diags))
+	}
+	var sawUnknown bool
+	for _, d := range diags {
+		if d.Analyzer == "lint" && strings.Contains(d.Message, `unknown analyzer "nosuch"`) {
+			sawUnknown = true
+		}
+	}
+	if !sawUnknown {
+		t.Fatalf("want an unknown-analyzer complaint, got %v", messages(diags))
+	}
+}
+
+func TestIgnoreDirectiveMultipleNames(t *testing.T) {
+	pkg := testPkg(t, `package fix
+
+//lint:ignore reportfuncs,determinism shared justification
+func a() {}
+`)
+	diags := Run([]*Package{pkg}, []*Analyzer{reportFuncs, Determinism})
+	if len(diags) != 0 {
+		t.Fatalf("want no diagnostics, got %v", messages(diags))
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Analyzer: "determinism",
+		Message:  "boom",
+	}
+	if got, want := d.String(), "x.go:3:7: determinism: boom"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Loss-side naming discipline, from core/event.go: EvSendLost is a
+// SENDER-side loss (Proc = sender, Peer = intended destination);
+// EvLose is a RECEIVER-side loss (Proc = receiver, Peer = original
+// sender). An emission site whose Peer expression names the wrong
+// endpoint — or omits Peer — mis-attributes the loss, and every
+// spec-checker statistic built on the event stream inherits the error.
+var (
+	sendLostPeerNames = map[string]bool{"to": true, "dst": true, "dest": true, "target": true, "peer": true}
+	losePeerNames     = map[string]bool{"from": true, "sender": true, "src": true, "source": true}
+)
+
+// EventDiscipline checks every core.Event composite literal that emits a
+// loss event against the documented loss-side semantics, and forbids
+// folding injected-fault counters (core.FaultStats) into the native
+// transport counters they must stay distinguishable from (DESIGN.md §9).
+var EventDiscipline = &Analyzer{
+	Name: "eventdiscipline",
+	Doc:  "enforce send-side vs receive-side loss attribution and keep FaultStats out of native transport counters",
+	Run:  runEventDiscipline,
+}
+
+func runEventDiscipline(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				checkLossLiteral(pass, n)
+			case *ast.BinaryExpr:
+				checkFaultFold(pass, n)
+			case *ast.AssignStmt:
+				checkFaultFoldAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isCoreType reports whether t (after pointer stripping) is the named
+// type internal/core.<name> — matched by package-path suffix so fixture
+// stubs of core participate.
+func isCoreType(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == name && pathMatches(n.Obj().Pkg().Path(), []string{"internal/core"})
+}
+
+func checkLossLiteral(pass *Pass, lit *ast.CompositeLit) {
+	if !isCoreType(pass.Info.TypeOf(lit), "Event") {
+		return
+	}
+	var kindName string
+	var kindPos token.Pos
+	var peerExpr ast.Expr
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Kind":
+			if c, ok := pass.Info.ObjectOf(ident(kv.Value)).(*types.Const); ok {
+				kindName, kindPos = c.Name(), kv.Value.Pos()
+			}
+		case "Peer":
+			peerExpr = kv.Value
+		}
+	}
+	if kindName != "EvSendLost" && kindName != "EvLose" {
+		return
+	}
+	if peerExpr == nil {
+		pass.Reportf(lit.Pos(), "%s emitted without Peer: every loss must be attributed to the other endpoint (core/event.go)", kindName)
+		return
+	}
+	peer := strings.ToLower(baseName(peerExpr))
+	switch kindName {
+	case "EvSendLost":
+		if losePeerNames[peer] && !sendLostPeerNames[peer] {
+			pass.Reportf(kindPos, "EvSendLost is a SENDER-side loss but Peer is %q: a message lost after transit is the receiver's EvLose (core/event.go)", baseName(peerExpr))
+		}
+	case "EvLose":
+		if sendLostPeerNames[peer] && !losePeerNames[peer] {
+			pass.Reportf(kindPos, "EvLose is a RECEIVER-side loss but Peer is %q: a message dropped before leaving the sender is EvSendLost (core/event.go)", baseName(peerExpr))
+		}
+	}
+}
+
+func ident(e ast.Expr) *ast.Ident {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SelectorExpr:
+		return e.Sel
+	}
+	return nil
+}
+
+// faultStatsField reports whether e selects a counter field off a
+// core.FaultStats value.
+func faultStatsField(pass *Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return isCoreType(pass.Info.TypeOf(sel.X), "FaultStats")
+}
+
+// otherStructField reports whether e selects a field off a named struct
+// other than FaultStats — the shape of a native counter.
+func otherStructField(pass *Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	t := pass.Info.TypeOf(sel.X)
+	if t == nil || isCoreType(t, "FaultStats") {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	_, isStruct := n.Underlying().(*types.Struct)
+	return isStruct
+}
+
+// checkFaultFold flags arithmetic that adds a FaultStats counter to a
+// native counter: injected adversity must stay distinguishable from
+// genuine transport behavior.
+func checkFaultFold(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.ADD && be.Op != token.SUB {
+		return
+	}
+	x, y := be.X, be.Y
+	if (faultStatsField(pass, x) && otherStructField(pass, y)) ||
+		(faultStatsField(pass, y) && otherStructField(pass, x)) {
+		pass.Reportf(be.Pos(), "FaultStats counter folded into a native transport counter: injected faults must be surfaced beside native counters, never summed into them (DESIGN.md §9)")
+	}
+}
+
+func checkFaultFoldAssign(pass *Pass, as *ast.AssignStmt) {
+	if as.Tok != token.ADD_ASSIGN && as.Tok != token.SUB_ASSIGN {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) || !otherStructField(pass, lhs) {
+			continue
+		}
+		sensitive := false
+		ast.Inspect(as.Rhs[i], func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok && faultStatsField(pass, e) {
+				sensitive = true
+			}
+			return !sensitive
+		})
+		if sensitive {
+			pass.Reportf(as.Pos(), "FaultStats counter folded into a native transport counter: injected faults must be surfaced beside native counters, never summed into them (DESIGN.md §9)")
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one type-checked unit ready for analysis. Test-augmented
+// variants ("pkg [pkg.test]" and external "pkg_test [pkg.test]") appear
+// as their own Package with IsTestVariant set; the driver keeps only
+// their _test.go findings.
+type Package struct {
+	Path          string // canonical import path, variant suffix stripped
+	VariantPath   string // the go list ImportPath, verbatim
+	Dir           string
+	IsTestVariant bool
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	ForTest    string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+	DepsErrors []*struct{ Err string }
+}
+
+// Load enumerates patterns with the go command and type-checks every
+// matched non-standard package (plus test variants) from source.
+// Dependencies are imported from compiler export data, which
+// `go list -export` guarantees is up to date, so loading needs no module
+// downloads and no second type-check of the dependency graph.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-test", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %w\n%s", err, stderr.Bytes())
+	}
+
+	byPath := make(map[string]*listPkg)
+	var order []*listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		lp := p
+		byPath[lp.ImportPath] = &lp
+		order = append(order, &lp)
+	}
+
+	fset := token.NewFileSet()
+	exports := func(path string) (io.ReadCloser, error) {
+		p := byPath[path]
+		if p == nil || p.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(p.Export)
+	}
+	gc := importer.ForCompiler(fset, "gc", exports)
+
+	var pkgs []*Package
+	for _, lp := range order {
+		if lp.Standard || strings.HasSuffix(lp.ImportPath, ".test") {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 && len(lp.CgoFiles) == 0 {
+			continue
+		}
+		pkg, err := check(fset, gc, lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// check parses and type-checks one listed package from source.
+func check(fset *token.FileSet, gc types.Importer, lp *listPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range append(append([]string{}, lp.GoFiles...), lp.CgoFiles...) {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	canonical := lp.ImportPath
+	if i := strings.Index(canonical, " ["); i >= 0 {
+		canonical = canonical[:i]
+	}
+	conf := types.Config{
+		Importer: resolver{gc: gc, importMap: lp.ImportMap},
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+	tpkg, err := conf.Check(canonical, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", lp.ImportPath, err)
+	}
+	return &Package{
+		Path:          canonical,
+		VariantPath:   lp.ImportPath,
+		Dir:           lp.Dir,
+		IsTestVariant: canonical != lp.ImportPath || strings.HasSuffix(canonical, "_test"),
+		Fset:          fset,
+		Files:         files,
+		Types:         tpkg,
+		Info:          info,
+	}, nil
+}
+
+// resolver maps source-level import paths through go list's ImportMap
+// (vendoring and test variants) and feeds them to the shared export-data
+// importer.
+type resolver struct {
+	gc        types.Importer
+	importMap map[string]string
+}
+
+func (r resolver) Import(path string) (*types.Package, error) {
+	if mapped, ok := r.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return r.gc.Import(path)
+}

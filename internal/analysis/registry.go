@@ -1,0 +1,12 @@
+package analysis
+
+// All returns the full snapvet suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		LockOrder,
+		PoolAlias,
+		SentErr,
+		EventDiscipline,
+	}
+}

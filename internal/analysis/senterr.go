@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SentErr enforces the repository's sentinel-error convention (PR 5):
+// sentinels (package-level `var ErrX = errors.New(...)` values such as
+// ErrBudget, ErrInvalidProcess, ErrRemoteProcess, ErrPartialAck) are
+// matched with errors.Is through arbitrary wrapping, so == / != / switch
+// comparisons against them are latent bugs, and fmt.Errorf calls that
+// carry an error argument without a %w verb silently break the chain.
+var SentErr = &Analyzer{
+	Name: "senterr",
+	Doc:  "require errors.Is and %w wrapping for sentinel errors; flag == comparisons and unwrapped fmt.Errorf",
+	Run:  runSentErr,
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func runSentErr(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, op := range []ast.Expr{n.X, n.Y} {
+					if s := sentinelOf(pass, op); s != nil {
+						pass.Reportf(n.Pos(), "%s compared with %s: wrapped sentinels only answer errors.Is", s.Name(), n.Op)
+						break
+					}
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				t := pass.Info.TypeOf(n.Tag)
+				if t == nil || !types.AssignableTo(t, errorIface) {
+					return true
+				}
+				for _, c := range n.Body.List {
+					cc, ok := c.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if s := sentinelOf(pass, e); s != nil {
+							pass.Reportf(e.Pos(), "switch case compares %s with ==: wrapped sentinels only answer errors.Is", s.Name())
+						}
+					}
+				}
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelOf resolves e to a package-level error variable named ErrXxx,
+// the repository's sentinel shape; nil otherwise.
+func sentinelOf(pass *Pass, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	obj := pass.Info.ObjectOf(id)
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	name := v.Name()
+	if !strings.HasPrefix(name, "Err") && !strings.HasPrefix(name, "err") {
+		return nil
+	}
+	if len(name) <= 3 || (name[3] < 'A' || name[3] > 'Z') {
+		return nil
+	}
+	if !types.AssignableTo(v.Type(), errorIface) {
+		return nil
+	}
+	return v
+}
+
+// checkErrorfWrap flags fmt.Errorf calls whose arguments include an
+// error but whose constant format string has no %w verb: the resulting
+// error hides its cause from errors.Is / errors.As.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	fn := funcOf(pass.Info, call)
+	if !isPkgFunc(fn, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	if strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		t := pass.Info.TypeOf(arg)
+		if t == nil {
+			continue
+		}
+		if types.AssignableTo(t, errorIface) && !types.Identical(t, types.Typ[types.UntypedNil]) {
+			pass.Reportf(call.Pos(), "fmt.Errorf carries an error value but no %%w verb: the cause is flattened to text and errors.Is against the repo's sentinels will fail")
+			return
+		}
+	}
+}

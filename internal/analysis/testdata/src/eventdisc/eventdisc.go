@@ -1,0 +1,28 @@
+// Package eventdisc exercises loss-side event attribution and the
+// FaultStats / native-counter separation.
+package eventdisc
+
+import "internal/core"
+
+type Stats struct {
+	Sends int
+	Drops int
+}
+
+func emit(o func(core.Event), self, to, from core.ProcID) {
+	o(core.Event{Kind: core.EvSendLost, Proc: self, Peer: to})   // sender-side loss, destination peer: correct
+	o(core.Event{Kind: core.EvLose, Proc: self, Peer: from})     // receiver-side loss, sender peer: correct
+	o(core.Event{Kind: core.EvSendLost, Proc: self, Peer: from}) // want `EvSendLost is a SENDER-side loss but Peer is "from"`
+	o(core.Event{Kind: core.EvLose, Proc: self, Peer: to})       // want `EvLose is a RECEIVER-side loss but Peer is "to"`
+	o(core.Event{Kind: core.EvSendLost, Proc: self})             // want `EvSendLost emitted without Peer`
+	o(core.Event{Kind: core.EvSend, Proc: self})                 // non-loss events need no peer
+}
+
+func fold(s *Stats, fs core.FaultStats) int {
+	s.Drops += fs.Drops      // want `FaultStats counter folded into a native transport counter`
+	return s.Sends + fs.Dups // want `FaultStats counter folded into a native transport counter`
+}
+
+func surface(s *Stats, fs core.FaultStats) (int, int) {
+	return s.Drops, fs.Drops // reported side by side: correct
+}

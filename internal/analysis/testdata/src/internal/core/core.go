@@ -1,0 +1,25 @@
+// Package core stubs the event vocabulary for the eventdiscipline
+// fixtures: the analyzer matches these types by package-path suffix.
+package core
+
+type ProcID int
+
+type EventKind int
+
+const (
+	EvSend EventKind = iota
+	EvSendLost
+	EvLose
+)
+
+type Event struct {
+	Kind EventKind
+	Proc ProcID
+	Peer ProcID
+	Note string
+}
+
+type FaultStats struct {
+	Drops int
+	Dups  int
+}

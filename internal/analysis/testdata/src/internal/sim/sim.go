@@ -1,0 +1,77 @@
+// Package sim is a determinism fixture: its import path suffix places
+// it in the sim-reachable set, so the full production-mode rules apply
+// to this file.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func pace() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep in a sim-reachable package`
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `global rand\.Intn draws from an unseedable stream`
+}
+
+func seededRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // explicit constructors are fine
+}
+
+func deriveStream(seed uint64) uint64 {
+	return seed * 31 // want `seed arithmetic outside rng\.Mix`
+}
+
+func sweep() uint64 {
+	var total uint64
+	for seed := uint64(0); seed < 10; seed++ { // a post-statement seed sweep is enumeration, not derivation
+		total += uint64(1)
+	}
+	return total
+}
+
+func pinned(seed uint64) uint64 {
+	//lint:ignore determinism fixture: pinned derivation kept for byte-frozen tables
+	return seed ^ 0xBEEF
+}
+
+func unsortedEmit(m map[int]int, out []int) []int {
+	for k := range m {
+		out = append(out, k) // want `map iteration feeds order-sensitive state \(append\)`
+	}
+	return out
+}
+
+func sortedKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func perEntry(m map[int][]int) int {
+	n := 0
+	for _, vs := range m {
+		local := make([]int, 0, len(vs))
+		for _, v := range vs {
+			local = append(local, v)
+		}
+		n += len(local)
+	}
+	return n
+}
+
+func drain(m map[int]int, ch chan int) {
+	for k := range m {
+		ch <- k // want `map iteration feeds order-sensitive state \(channel send\)`
+	}
+}

@@ -1,0 +1,14 @@
+package sim
+
+import "time"
+
+// Test-file mode: wall-clock reads stay banned (assertions derived from
+// them cannot replay), but pacing real concurrency is tolerated.
+
+func stampTest() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func settleTest() {
+	time.Sleep(time.Millisecond) // pacing is allowed in test files
+}

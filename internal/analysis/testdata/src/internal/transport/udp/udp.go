@@ -1,0 +1,76 @@
+// Package udp is a lockorder fixture mirroring the transport's ranked
+// mutex fields (mu outermost, mbMu, then injMu).
+package udp
+
+import "sync"
+
+type conn struct {
+	mu    sync.Mutex
+	mbMu  sync.Mutex
+	injMu sync.RWMutex
+	n     int
+}
+
+// Do is the atomic-section entry point: it runs f under mu.
+func (c *conn) Do(f func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f()
+}
+
+func (c *conn) goodOrder() {
+	c.mu.Lock()
+	c.mbMu.Lock()
+	c.injMu.Lock()
+	c.injMu.Unlock()
+	c.mbMu.Unlock()
+	c.mu.Unlock()
+}
+
+func (c *conn) badOrder() {
+	c.mbMu.Lock()
+	c.mu.Lock() // want `acquires mu while holding mbMu`
+	c.mu.Unlock()
+	c.mbMu.Unlock()
+}
+
+func (c *conn) reacquire() {
+	c.mu.Lock()
+	c.mu.Lock() // want `acquires mu while already holding it`
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func (c *conn) injBeforeMb() {
+	c.injMu.RLock()
+	c.mbMu.Lock() // want `acquires mbMu while holding injMu`
+	c.mbMu.Unlock()
+	c.injMu.RUnlock()
+}
+
+func (c *conn) branchesDoNotLeak(cond bool) {
+	if cond {
+		c.mbMu.Lock()
+		c.mbMu.Unlock()
+	}
+	c.mu.Lock() // branch acquisitions are not propagated past the branch
+	c.mu.Unlock()
+}
+
+func (c *conn) goroutineStartsFresh() {
+	c.mbMu.Lock()
+	go func() {
+		c.mu.Lock() // a new goroutine holds nothing
+		c.n++
+		c.mu.Unlock()
+	}()
+	c.mbMu.Unlock()
+}
+
+func (c *conn) callbackLocks() {
+	c.Do(func() {
+		c.mbMu.Lock() // want `acquires mbMu inside an atomic-section callback`
+		c.n++
+		c.mbMu.Unlock()
+	})
+}

@@ -1,0 +1,25 @@
+// Package plainpkg sits outside both the sim-reachable set and the
+// transport packages: the path-scoped analyzers must stay silent here
+// no matter what the code does.
+package plainpkg
+
+import (
+	"sync"
+	"time"
+)
+
+func Stamp() time.Time { return time.Now() }
+
+func Derive(seed uint64) uint64 { return seed * 31 }
+
+type locks struct {
+	mu   sync.Mutex
+	mbMu sync.Mutex
+}
+
+func (l *locks) inverted() {
+	l.mbMu.Lock()
+	l.mu.Lock()
+	l.mu.Unlock()
+	l.mbMu.Unlock()
+}

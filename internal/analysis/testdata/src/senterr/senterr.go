@@ -1,0 +1,47 @@
+// Package senterr exercises the sentinel-error conventions: sentinels
+// answer errors.Is only, and wrapping must use %w.
+package senterr
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrBudget = errors.New("step budget exhausted")
+
+func compare(err error) bool {
+	return err == ErrBudget // want `ErrBudget compared with ==`
+}
+
+func compareNeq(err error) bool {
+	return err != ErrBudget // want `ErrBudget compared with !=`
+}
+
+func viaIs(err error) bool {
+	return errors.Is(err, ErrBudget) // the supported form
+}
+
+func viaSwitch(err error) string {
+	switch err {
+	case ErrBudget: // want `switch case compares ErrBudget with ==`
+		return "budget"
+	}
+	return ""
+}
+
+func eofCompare(err error) bool {
+	return err == io.EOF // EOF is not the repo's sentinel shape
+}
+
+func wrapFlat(err error) error {
+	return fmt.Errorf("await failed: %v", err) // want `no %w verb`
+}
+
+func wrapOK(err error) error {
+	return fmt.Errorf("await failed: %w", err)
+}
+
+func formatValue(n int) error {
+	return fmt.Errorf("bad process %d", n)
+}

@@ -1,0 +1,29 @@
+package check
+
+import "time"
+
+// Eventually polls cond every interval until it returns true, giving up
+// after timeout. It reports whether cond succeeded.
+//
+// The budget is counted in sleep steps rather than read off the wall
+// clock, so tests built on it never call time.Now: on a loaded machine
+// the effective deadline stretches with the actual sleep durations,
+// which is the tolerant direction for a liveness wait.
+func Eventually(timeout, interval time.Duration, cond func() bool) bool {
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	steps := int(timeout / interval)
+	if steps < 1 {
+		steps = 1
+	}
+	for i := 0; ; i++ {
+		if cond() {
+			return true
+		}
+		if i >= steps {
+			return false
+		}
+		time.Sleep(interval)
+	}
+}

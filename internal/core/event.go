@@ -18,17 +18,21 @@ type EventKind uint8
 const (
 	// EvSend: a process pushed a message into a channel.
 	EvSend EventKind = iota + 1
-	// EvSendLost: the push found the channel full and the message was
-	// lost at the SENDER (bounded-capacity semantics). Proc is the
-	// sender, Peer the intended destination.
+	// EvSendLost: the message was lost at the SENDER, before it entered
+	// the channel — a full bounded channel (sim, runtime), a socket
+	// write failure (udp), or, on tcp, a missing topology edge, a full
+	// writer queue, or a dead connection under retransmission. Proc is
+	// the sender, Peer the intended destination.
 	EvSendLost
 	// EvDeliver: a message was removed from a channel and handed to the
 	// destination's receive action.
 	EvDeliver
 	// EvLose: an in-transit message was dropped at the RECEIVER — by the
-	// adversary/lossy link (sim, runtime) or a full receive mailbox
-	// (udp). Proc is the receiver, Peer the original sender. Observers
-	// can therefore attribute every loss to one side of the channel.
+	// adversary/lossy link (sim, runtime), the fault injector (udp,
+	// tcp), or a full receive mailbox under the model's lose-on-full
+	// rule (udp, tcp). Proc is the receiver, Peer the original sender.
+	// Observers can therefore attribute every loss to one side of the
+	// channel.
 	EvLose
 	// EvStart: a protocol executed its starting action for an external
 	// request (Request: Wait -> In).

@@ -24,6 +24,7 @@ func init() {
 // specification violations.
 func pifTrial(n int, loss float64, seed uint64, maxSteps int) (steps int, violations int, err error) {
 	net, machines := pifDeployment(n, 4, sim.WithSeed(seed), sim.WithLossRate(loss))
+	//lint:ignore determinism pinned pre-PR-10 derivation: the E3/E4/E5 tables are byte-frozen; rerouting through rng.Mix would re-seed every row
 	r := rng.New(seed ^ 0xC0FFEE)
 	config.Corrupt(net, r, config.PIFSpecs("pif", 4), config.Options{})
 
@@ -32,6 +33,7 @@ func pifTrial(n int, loss float64, seed uint64, maxSteps int) (steps int, violat
 	net = sim.New(stacksOf(machines), sim.WithSeed(seed), sim.WithLossRate(loss), sim.WithObserver(checker))
 	config.FillChannels(net, r, config.PIFSpecs("pif", 4), config.Options{})
 
+	//lint:ignore determinism token value (not a stream seed) derived from the trial seed; the E3/E4/E5 tables are byte-frozen
 	token := core.Payload{Tag: "fresh", Num: int64(seed % 1000)}
 	requested := false
 	start := 0
@@ -127,6 +129,7 @@ func runE4(cfg Config) []stat.Table {
 		results := runTrials(cfg, row, cfg.Trials, func(trial int, seed uint64) trialResult {
 			var res trialResult
 			net, machines := pifDeployment(n, 4, sim.WithSeed(seed))
+			//lint:ignore determinism pinned pre-PR-10 derivation: the E5 corruption stream is byte-frozen with the published tables
 			r := rng.New(seed ^ 0xBEEF)
 			config.CorruptMachines(net, r)
 			// Plant identifiable garbage in every channel incident to the

@@ -56,6 +56,7 @@ func runE6(cfg Config) []stat.Table {
 					machines[i] = mutex.New("me", core.ProcID(i), n, int64(i*7+5))
 					stacks[i] = machines[i].Machines()
 				}
+				//lint:ignore determinism pinned pre-PR-10 derivation: the E6/E7/E8 corruption stream is byte-frozen with the published tables
 				r := rng.New(seed * 31)
 				net := sim.New(stacks, sim.WithSeed(seed), sim.WithLossRate(loss))
 				config.CorruptMachines(net, r)

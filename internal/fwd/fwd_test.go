@@ -135,7 +135,7 @@ func TestArbitraryInitialConfiguration(t *testing.T) {
 			for seed := uint64(1); seed <= 15; seed++ {
 				topo := mk(seed)
 				net, machines, checker, rec := testNet(t, topo, sim.WithSeed(seed))
-				corrupt(net, machines, topo, rng.New(seed*977))
+				corrupt(net, machines, topo, rng.New(rng.Mix(seed, 977)))
 				n := topo.N()
 				var keys []spec.FwdKey
 				for src := 0; src < n; src++ {

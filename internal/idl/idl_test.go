@@ -71,7 +71,7 @@ func TestLearningFromCorruptedConfigurations(t *testing.T) {
 	for trial := 0; trial < trials; trial++ {
 		seed := uint64(trial + 1)
 		net, machines := build(t, ids, sim.WithSeed(seed))
-		r := rng.New(seed * 31)
+		r := rng.New(rng.Mix(seed, 31))
 		config.Corrupt(net, r, config.PIFSpecs("idl/pif", machines[0].PIF.FlagTop()), config.Options{})
 		requested := false
 		err := net.RunUntil(func() bool {

@@ -160,7 +160,7 @@ func TestSnapStabilizationRandomized(t *testing.T) {
 	for trial := 0; trial < trials; trial++ {
 		seed := uint64(trial + 1)
 		machines, stacks := build(t, n)
-		r := rng.New(seed * 1789)
+		r := rng.New(rng.Mix(seed, 1789))
 		net := sim.New(stacks, sim.WithSeed(seed))
 		config.Corrupt(net, r, specs(machines[0]), config.Options{})
 		checker := NewCheckerFor(machines)

@@ -190,7 +190,7 @@ func corruptNet(t *testing.T, n int, seed uint64, opts ...sim.Option) (*sim.Netw
 	rec := core.NewRecorder(1 << 20)
 	opts = append(opts, sim.WithSeed(seed), sim.WithObserver(rec))
 	net, machines := testNet(t, n, opts...)
-	r := rng.New(seed ^ 0xDEAD)
+	r := rng.New(rng.Mix(seed, 0xDEAD))
 	for _, m := range machines {
 		m.Corrupt(r)
 	}

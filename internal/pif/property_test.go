@@ -24,7 +24,7 @@ func TestPropertyFlagsStayInDomain(t *testing.T) {
 			stacks[i] = core.Stack{machines[i]}
 		}
 		net := sim.New(stacks, sim.WithSeed(seed))
-		r := rng.New(seed ^ 0xABCD)
+		r := rng.New(rng.Mix(seed, 0xABCD))
 		for _, m := range machines {
 			m.Corrupt(r)
 			m.Request = core.Wait // everything computes
@@ -62,7 +62,7 @@ func TestPropertyDecisionImpliesAllTop(t *testing.T) {
 			stacks[i] = core.Stack{machines[i]}
 		}
 		net := sim.New(stacks, sim.WithSeed(seed))
-		r := rng.New(seed ^ 0xF00D)
+		r := rng.New(rng.Mix(seed, 0xF00D))
 		for _, m := range machines {
 			m.Corrupt(r)
 		}
@@ -122,7 +122,7 @@ func TestPropertySingleFckPerComputation(t *testing.T) {
 			}
 		})
 		net := sim.New(stacks, sim.WithSeed(seed), sim.WithObserver(obs))
-		r := rng.New(seed + 5)
+		r := rng.New(rng.Mix(seed, 5))
 		for _, m := range machines {
 			m.Corrupt(r)
 			m.Request = core.Wait
@@ -150,7 +150,7 @@ func TestPropertyQuiescenceAfterAllDone(t *testing.T) {
 			stacks[i] = core.Stack{machines[i]}
 		}
 		net := sim.New(stacks, sim.WithSeed(seed))
-		r := rng.New(seed * 3)
+		r := rng.New(rng.Mix(seed, 3))
 		for _, m := range machines {
 			m.Corrupt(r)
 		}

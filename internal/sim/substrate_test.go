@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/snapstab/snapstab/internal/check"
 	"github.com/snapstab/snapstab/internal/core"
 	"github.com/snapstab/snapstab/internal/pif"
 )
@@ -205,17 +206,11 @@ func TestDriverExitsWhenIdle(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for {
+	if !check.Eventually(10*time.Second, time.Millisecond, func() bool {
 		net.subMu.Lock()
-		running := net.subDriver
-		net.subMu.Unlock()
-		if !running {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("driver still running with no pending requests")
-		}
-		time.Sleep(time.Millisecond)
+		defer net.subMu.Unlock()
+		return !net.subDriver
+	}) {
+		t.Fatal("driver still running with no pending requests")
 	}
 }

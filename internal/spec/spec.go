@@ -16,6 +16,7 @@ package spec
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/snapstab/snapstab/internal/core"
 )
@@ -216,14 +217,21 @@ func (c *MutexChecker) OnEvent(e core.Event) {
 			return
 		}
 		c.entries++
+		// Report concurrent occupants in process order: the violation
+		// list must not depend on map iteration order.
+		occupants := make([]core.ProcID, 0, len(c.servedIn))
 		for other := range c.servedIn {
 			if other != e.Proc {
-				c.violations = append(c.violations, Violation{
-					Property: "Correctness",
-					Detail:   fmt.Sprintf("processes %d and %d are in the critical section concurrently", other, e.Proc),
-					Step:     e.Step,
-				})
+				occupants = append(occupants, other)
 			}
+		}
+		sort.Slice(occupants, func(i, j int) bool { return occupants[i] < occupants[j] })
+		for _, other := range occupants {
+			c.violations = append(c.violations, Violation{
+				Property: "Correctness",
+				Detail:   fmt.Sprintf("processes %d and %d are in the critical section concurrently", other, e.Proc),
+				Step:     e.Step,
+			})
 		}
 		if len(c.zombieIn) > 0 {
 			c.zombieOverlaps++

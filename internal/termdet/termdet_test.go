@@ -185,7 +185,7 @@ func TestCorruptedDetectorStillSound(t *testing.T) {
 		net, detectors, apps := build(t, 3, sim.WithSeed(seed), sim.WithLossRate(0.1))
 		// Corrupt detector machines and detector channels; the app keeps
 		// honest counters (it is the observed application, not protocol).
-		r := rng.New(seed * 13)
+		r := rng.New(rng.Mix(seed, 13))
 		for _, d := range detectors {
 			d.Corrupt(r)
 			d.PIF.Corrupt(r)

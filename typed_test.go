@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -377,9 +378,9 @@ func TestTypedConstructorValidation(t *testing.T) {
 }
 
 // TestErrorsIsThroughWrapPaths pins the sentinel contract on every
-// façade wrap path: budget exhaustion, cluster close, and invalid
-// process all answer errors.Is through whatever wrapping the request
-// plumbing applied.
+// façade wrap path: budget exhaustion, cluster close, invalid process,
+// partial reset acknowledgment, and remote-process requests all answer
+// errors.Is through whatever wrapping the request plumbing applied.
 func TestErrorsIsThroughWrapPaths(t *testing.T) {
 	t.Parallel()
 
@@ -439,6 +440,63 @@ func TestErrorsIsThroughWrapPaths(t *testing.T) {
 		defer tc.Close()
 		if _, err := tc.Broadcast(5, "v"); !errors.Is(err, ErrInvalidProcess) {
 			t.Fatalf("typed broadcast: got %v, want errors.Is ErrInvalidProcess", err)
+		}
+	})
+
+	t.Run("partial-ack", func(t *testing.T) {
+		t.Parallel()
+		// ErrPartialAck needs an adversary beyond the channel model: the
+		// fault plane's CorruptRate can forge the final handshake echo,
+		// completing the child PIF on a value that was never a real
+		// acknowledgment. The deterministic substrate replays the whole
+		// run from (seed, plan), so a short seed sweep reproduces the
+		// outcome reliably; the sentinel must answer errors.Is through
+		// the double wrap ("reset at p: ... of epoch e").
+		hit := false
+		for seed := uint64(1); seed <= 40 && !hit; seed++ {
+			c := NewResetCluster(3, nil,
+				WithSeed(seed),
+				WithFaults(FaultPlan{Seed: seed * 7, Default: LinkFaults{CorruptRate: 0.8}}))
+			_, err := c.Reset(0)
+			if err != nil && !errors.Is(err, ErrPartialAck) {
+				c.Close()
+				t.Fatalf("seed %d: got %v, want nil or errors.Is ErrPartialAck", seed, err)
+			}
+			hit = errors.Is(err, ErrPartialAck)
+			c.Close()
+		}
+		if !hit {
+			t.Fatal("no seed in the sweep produced ErrPartialAck; the corruption stream changed, widen or repin the sweep")
+		}
+	})
+
+	t.Run("remote-process", func(t *testing.T) {
+		t.Parallel()
+		// A TCPHost daemon owns exactly one process; requests addressed
+		// to a peer's process fail loudly before any traffic, on both
+		// the legacy and the typed request paths.
+		const n = 2
+		addrs := make([]string, n)
+		for i := range addrs {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			addrs[i] = ln.Addr().String()
+			ln.Close()
+		}
+		fleet := func(self int) Option {
+			return WithSubstrate(TCPHost(TCPFleet{Self: self, Listen: addrs[self], Peers: addrs}))
+		}
+		c0 := NewPIFCluster(n, fleet(0), WithSeed(7))
+		defer c0.Close()
+		if _, err := c0.Broadcast(1, "misplaced", 1); !errors.Is(err, ErrRemoteProcess) {
+			t.Fatalf("legacy remote broadcast: got %v, want errors.Is ErrRemoteProcess", err)
+		}
+		c1 := NewTypedPIFCluster(n, String, fleet(1), WithSeed(7))
+		defer c1.Close()
+		if _, err := c1.Broadcast(0, "misplaced"); !errors.Is(err, ErrRemoteProcess) {
+			t.Fatalf("typed remote broadcast: got %v, want errors.Is ErrRemoteProcess", err)
 		}
 	})
 }
